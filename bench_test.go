@@ -1,0 +1,60 @@
+package llm4eda
+
+// The benchmark harness: one testing.B target per reproduced paper
+// artifact (figures 1-6 and the in-text results of §II, §IV and §V).
+// Each bench runs the corresponding experiment at quick scale and logs
+// the regenerated rows; `cmd/llm4eda exp all -full` produces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"llm4eda/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := experiments.Runner{Scale: experiments.ScaleQuick, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		exp, err := r.ByID(id)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", exp.Render())
+		}
+		if len(exp.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig1FullFlow regenerates the Fig. 1 flow trace (E1).
+func BenchmarkFig1FullFlow(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkFig2HLSRepair regenerates the Fig. 2 repair results (E2).
+func BenchmarkFig2HLSRepair(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkFig3DiscrepancyTesting regenerates the Fig. 3 results (E3).
+func BenchmarkFig3DiscrepancyTesting(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkFig4AutoChip regenerates the AutoChip grid (E4).
+func BenchmarkFig4AutoChip(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkSec4StructuredFlow regenerates the 8-design flow study (E5).
+func BenchmarkSec4StructuredFlow(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkFig5SLTvsGP regenerates the §V LLM-vs-GP comparison (E6).
+func BenchmarkFig5SLTvsGP(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkFig6Agent regenerates the Fig. 6 agent session (E7).
+func BenchmarkFig6Agent(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkSec5Ablations regenerates the §V ablations (E8).
+func BenchmarkSec5Ablations(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkSec2VRank regenerates the VRank comparison (E9).
+func BenchmarkSec2VRank(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkSec2LLSM regenerates the LLSM synthesis-assist result (E10).
+func BenchmarkSec2LLSM(b *testing.B) { runExperiment(b, "E10") }

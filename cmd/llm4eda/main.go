@@ -1,0 +1,282 @@
+// Command llm4eda is the CLI for the reproduction: it runs the paper's
+// experiments, drives individual frameworks (repair, autochip, slt,
+// agent), and lists the benchmark suites.
+//
+// Usage:
+//
+//	llm4eda exp <E1..E10|all> [-full] [-seed N]   regenerate paper artifacts
+//	llm4eda repair [-tier T] [-no-rag]            run the Fig. 2 repair suite
+//	llm4eda autochip [-tier T] [-k N] [-depth N]  run AutoChip on the suite
+//	llm4eda slt [-evals N] [-gp]                  run the §V power loop
+//	llm4eda agent [-tier T] <problem-id>...       drive designs end to end
+//	llm4eda list                                  list benchmark problems
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llm4eda/internal/agent"
+	"llm4eda/internal/autochip"
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/experiments"
+	"llm4eda/internal/gp"
+	"llm4eda/internal/llm"
+	"llm4eda/internal/rag"
+	"llm4eda/internal/repair"
+	"llm4eda/internal/slt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "llm4eda:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("a subcommand is required")
+	}
+	switch args[0] {
+	case "exp":
+		return cmdExp(args[1:])
+	case "repair":
+		return cmdRepair(args[1:])
+	case "autochip":
+		return cmdAutochip(args[1:])
+	case "slt":
+		return cmdSLT(args[1:])
+	case "agent":
+		return cmdAgent(args[1:])
+	case "list":
+		return cmdList()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  llm4eda exp <E1..E10|all> [-full] [-seed N]   regenerate paper artifacts
+  llm4eda repair [-tier T] [-no-rag]            run the Fig. 2 repair suite
+  llm4eda autochip [-tier T] [-k N] [-depth N]  run AutoChip on the suite
+  llm4eda slt [-evals N] [-gp]                  run the §V power loop
+  llm4eda agent [-tier T] <problem-id>...       drive designs end to end
+  llm4eda list                                  list benchmark problems
+tiers: small | medium | large | frontier
+`)
+}
+
+func parseTier(name string) (llm.Tier, error) {
+	switch strings.ToLower(name) {
+	case "small":
+		return llm.TierSmall, nil
+	case "medium":
+		return llm.TierMedium, nil
+	case "large":
+		return llm.TierLarge, nil
+	case "frontier":
+		return llm.TierFrontier, nil
+	default:
+		return 0, fmt.Errorf("unknown tier %q (small|medium|large|frontier)", name)
+	}
+}
+
+func cmdExp(args []string) error {
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run at full scale (slow; used for EXPERIMENTS.md)")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("exp needs one argument: E1..E10 or all")
+	}
+	scale := experiments.ScaleQuick
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	r := experiments.Runner{Scale: scale, Seed: *seed}
+	if fs.Arg(0) == "all" {
+		for _, exp := range r.All() {
+			fmt.Println(exp.Render())
+		}
+		return nil
+	}
+	exp, err := r.ByID(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(exp.Render())
+	return nil
+}
+
+func cmdRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
+	tierName := fs.String("tier", "frontier", "model tier")
+	noRAG := fs.Bool("no-rag", false, "disable retrieval-augmented repair")
+	seed := fs.Uint64("seed", 1, "model seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := parseTier(*tierName)
+	if err != nil {
+		return err
+	}
+	cfg := repair.Config{Model: llm.NewSimModel(tier, *seed)}
+	if !*noRAG {
+		cfg.Library = rag.DefaultCorrectionLibrary()
+	}
+	fw := repair.New(cfg)
+	succ := 0
+	kernels := repair.BenchKernels()
+	for _, k := range kernels {
+		out, err := fw.Repair(k.Source, k.Kernel, k.Vectors)
+		if err != nil {
+			return fmt.Errorf("%s: %w", k.ID, err)
+		}
+		status := "FAIL"
+		if out.Success {
+			status = "ok"
+			succ++
+		}
+		fmt.Printf("%-20s %-5s iters=%d equivalence=%d/%d",
+			k.ID, status, out.Iterations,
+			out.EquivalenceVectors-out.Mismatches, out.EquivalenceVectors)
+		if out.Optimized {
+			fmt.Printf(" ppa: latency %d -> %d cycles",
+				out.PPABefore.LatencyCyc, out.PPAAfter.LatencyCyc)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("repaired %d/%d kernels (tier=%s rag=%v)\n", succ, len(kernels), tier, !*noRAG)
+	return nil
+}
+
+func cmdAutochip(args []string) error {
+	fs := flag.NewFlagSet("autochip", flag.ContinueOnError)
+	tierName := fs.String("tier", "frontier", "model tier")
+	k := fs.Int("k", 3, "candidates per round")
+	depth := fs.Int("depth", 3, "feedback rounds")
+	seed := fs.Uint64("seed", 1, "model seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := parseTier(*tierName)
+	if err != nil {
+		return err
+	}
+	solved := 0
+	suite := benchset.Suite()
+	for _, p := range suite {
+		res, err := autochip.Run(p, autochip.Options{
+			Model: llm.NewSimModel(tier, *seed), K: *k, Depth: *depth,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.ID, err)
+		}
+		status := "FAIL"
+		if res.Solved {
+			status = "ok"
+			solved++
+		}
+		fmt.Printf("%-12s d%d %-5s rounds=%d candidates=%d best=%s\n",
+			p.ID, p.Difficulty, status, res.Rounds, res.TotalCandidates, res.Best.Verdict)
+	}
+	fmt.Printf("solved %d/%d problems (tier=%s k=%d depth=%d)\n", solved, len(suite), tier, *k, *depth)
+	return nil
+}
+
+func cmdSLT(args []string) error {
+	fs := flag.NewFlagSet("slt", flag.ContinueOnError)
+	evals := fs.Int("evals", 150, "snippet evaluations")
+	runGP := fs.Bool("gp", false, "also run the genetic-programming baseline at 13/8 budget")
+	seed := fs.Uint64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := slt.Run(slt.Config{
+		Model:             llm.NewSimModel(llm.TierLarge, *seed),
+		UseSCoT:           true,
+		AdaptiveTemp:      true,
+		DiversityPressure: true,
+		MaxEvals:          *evals,
+		Seed:              *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LLM loop: %d snippets, %d compile failures, best %.3f W (final temp %.2f)\n",
+		res.Evals, res.CompileFails, res.Best.Score, res.FinalTemp)
+	if *runGP {
+		gpRes := gp.Run(gp.Config{MaxEvals: *evals * 13 / 8, Seed: *seed})
+		fmt.Printf("GP baseline: %d evaluations, best %.3f W (gap %+.3f W)\n",
+			gpRes.Evals, gpRes.Best.Score, gpRes.Best.Score-res.Best.Score)
+	}
+	fmt.Println("\nbest snippet:")
+	fmt.Println(res.Best.Source)
+	return nil
+}
+
+func cmdAgent(args []string) error {
+	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
+	tierName := fs.String("tier", "frontier", "model tier")
+	seed := fs.Uint64("seed", 1, "model seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := parseTier(*tierName)
+	if err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = []string{"adder4"}
+	}
+	a, err := agent.New(agent.Config{Model: llm.NewSimModel(tier, *seed)})
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		p := benchset.ByID(id)
+		if p == nil {
+			return fmt.Errorf("unknown problem %q (try: llm4eda list)", id)
+		}
+		report, err := a.RunProblem(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(report.Render())
+	}
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("benchmark problems (VerilogEval-style suite):")
+	for _, p := range benchset.Suite() {
+		fmt.Printf("  %-12s d%d checks=%-4d %s\n", p.ID, p.Difficulty, p.Checks(), firstSentence(p.Spec))
+	}
+	fmt.Println("\nrepair kernels (Fig. 2 suite):")
+	for _, k := range repair.BenchKernels() {
+		fmt.Printf("  %-20s classes=%s\n", k.ID, strings.Join(k.Classes, ","))
+	}
+	return nil
+}
+
+func firstSentence(s string) string {
+	if i := strings.IndexByte(s, ':'); i > 0 && i < 60 {
+		return s[:i]
+	}
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

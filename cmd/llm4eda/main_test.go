@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"llm4eda/internal/llm"
+)
+
+func TestParseTier(t *testing.T) {
+	cases := map[string]llm.Tier{
+		"small": llm.TierSmall, "MEDIUM": llm.TierMedium,
+		"large": llm.TierLarge, "Frontier": llm.TierFrontier,
+	}
+	for name, want := range cases {
+		got, err := parseTier(name)
+		if err != nil || got != want {
+			t.Errorf("parseTier(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseTier("gpt9"); err == nil {
+		t.Error("expected error for unknown tier")
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Errorf("list: %v", err)
+	}
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help: %v", err)
+	}
+	if err := run(nil); err == nil {
+		t.Error("expected error for no args")
+	}
+	if err := run([]string{"nope"}); err == nil {
+		t.Error("expected error for unknown subcommand")
+	}
+	if err := run([]string{"exp"}); err == nil {
+		t.Error("expected error for exp without id")
+	}
+	if err := run([]string{"exp", "E99"}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+	if err := run([]string{"agent", "no-such-problem"}); err == nil {
+		t.Error("expected error for unknown problem")
+	}
+}
+
+func TestFirstSentence(t *testing.T) {
+	if got := firstSentence("A 4-bit adder: does things"); got != "A 4-bit adder" {
+		t.Errorf("firstSentence = %q", got)
+	}
+	long := "x"
+	for i := 0; i < 7; i++ {
+		long += long
+	}
+	if got := firstSentence(long); len(got) > 64 {
+		t.Errorf("long spec not truncated: %d", len(got))
+	}
+}

@@ -1,0 +1,19 @@
+// Package llm4eda is a from-scratch Go reproduction of "Large Language
+// Models (LLMs) for Electronic Design Automation (EDA)" (SOCC 2025
+// special-session paper): the full suite of LLM-for-EDA frameworks the
+// paper surveys — HLS program repair (Fig. 2), HLS behavioral-discrepancy
+// testing (Fig. 3), AutoChip-style feedback-driven Verilog generation
+// (Fig. 4), the SLT power-maximization loop with its genetic-programming
+// baseline (Fig. 5, §V), VRank self-consistency ranking, LLSM-style
+// synthesis assist, and the Fig. 6 end-to-end EDA agent — together with
+// every substrate they need: a Verilog-subset event-driven simulator, a C
+// frontend/interpreter, an HLS compiler with pragma-aware PPA models, a
+// gate-level synthesis estimator, an RV32-like ISA with a compiler
+// backend, a BOOM-class out-of-order processor power model, a
+// deterministic simulated-LLM substrate and a retrieval library.
+//
+// See DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
+// bench_test.go regenerates every figure and in-text result; the same
+// experiments run standalone via cmd/llm4eda.
+package llm4eda

@@ -1,0 +1,57 @@
+// sltpower: the paper's §V case study — an LLM optimization loop
+// generating C programs that maximize the power draw of a BOOM-class
+// out-of-order RISC-V core, compared against the genetic-programming
+// baseline at a longer budget (the paper's 24 h vs 39 h).
+//
+// Run with: go run ./examples/sltpower
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"llm4eda/internal/boom"
+	"llm4eda/internal/gp"
+	"llm4eda/internal/llm"
+	"llm4eda/internal/slt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sltpower:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	bopts := boom.RunOptions{MaxInsts: 400_000}
+
+	fmt.Println("running the LLM optimization loop (SCoT prompts, adaptive")
+	fmt.Println("temperature, Levenshtein diversity pressure)...")
+	llmRes, err := slt.Run(slt.Config{
+		Model:             llm.NewSimModel(llm.TierLarge, 24),
+		UseSCoT:           true,
+		AdaptiveTemp:      true,
+		DiversityPressure: true,
+		MaxEvals:          150,
+		Boom:              bopts,
+		Seed:              24,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d snippets, %d compile failures, best %.3f W\n\n",
+		llmRes.Evals, llmRes.CompileFails, llmRes.Best.Score)
+
+	fmt.Println("running the genetic-programming baseline at 13/8 the budget...")
+	gpRes := gp.Run(gp.Config{MaxEvals: 150 * 13 / 8, Boom: bopts, Seed: 24})
+	fmt.Printf("  %d evaluations, best %.3f W\n\n", gpRes.Evals, gpRes.Best.Score)
+
+	fmt.Printf("gap: GP beats the LLM loop by %.3f W (paper: 0.640 W with the\n",
+		gpRes.Best.Score-llmRes.Best.Score)
+	fmt.Println("same ordering; the LLM loop saturates first)")
+
+	fmt.Println("\nbest LLM snippet:")
+	fmt.Println(llmRes.Best.Source)
+	return nil
+}

@@ -1,0 +1,95 @@
+package agent
+
+import (
+	"strings"
+	"testing"
+
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/core"
+	"llm4eda/internal/llm"
+)
+
+func TestAgentFullFlowOnEasyProblem(t *testing.T) {
+	a, err := New(Config{Model: llm.NewSimModel(llm.TierFrontier, 1)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	report, err := a.RunProblem(benchset.ByID("adder4"))
+	if err != nil {
+		t.Fatalf("RunProblem: %v", err)
+	}
+	if !report.Verdict.Pass() {
+		t.Fatalf("final design does not pass: %v", report.Verdict)
+	}
+	if report.Final.AreaGates <= 0 {
+		t.Errorf("no synthesis result: %+v", report.Final)
+	}
+	// All mandatory stages present.
+	var stages []string
+	for _, s := range report.Stages {
+		stages = append(stages, s.Stage.String())
+	}
+	joined := strings.Join(stages, ",")
+	for _, want := range []core.Stage{core.StageSpecification, core.StageHDLGeneration,
+		core.StageTestbench, core.StageSimulation, core.StageSynthesis, core.StagePPAOptimization} {
+		if !strings.Contains(joined, want.String()) {
+			t.Errorf("missing stage %s in %v", want, stages)
+		}
+	}
+	if r := report.Render(); !strings.Contains(r, "design adder4") {
+		t.Errorf("render broken: %s", r)
+	}
+}
+
+func TestAgentModelTestbenchMode(t *testing.T) {
+	a, err := New(Config{
+		Model:             llm.NewSimModel(llm.TierMedium, 9),
+		UseModelTestbench: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	report, err := a.RunProblem(benchset.ByID("mux2"))
+	if err != nil {
+		t.Fatalf("RunProblem: %v", err)
+	}
+	found := false
+	for _, s := range report.Stages {
+		if s.Stage == core.StageTestbench && strings.Contains(s.Detail, "model-generated") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("model testbench mode not reflected in report: %+v", report.Stages)
+	}
+}
+
+func TestAgentRunSuite(t *testing.T) {
+	a, err := New(Config{Model: llm.NewSimModel(llm.TierFrontier, 3)})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	problems := []*benchset.Problem{benchset.ByID("not1"), benchset.ByID("and4"), benchset.ByID("gray4")}
+	reports, err := a.RunSuite(problems)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	pass := 0
+	for _, r := range reports {
+		if r.Verdict.Pass() {
+			pass++
+		}
+	}
+	if pass < 2 {
+		t.Errorf("frontier agent passed only %d/3 easy designs", pass)
+	}
+}
+
+func TestNewRequiresModel(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("expected error for missing model")
+	}
+}

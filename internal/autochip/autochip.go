@@ -1,0 +1,283 @@
+// Package autochip implements the paper's Fig. 4 framework: fully
+// automated Verilog generation with LLMs and EDA-tool feedback, including
+// the tree-search variant (k candidates per round, ranked by the fraction
+// of passing testbench checks, best candidate's tool output fed back) and
+// the earlier structured conversational flow of [10] (model-generated
+// testbenches, human feedback only on repeated failure).
+package autochip
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/core"
+	"llm4eda/internal/llm"
+	"llm4eda/internal/verilog"
+)
+
+// Options parameterize a run.
+type Options struct {
+	Model llm.Model
+	// K is the number of candidate responses per round (tree breadth).
+	K int
+	// Depth is the number of feedback rounds (tree depth).
+	Depth int
+	// Temperature for generation (default 0.7).
+	Temperature float64
+	// Sim bounds each candidate simulation.
+	Sim verilog.SimOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.Depth == 0 {
+		o.Depth = 1
+	}
+	if o.Temperature == 0 {
+		o.Temperature = 0.7
+	}
+	return o
+}
+
+// Candidate is one generated design with its evaluation.
+type Candidate struct {
+	Source   string
+	Verdict  core.Verdict
+	Feedback string
+}
+
+// Result reports one AutoChip run.
+type Result struct {
+	Solved          bool
+	Rounds          int
+	TotalCandidates int
+	Best            Candidate
+	TokensIn        int
+	TokensOut       int
+}
+
+// Evaluate compiles and simulates a candidate against the problem's
+// testbench, producing the verdict and the raw tool feedback the next
+// round sees.
+func Evaluate(p *benchset.Problem, source string, sim verilog.SimOptions) Candidate {
+	c := Candidate{Source: source}
+	res, err := verilog.RunTestbench(source, p.Testbench(), "tb", sim)
+	if err != nil {
+		c.Verdict = core.Verdict{Compiled: false, Log: err.Error()}
+		c.Feedback = err.Error()
+		return c
+	}
+	v := core.Verdict{Compiled: true, Checks: res.Checks, Failures: res.Failures, Log: res.Output}
+	if res.RuntimeErr != nil {
+		v.Log += "\n" + res.RuntimeErr.Error()
+		if v.Failures == 0 {
+			v.Failures = v.Checks // a runtime error invalidates the run
+		}
+	}
+	if res.TimedOut {
+		v.Log += "\nsimulation timed out before $finish"
+		if v.Checks == 0 {
+			v.Failures = 1
+		}
+	}
+	c.Verdict = v
+	if !v.Pass() {
+		c.Feedback = summarizeFeedback(v.Log)
+	}
+	return c
+}
+
+// summarizeFeedback truncates tool output the way a context window would.
+func summarizeFeedback(log string) string {
+	lines := strings.Split(log, "\n")
+	var kept []string
+	for _, l := range lines {
+		if strings.Contains(l, "CHECK FAILED") || strings.Contains(l, "ERROR") ||
+			strings.Contains(l, "error") || strings.Contains(l, "timed out") {
+			kept = append(kept, l)
+		}
+		if len(kept) >= 12 {
+			break
+		}
+	}
+	if len(kept) == 0 && len(lines) > 0 {
+		kept = lines[:min(4, len(lines))]
+	}
+	return strings.Join(kept, "\n")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Run executes the tree-search loop on one problem: Depth rounds of K
+// candidates; each round ranks candidates by pass fraction and feeds the
+// best one's tool output back.
+func Run(p *benchset.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Model == nil {
+		return nil, fmt.Errorf("autochip: Options.Model is required")
+	}
+	res := &Result{}
+	var prev *Candidate
+
+	for round := 0; round < opts.Depth; round++ {
+		res.Rounds = round + 1
+		var best *Candidate
+		for k := 0; k < opts.K; k++ {
+			task := llm.VerilogGen{
+				ProblemID: p.ID, Spec: p.Spec, Reference: p.Reference, Difficulty: p.Difficulty,
+			}
+			prompt := llm.BuildDesignPrompt(p.Spec)
+			if prev != nil {
+				task.PrevAttempt = prev.Source
+				task.Feedback = prev.Feedback
+				prompt = llm.BuildFeedbackPrompt(p.Spec, prev.Source, prev.Feedback)
+			}
+			resp, err := opts.Model.Generate(llm.Request{
+				System:      llm.SystemVerilogDesigner,
+				Prompt:      prompt,
+				Task:        task,
+				Temperature: opts.Temperature,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("autochip: generation failed: %w", err)
+			}
+			res.TokensIn += resp.TokensIn
+			res.TokensOut += resp.TokensOut
+			res.TotalCandidates++
+			cand := Evaluate(p, resp.Text, opts.Sim)
+			if best == nil || rankScore(cand) > rankScore(*best) {
+				c := cand
+				best = &c
+			}
+			if cand.Verdict.Pass() {
+				res.Solved = true
+				res.Best = cand
+				return res, nil
+			}
+		}
+		res.Best = *best
+		prev = best
+	}
+	return res, nil
+}
+
+// rankScore orders candidates: pass fraction, with non-compiling designs
+// last.
+func rankScore(c Candidate) float64 {
+	if !c.Verdict.Compiled {
+		return -1
+	}
+	return c.Verdict.PassFraction()
+}
+
+// FlowResult reports one structured-conversational-flow run ([10]).
+type FlowResult struct {
+	Solved             bool
+	HumanInterventions int
+	Rounds             int
+	// OwnTBChecks is the check count of the model-generated testbench
+	// (coverage loss shows up here).
+	OwnTBChecks int
+}
+
+// StructuredFlow reproduces the earlier study's loop: the model writes the
+// design AND its own testbench; tool feedback iterates against the model's
+// testbench; a human intervenes (with the reference bench's output) only
+// after the loop stalls. maxRounds bounds total iterations.
+func StructuredFlow(p *benchset.Problem, model llm.Model, maxRounds int, sim verilog.SimOptions) (*FlowResult, error) {
+	if maxRounds == 0 {
+		maxRounds = 8
+	}
+	out := &FlowResult{}
+
+	// Model-generated testbench (coverage-lossy).
+	tbResp, err := model.Generate(llm.Request{
+		System: llm.SystemVerilogDesigner,
+		Prompt: llm.BuildTestbenchPrompt(p.Spec, ""),
+		Task: llm.TestbenchGen{
+			ProblemID: p.ID, Spec: p.Spec,
+			Header: p.TBHeader, VectorBlocks: p.TBBlocks, Footer: p.TBFooter,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("autochip: testbench generation failed: %w", err)
+	}
+	ownTB := tbResp.Text
+	out.OwnTBChecks = strings.Count(ownTB, "$check_eq")
+
+	evalOwn := func(src string) Candidate {
+		c := Candidate{Source: src}
+		res, err := verilog.RunTestbench(src, ownTB, "tb", sim)
+		if err != nil {
+			c.Verdict = core.Verdict{Compiled: false, Log: err.Error()}
+			c.Feedback = err.Error()
+			return c
+		}
+		c.Verdict = core.Verdict{Compiled: true, Checks: res.Checks, Failures: res.Failures, Log: res.Output}
+		if res.RuntimeErr != nil {
+			c.Verdict.Log += "\n" + res.RuntimeErr.Error()
+			if c.Verdict.Failures == 0 {
+				c.Verdict.Failures = 1
+			}
+		}
+		if !c.Verdict.Pass() {
+			c.Feedback = summarizeFeedback(c.Verdict.Log)
+		}
+		return c
+	}
+
+	var prev *Candidate
+	stall := 0
+	for round := 0; round < maxRounds; round++ {
+		out.Rounds = round + 1
+		task := llm.VerilogGen{ProblemID: p.ID, Spec: p.Spec, Reference: p.Reference, Difficulty: p.Difficulty}
+		if prev != nil {
+			task.PrevAttempt = prev.Source
+			task.Feedback = prev.Feedback
+		}
+		resp, err := model.Generate(llm.Request{
+			System: llm.SystemVerilogDesigner,
+			Prompt: llm.BuildDesignPrompt(p.Spec),
+			Task:   task,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cand := evalOwn(resp.Text)
+		if cand.Verdict.Pass() {
+			// The model believes it is done; validate with the reference
+			// bench (the "human" checking the result).
+			ref := Evaluate(p, cand.Source, sim)
+			if ref.Verdict.Pass() {
+				out.Solved = true
+				return out, nil
+			}
+			// Own testbench missed a bug: a human supplies real feedback.
+			out.HumanInterventions++
+			cand.Feedback = ref.Feedback
+			stall = 0
+		} else if prev != nil && cand.Verdict.PassFraction() <= prev.Verdict.PassFraction() {
+			stall++
+			if stall >= 3 {
+				// Stuck for several rounds: human intervention with the
+				// reference bench's diagnosis.
+				out.HumanInterventions++
+				ref := Evaluate(p, cand.Source, sim)
+				cand.Feedback = ref.Feedback
+				stall = 0
+			}
+		} else {
+			stall = 0
+		}
+		prev = &cand
+	}
+	return out, nil
+}

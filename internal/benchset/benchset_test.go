@@ -1,0 +1,96 @@
+package benchset
+
+import (
+	"testing"
+
+	"llm4eda/internal/verilog"
+)
+
+// TestAllReferencesPass is the suite's ground-truth guarantee: every
+// reference implementation passes its own full testbench.
+func TestAllReferencesPass(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			res, err := verilog.RunTestbench(p.Reference, p.Testbench(), "tb", verilog.SimOptions{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if res.RuntimeErr != nil {
+				t.Fatalf("runtime: %v\n%s", res.RuntimeErr, res.Output)
+			}
+			if !res.Passed() {
+				t.Fatalf("reference fails own testbench: %d/%d failures\n%s",
+					res.Failures, res.Checks, res.Output)
+			}
+		})
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 20 {
+		t.Fatalf("suite has %d problems, want >= 20", len(suite))
+	}
+	seen := map[string]bool{}
+	diffs := map[int]int{}
+	for _, p := range suite {
+		if seen[p.ID] {
+			t.Errorf("duplicate problem id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if p.Spec == "" || p.Reference == "" || p.TopModule == "" {
+			t.Errorf("%s: incomplete problem", p.ID)
+		}
+		if p.Checks() < 4 {
+			t.Errorf("%s: only %d checks; testbench coverage too thin", p.ID, p.Checks())
+		}
+		if p.Difficulty < 1 || p.Difficulty > 5 {
+			t.Errorf("%s: difficulty %d out of range", p.ID, p.Difficulty)
+		}
+		diffs[p.Difficulty]++
+		if len(p.TBBlocks) < 2 {
+			t.Errorf("%s: %d testbench blocks; coverage model needs >= 2", p.ID, len(p.TBBlocks))
+		}
+	}
+	for d := 1; d <= 5; d++ {
+		if diffs[d] == 0 {
+			t.Errorf("no problems at difficulty %d", d)
+		}
+	}
+}
+
+func TestByIDAndEightDesignSet(t *testing.T) {
+	if ByID("adder4") == nil {
+		t.Error("ByID(adder4) = nil")
+	}
+	if ByID("no-such") != nil {
+		t.Error("ByID(no-such) != nil")
+	}
+	eight := EightDesignSet()
+	if len(eight) != 8 {
+		t.Fatalf("EightDesignSet has %d problems", len(eight))
+	}
+}
+
+// TestTruncatedTestbenchStillRuns checks the coverage-loss model's
+// assumption: a testbench with only the first vector block still compiles
+// and finishes.
+func TestTruncatedTestbenchStillRuns(t *testing.T) {
+	for _, p := range Suite() {
+		p := p
+		t.Run(p.ID, func(t *testing.T) {
+			tb := p.TBHeader + p.TBBlocks[0] + p.TBFooter
+			res, err := verilog.RunTestbench(p.Reference, tb, "tb", verilog.SimOptions{})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if res.RuntimeErr != nil || !res.Finished {
+				t.Fatalf("truncated bench broken: %v\n%s", res.RuntimeErr, res.Output)
+			}
+			if res.Failures > 0 {
+				t.Fatalf("reference fails truncated bench:\n%s", res.Output)
+			}
+		})
+	}
+}

@@ -1,0 +1,396 @@
+package benchset
+
+// Combinational problems. Each reference is written in the plain
+// subset-friendly style the simulated LLM mutates line-by-line.
+
+func combSuite() []*Problem {
+	var ps []*Problem
+
+	ps = append(ps, combProblem("not1",
+		"A 1-bit inverter: output y is the logical NOT of input a.",
+		1, "not1",
+		`module not1(input a, output y);
+  assign y = ~a;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 1, IsInput: true}, {Name: "y", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			return map[string]uint64{"y": ^in["a"] & 1}
+		},
+		[]map[string]uint64{{"a": 0}, {"a": 1}, {"a": 0}, {"a": 1}}))
+
+	ps = append(ps, combProblem("and4",
+		"A 4-bit bitwise AND: y = a & b for 4-bit inputs a and b.",
+		1, "and4",
+		`module and4(input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = a & b;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 4, IsInput: true}, {Name: "b", Width: 4, IsInput: true}, {Name: "y", Width: 4}},
+		func(in map[string]uint64) map[string]uint64 {
+			return map[string]uint64{"y": in["a"] & in["b"]}
+		},
+		sweep2("a", 16, "b", 16)))
+
+	ps = append(ps, combProblem("mux2",
+		"An 8-bit 2:1 multiplexer: y = b when sel is 1, else y = a.",
+		1, "mux2",
+		`module mux2(input sel, input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = sel ? b : a;
+endmodule
+`,
+		[]Port{{Name: "sel", Width: 1, IsInput: true}, {Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			if in["sel"] == 1 {
+				return map[string]uint64{"y": in["b"]}
+			}
+			return map[string]uint64{"y": in["a"]}
+		},
+		func() []map[string]uint64 {
+			var v []map[string]uint64
+			for _, s := range []uint64{0, 1} {
+				for _, pair := range sample2("a", 8, "b", 8, 12) {
+					pair["sel"] = s
+					v = append(v, pair)
+				}
+			}
+			return v
+		}()))
+
+	ps = append(ps, combProblem("adder4",
+		"A 4-bit full adder with carry-in and carry-out: {cout, sum} = a + b + cin.",
+		2, "adder4",
+		`module adder4(input [3:0] a, input [3:0] b, input cin, output [3:0] sum, output cout);
+  assign {cout, sum} = a + b + cin;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 4, IsInput: true}, {Name: "b", Width: 4, IsInput: true}, {Name: "cin", Width: 1, IsInput: true}, {Name: "sum", Width: 4}, {Name: "cout", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			t := in["a"] + in["b"] + in["cin"]
+			return map[string]uint64{"sum": t & 15, "cout": t >> 4}
+		},
+		func() []map[string]uint64 {
+			var v []map[string]uint64
+			for a := uint64(0); a < 16; a++ {
+				for b := uint64(0); b < 16; b++ {
+					v = append(v, map[string]uint64{"a": a, "b": b, "cin": (a ^ b) & 1})
+				}
+			}
+			return v
+		}()))
+
+	ps = append(ps, combProblem("sub8",
+		"An 8-bit subtractor: diff = a - b (modulo 256) and borrow = 1 when a < b.",
+		2, "sub8",
+		`module sub8(input [7:0] a, input [7:0] b, output [7:0] diff, output borrow);
+  assign diff = a - b;
+  assign borrow = a < b;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "diff", Width: 8}, {Name: "borrow", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			out := map[string]uint64{"diff": (in["a"] - in["b"]) & 255}
+			if in["a"] < in["b"] {
+				out["borrow"] = 1
+			} else {
+				out["borrow"] = 0
+			}
+			return out
+		},
+		sample2("a", 8, "b", 8, 48)))
+
+	ps = append(ps, combProblem("mux4",
+		"An 8-bit 4:1 multiplexer with a 2-bit select: y = a/b/c/d for sel = 0/1/2/3.",
+		2, "mux4",
+		`module mux4(input [1:0] sel, input [7:0] a, input [7:0] b, input [7:0] c, input [7:0] d, output reg [7:0] y);
+  always @(*) begin
+    case (sel)
+      2'd0: y = a;
+      2'd1: y = b;
+      2'd2: y = c;
+      default: y = d;
+    endcase
+  end
+endmodule
+`,
+		[]Port{{Name: "sel", Width: 2, IsInput: true}, {Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "c", Width: 8, IsInput: true}, {Name: "d", Width: 8, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			switch in["sel"] {
+			case 0:
+				return map[string]uint64{"y": in["a"]}
+			case 1:
+				return map[string]uint64{"y": in["b"]}
+			case 2:
+				return map[string]uint64{"y": in["c"]}
+			default:
+				return map[string]uint64{"y": in["d"]}
+			}
+		},
+		func() []map[string]uint64 {
+			var v []map[string]uint64
+			state := uint64(7)
+			for s := uint64(0); s < 4; s++ {
+				for i := 0; i < 8; i++ {
+					state = state*6364136223846793005 + 1442695040888963407
+					v = append(v, map[string]uint64{
+						"sel": s, "a": state & 255, "b": (state >> 8) & 255,
+						"c": (state >> 16) & 255, "d": (state >> 24) & 255,
+					})
+				}
+			}
+			return v
+		}()))
+
+	ps = append(ps, combProblem("dec3to8",
+		"A 3-to-8 one-hot decoder with enable: when en is 1, output bit sel is 1 and the rest are 0; when en is 0, y is 0.",
+		2, "dec3to8",
+		`module dec3to8(input en, input [2:0] sel, output [7:0] y);
+  assign y = en ? (8'd1 << sel) : 8'd0;
+endmodule
+`,
+		[]Port{{Name: "en", Width: 1, IsInput: true}, {Name: "sel", Width: 3, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			if in["en"] == 1 {
+				return map[string]uint64{"y": 1 << in["sel"]}
+			}
+			return map[string]uint64{"y": 0}
+		},
+		sweep2("en", 2, "sel", 8)))
+
+	ps = append(ps, combProblem("enc8to3",
+		"An 8-to-3 priority encoder: y is the index of the highest set bit of a, and valid is 1 when a is non-zero (y is 0 when a is 0).",
+		3, "enc8to3",
+		`module enc8to3(input [7:0] a, output reg [2:0] y, output valid);
+  assign valid = a != 0;
+  always @(*) begin
+    casez (a)
+      8'b1zzzzzzz: y = 3'd7;
+      8'b01zzzzzz: y = 3'd6;
+      8'b001zzzzz: y = 3'd5;
+      8'b0001zzzz: y = 3'd4;
+      8'b00001zzz: y = 3'd3;
+      8'b000001zz: y = 3'd2;
+      8'b0000001z: y = 3'd1;
+      default: y = 3'd0;
+    endcase
+  end
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "y", Width: 3}, {Name: "valid", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			a := in["a"]
+			out := map[string]uint64{"y": 0, "valid": 0}
+			if a != 0 {
+				out["valid"] = 1
+				for i := 7; i >= 0; i-- {
+					if a>>uint(i)&1 == 1 {
+						out["y"] = uint64(i)
+						break
+					}
+				}
+			}
+			return out
+		},
+		sweep1("a", 256)))
+
+	ps = append(ps, combProblem("parity8",
+		"An 8-bit even-parity generator: p is the XOR of all bits of a.",
+		1, "parity8",
+		`module parity8(input [7:0] a, output p);
+  assign p = ^a;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "p", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			x := in["a"]
+			x ^= x >> 4
+			x ^= x >> 2
+			x ^= x >> 1
+			return map[string]uint64{"p": x & 1}
+		},
+		sweep1("a", 256)))
+
+	ps = append(ps, combProblem("popcount8",
+		"An 8-bit population count: c is the number of set bits of a (0..8).",
+		3, "popcount8",
+		`module popcount8(input [7:0] a, output [3:0] c);
+  assign c = a[0] + a[1] + a[2] + a[3] + a[4] + a[5] + a[6] + a[7];
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "c", Width: 4}},
+		func(in map[string]uint64) map[string]uint64 {
+			n := uint64(0)
+			for i := 0; i < 8; i++ {
+				n += in["a"] >> uint(i) & 1
+			}
+			return map[string]uint64{"c": n}
+		},
+		sweep1("a", 256)))
+
+	ps = append(ps, combProblem("alu8",
+		"An 8-bit ALU with a 2-bit opcode: op 0 adds, op 1 subtracts, op 2 ANDs, op 3 XORs; the result wraps modulo 256.",
+		4, "alu8",
+		`module alu8(input [1:0] op, input [7:0] a, input [7:0] b, output reg [7:0] y);
+  always @(*) begin
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = a - b;
+      2'd2: y = a & b;
+      default: y = a ^ b;
+    endcase
+  end
+endmodule
+`,
+		[]Port{{Name: "op", Width: 2, IsInput: true}, {Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			a, b := in["a"], in["b"]
+			switch in["op"] {
+			case 0:
+				return map[string]uint64{"y": (a + b) & 255}
+			case 1:
+				return map[string]uint64{"y": (a - b) & 255}
+			case 2:
+				return map[string]uint64{"y": a & b}
+			default:
+				return map[string]uint64{"y": a ^ b}
+			}
+		},
+		func() []map[string]uint64 {
+			var v []map[string]uint64
+			for op := uint64(0); op < 4; op++ {
+				for _, pair := range sample2("a", 8, "b", 8, 12) {
+					pair["op"] = op
+					v = append(v, pair)
+				}
+			}
+			return v
+		}()))
+
+	ps = append(ps, combProblem("cmp8",
+		"An 8-bit unsigned comparator producing three outputs: eq (a == b), lt (a < b) and gt (a > b).",
+		2, "cmp8",
+		`module cmp8(input [7:0] a, input [7:0] b, output eq, output lt, output gt);
+  assign eq = a == b;
+  assign lt = a < b;
+  assign gt = a > b;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "eq", Width: 1}, {Name: "lt", Width: 1}, {Name: "gt", Width: 1}},
+		func(in map[string]uint64) map[string]uint64 {
+			out := map[string]uint64{"eq": 0, "lt": 0, "gt": 0}
+			switch {
+			case in["a"] == in["b"]:
+				out["eq"] = 1
+			case in["a"] < in["b"]:
+				out["lt"] = 1
+			default:
+				out["gt"] = 1
+			}
+			return out
+		},
+		append(sample2("a", 8, "b", 8, 40),
+			map[string]uint64{"a": 7, "b": 7},
+			map[string]uint64{"a": 255, "b": 255},
+			map[string]uint64{"a": 0, "b": 0})))
+
+	ps = append(ps, combProblem("absdiff8",
+		"An 8-bit absolute difference: y = |a - b| for unsigned inputs.",
+		3, "absdiff8",
+		`module absdiff8(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = (a > b) ? (a - b) : (b - a);
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			if in["a"] > in["b"] {
+				return map[string]uint64{"y": in["a"] - in["b"]}
+			}
+			return map[string]uint64{"y": in["b"] - in["a"]}
+		},
+		sample2("a", 8, "b", 8, 48)))
+
+	ps = append(ps, combProblem("minmax8",
+		"An 8-bit min/max unit: mn = min(a, b) and mx = max(a, b) for unsigned inputs.",
+		3, "minmax8",
+		`module minmax8(input [7:0] a, input [7:0] b, output [7:0] mn, output [7:0] mx);
+  assign mn = (a < b) ? a : b;
+  assign mx = (a < b) ? b : a;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "mn", Width: 8}, {Name: "mx", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			a, b := in["a"], in["b"]
+			if a < b {
+				return map[string]uint64{"mn": a, "mx": b}
+			}
+			return map[string]uint64{"mn": b, "mx": a}
+		},
+		sample2("a", 8, "b", 8, 48)))
+
+	ps = append(ps, combProblem("barrel8",
+		"An 8-bit logical barrel shifter: y = a shifted left by sh bits (zeros shifted in), where sh is 3 bits.",
+		4, "barrel8",
+		`module barrel8(input [7:0] a, input [2:0] sh, output [7:0] y);
+  wire [7:0] s1;
+  wire [7:0] s2;
+  assign s1 = sh[0] ? {a[6:0], 1'b0} : a;
+  assign s2 = sh[1] ? {s1[5:0], 2'b00} : s1;
+  assign y = sh[2] ? {s2[3:0], 4'b0000} : s2;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "sh", Width: 3, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			return map[string]uint64{"y": (in["a"] << in["sh"]) & 255}
+		},
+		sweep2("a", 32, "sh", 8)))
+
+	ps = append(ps, combProblem("gray4",
+		"A 4-bit binary-to-Gray-code converter: g = b ^ (b >> 1).",
+		2, "gray4",
+		`module gray4(input [3:0] b, output [3:0] g);
+  assign g = b ^ (b >> 1);
+endmodule
+`,
+		[]Port{{Name: "b", Width: 4, IsInput: true}, {Name: "g", Width: 4}},
+		func(in map[string]uint64) map[string]uint64 {
+			return map[string]uint64{"g": in["b"] ^ (in["b"] >> 1)}
+		},
+		sweep1("b", 16)))
+
+	ps = append(ps, combProblem("satadd8",
+		"An 8-bit saturating unsigned adder: y = a + b, clamped to 255 on overflow.",
+		3, "satadd8",
+		`module satadd8(input [7:0] a, input [7:0] b, output [7:0] y);
+  wire [8:0] full;
+  assign full = a + b;
+  assign y = full[8] ? 8'd255 : full[7:0];
+endmodule
+`,
+		[]Port{{Name: "a", Width: 8, IsInput: true}, {Name: "b", Width: 8, IsInput: true}, {Name: "y", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			t := in["a"] + in["b"]
+			if t > 255 {
+				t = 255
+			}
+			return map[string]uint64{"y": t}
+		},
+		append(sample2("a", 8, "b", 8, 40),
+			map[string]uint64{"a": 255, "b": 255},
+			map[string]uint64{"a": 200, "b": 100},
+			map[string]uint64{"a": 1, "b": 254})))
+
+	ps = append(ps, combProblem("mult4",
+		"A 4x4 unsigned multiplier: p = a * b, producing an 8-bit product.",
+		3, "mult4",
+		`module mult4(input [3:0] a, input [3:0] b, output [7:0] p);
+  assign p = a * b;
+endmodule
+`,
+		[]Port{{Name: "a", Width: 4, IsInput: true}, {Name: "b", Width: 4, IsInput: true}, {Name: "p", Width: 8}},
+		func(in map[string]uint64) map[string]uint64 {
+			return map[string]uint64{"p": (in["a"] * in["b"]) & 255}
+		},
+		sweep2("a", 16, "b", 16)))
+
+	return ps
+}

@@ -1,0 +1,273 @@
+package chdl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IssueKind classifies an HLS incompatibility or risk found in C source.
+// These are the "actual errors" the HLS tool reports in stage 1 of the
+// paper's Fig. 2 repair flow, plus the "potential errors" an LLM pass
+// flags on top.
+type IssueKind int
+
+// Issue kinds ordered roughly by severity.
+const (
+	IssueDynamicMemory IssueKind = iota + 1 // malloc/calloc/free
+	IssueRecursion                          // direct or mutual recursion
+	IssueUnboundedLoop                      // while/do loop with no static bound
+	IssuePointerArith                       // raw pointer arithmetic
+	IssueVLA                                // variable-length array
+	IssueFloatingPoint                      // float/double in the integer subset
+	IssueIO                                 // printf/puts inside a kernel
+	IssuePointerParam                       // pointer parameter (interface risk)
+	IssueMissingPragma                      // optimization opportunity (advisory)
+)
+
+var issueNames = map[IssueKind]string{
+	IssueDynamicMemory: "dynamic-memory",
+	IssueRecursion:     "recursion",
+	IssueUnboundedLoop: "unbounded-loop",
+	IssuePointerArith:  "pointer-arithmetic",
+	IssueVLA:           "variable-length-array",
+	IssueFloatingPoint: "floating-point",
+	IssueIO:            "io-in-kernel",
+	IssuePointerParam:  "pointer-parameter",
+	IssueMissingPragma: "missing-pragma",
+}
+
+// String returns the canonical kind name.
+func (k IssueKind) String() string {
+	if n, ok := issueNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("issue(%d)", int(k))
+}
+
+// Blocking reports whether the issue prevents HLS synthesis outright (as
+// opposed to an advisory finding).
+func (k IssueKind) Blocking() bool {
+	switch k {
+	case IssueDynamicMemory, IssueRecursion, IssueVLA, IssueFloatingPoint, IssueUnboundedLoop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Issue is one finding with its location and explanation.
+type Issue struct {
+	Kind   IssueKind
+	Line   int
+	Func   string
+	Detail string
+}
+
+// String renders the issue the way the HLS frontend prints it.
+func (i Issue) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", i.Func, i.Line, i.Kind, i.Detail)
+}
+
+// Analyze scans a program for HLS incompatibilities. The result is sorted
+// by (function, line) and is deterministic.
+func Analyze(prog *Program) []Issue {
+	var issues []Issue
+	callGraph := map[string][]string{}
+
+	for _, fn := range prog.Funcs {
+		a := &analyzer{fn: fn, calls: map[string]bool{}}
+		a.scanStmt(fn.Body)
+		issues = append(issues, a.issues...)
+		for callee := range a.calls {
+			callGraph[fn.Name] = append(callGraph[fn.Name], callee)
+		}
+		for _, prm := range fn.Params {
+			if prm.Type.Kind == KindPtr {
+				issues = append(issues, Issue{
+					Kind: IssuePointerParam, Line: fn.Line, Func: fn.Name,
+					Detail: fmt.Sprintf("parameter %q is a raw pointer; prefer a sized array interface", prm.Name),
+				})
+			}
+			if prm.Type.Kind == KindFloat || (prm.Type.Elem != nil && prm.Type.Elem.Kind == KindFloat) {
+				issues = append(issues, Issue{
+					Kind: IssueFloatingPoint, Line: fn.Line, Func: fn.Name,
+					Detail: fmt.Sprintf("parameter %q uses floating point; convert to fixed point", prm.Name),
+				})
+			}
+		}
+	}
+
+	// Recursion: any cycle through the call graph that touches a defined
+	// function.
+	for _, fn := range prog.Funcs {
+		if cyclic(callGraph, fn.Name, fn.Name, map[string]bool{}) {
+			issues = append(issues, Issue{
+				Kind: IssueRecursion, Line: fn.Line, Func: fn.Name,
+				Detail: fmt.Sprintf("function %q is (mutually) recursive; hardware needs an iterative form", fn.Name),
+			})
+		}
+	}
+
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Func != issues[j].Func {
+			return issues[i].Func < issues[j].Func
+		}
+		if issues[i].Line != issues[j].Line {
+			return issues[i].Line < issues[j].Line
+		}
+		return issues[i].Kind < issues[j].Kind
+	})
+	return issues
+}
+
+// cyclic reports whether target is reachable from cur through the call graph.
+func cyclic(g map[string][]string, start, cur string, seen map[string]bool) bool {
+	for _, next := range g[cur] {
+		if next == start {
+			return true
+		}
+		if seen[next] {
+			continue
+		}
+		seen[next] = true
+		if cyclic(g, start, next, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+type analyzer struct {
+	fn     *FuncDecl
+	issues []Issue
+	calls  map[string]bool
+}
+
+func (a *analyzer) add(kind IssueKind, line int, format string, args ...any) {
+	a.issues = append(a.issues, Issue{Kind: kind, Line: line, Func: a.fn.Name, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (a *analyzer) scanStmt(st Stmt) {
+	switch n := st.(type) {
+	case nil:
+	case *BlockStmt:
+		for _, s := range n.Stmts {
+			a.scanStmt(s)
+		}
+	case *DeclStmt:
+		for _, d := range n.Decls {
+			a.scanDecl(d)
+		}
+	case *ExprStmt:
+		a.scanExpr(n.X)
+	case *IfStmt:
+		a.scanExpr(n.Cond)
+		a.scanStmt(n.Then)
+		a.scanStmt(n.Else)
+	case *ForStmt:
+		if n.Init != nil {
+			a.scanStmt(n.Init)
+		}
+		if !staticForBound(n) {
+			// Variable-bound for loops synthesize (with conservative
+			// latency); flag them as an advisory tripcount finding, the
+			// way Vitis-class tools warn rather than reject.
+			a.add(IssueMissingPragma, n.Line, "for loop bound is not a compile-time constant; add a loop_tripcount pragma")
+		}
+		a.scanExpr(n.Cond)
+		a.scanExpr(n.Post)
+		a.scanStmt(n.Body)
+	case *WhileStmt:
+		a.add(IssueUnboundedLoop, n.Line, "while loop has no static trip count; rewrite as a bounded for loop")
+		a.scanExpr(n.Cond)
+		a.scanStmt(n.Body)
+	case *DoStmt:
+		a.add(IssueUnboundedLoop, n.Line, "do/while loop has no static trip count; rewrite as a bounded for loop")
+		a.scanExpr(n.Cond)
+		a.scanStmt(n.Body)
+	case *ReturnStmt:
+		a.scanExpr(n.X)
+	}
+}
+
+func (a *analyzer) scanDecl(d *VarDecl) {
+	t := d.Type
+	if t.Kind == KindFloat || (t.Elem != nil && t.Elem.Kind == KindFloat) {
+		a.add(IssueFloatingPoint, d.Line, "variable %q uses floating point; convert to fixed point", d.Name)
+	}
+	if t.Kind == KindArray && t.ArrayLen < 0 && len(d.InitList) == 0 {
+		a.add(IssueVLA, d.Line, "array %q has a non-constant length; size it statically", d.Name)
+	}
+	a.scanExpr(d.Init)
+	for _, e := range d.InitList {
+		a.scanExpr(e)
+	}
+}
+
+func (a *analyzer) scanExpr(ex Expr) {
+	switch n := ex.(type) {
+	case nil:
+	case *CallExpr:
+		switch n.Name {
+		case "malloc", "calloc", "realloc":
+			a.add(IssueDynamicMemory, n.Line, "%s allocates unbounded memory; replace with a static array", n.Name)
+		case "free":
+			a.add(IssueDynamicMemory, n.Line, "free releases heap memory; hardware has no heap")
+		case "printf", "puts", "putchar":
+			a.add(IssueIO, n.Line, "%s performs I/O inside the kernel; move it to the testbench", n.Name)
+		default:
+			a.calls[n.Name] = true
+		}
+		for _, arg := range n.Args {
+			a.scanExpr(arg)
+		}
+	case *BinExpr:
+		a.scanExpr(n.X)
+		a.scanExpr(n.Y)
+	case *UnExpr:
+		if n.Op == "*" || n.Op == "&" {
+			a.add(IssuePointerArith, n.Line, "raw pointer %s; use array indexing instead", map[string]string{"*": "dereference", "&": "address-of"}[n.Op])
+		}
+		a.scanExpr(n.X)
+	case *PostfixExpr:
+		a.scanExpr(n.X)
+	case *AssignExpr:
+		a.scanExpr(n.LHS)
+		a.scanExpr(n.RHS)
+	case *CondExpr:
+		a.scanExpr(n.Cond)
+		a.scanExpr(n.Then)
+		a.scanExpr(n.Else)
+	case *IndexExpr:
+		a.scanExpr(n.X)
+		a.scanExpr(n.Idx)
+	case *CastExpr:
+		if n.To.Kind == KindFloat {
+			a.add(IssueFloatingPoint, n.Line, "cast to floating point; convert to fixed point")
+		}
+		a.scanExpr(n.X)
+	}
+}
+
+// staticForBound recognizes the canonical bounded loop shape
+// "for (i = C0; i <op> C1; i±=C2)" (declarations included).
+func staticForBound(n *ForStmt) bool {
+	cond, ok := n.Cond.(*BinExpr)
+	if !ok {
+		return false
+	}
+	switch cond.Op {
+	case "<", "<=", ">", ">=", "!=":
+	default:
+		return false
+	}
+	if _, isLit := cond.Y.(*IntLit); !isLit {
+		// Allow a variable bound only when it is a parameter-free literal;
+		// anything else is flagged (the repair framework will bound it).
+		return false
+	}
+	if _, isVar := cond.X.(*VarRef); !isVar {
+		return false
+	}
+	return n.Post != nil
+}

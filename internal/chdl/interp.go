@@ -1,0 +1,1137 @@
+package chdl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RuntimeError is a positioned C execution error.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("C runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// ErrStepLimit reports that execution exceeded the configured step budget.
+var ErrStepLimit = errors.New("chdl: step limit exceeded")
+
+// Buffer is a heap or stack allocation: a run of integer cells. The subset
+// models memory at cell granularity (sizeof(T) == 1 for every T), which
+// keeps malloc/pointer programs executable without byte-level layout.
+type Buffer struct {
+	data  []int64
+	freed bool
+}
+
+// Len returns the number of cells.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// RtVal is a runtime value: either a scalar integer or a pointer
+// (buffer + offset).
+type RtVal struct {
+	I     int64
+	Buf   *Buffer
+	Off   int
+	IsPtr bool
+}
+
+// IntVal wraps a scalar.
+func IntVal(v int64) RtVal { return RtVal{I: v} }
+
+// varSlot is variable storage; scalars occupy a one-cell buffer so that
+// "&x" is always addressable.
+type varSlot struct {
+	buf *Buffer
+	typ *Type
+	ptr RtVal // for pointer-typed variables: the pointer value itself
+}
+
+// InterpOptions bound an execution.
+type InterpOptions struct {
+	// MaxSteps bounds executed statements+expressions (default 20_000_000).
+	MaxSteps int64
+	// Seed seeds rand().
+	Seed int64
+}
+
+// Interp executes a parsed program. One Interp may run many calls; globals
+// persist between calls.
+type Interp struct {
+	prog     *Program
+	opts     InterpOptions
+	globals  map[string]*varSlot
+	out      strings.Builder
+	steps    int64
+	rngState int64
+	depth    int
+	// Trace, when non-nil, receives (line, varName, value) triples for
+	// instrumented variables; the discrepancy tester's spectra monitoring
+	// hooks in here.
+	Trace func(line int, name string, v int64)
+	// TraceVars selects which variables to trace (nil = none).
+	TraceVars map[string]bool
+	// BranchCount records taken-branch counts by line for spectra.
+	BranchCount map[int]int64
+}
+
+const maxCallDepth = 256
+
+// NewInterp prepares an interpreter and initializes globals.
+func NewInterp(prog *Program, opts InterpOptions) (*Interp, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 20_000_000
+	}
+	in := &Interp{
+		prog:        prog,
+		opts:        opts,
+		globals:     map[string]*varSlot{},
+		rngState:    opts.Seed*6364136223846793005 + 1442695040888963407,
+		BranchCount: map[int]int64{},
+	}
+	fr := &frame{in: in}
+	fr.push()
+	for _, g := range prog.Globals {
+		if err := fr.declare(g); err != nil {
+			return nil, err
+		}
+	}
+	// Promote the frame's scope into globals.
+	for name, slot := range fr.scopes[0] {
+		in.globals[name] = slot
+	}
+	return in, nil
+}
+
+// Output returns everything printf produced so far.
+func (in *Interp) Output() string { return in.out.String() }
+
+// Steps returns the number of steps consumed so far.
+func (in *Interp) Steps() int64 { return in.steps }
+
+// Call invokes a function by name with scalar/pointer arguments.
+func (in *Interp) Call(name string, args ...RtVal) (RtVal, error) {
+	fn := in.prog.FindFunc(name)
+	if fn == nil {
+		return RtVal{}, &RuntimeError{Msg: fmt.Sprintf("undefined function %q", name)}
+	}
+	if len(args) != len(fn.Params) {
+		return RtVal{}, &RuntimeError{Line: fn.Line,
+			Msg: fmt.Sprintf("%s expects %d arguments, got %d", name, len(fn.Params), len(args))}
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > maxCallDepth {
+		return RtVal{}, &RuntimeError{Line: fn.Line, Msg: fmt.Sprintf("call depth exceeds %d (runaway recursion?)", maxCallDepth)}
+	}
+	fr := &frame{in: in}
+	fr.push()
+	for i, prm := range fn.Params {
+		slot := &varSlot{typ: prm.Type}
+		switch prm.Type.Kind {
+		case KindPtr, KindArray:
+			slot.ptr = args[i]
+		default:
+			slot.buf = &Buffer{data: []int64{truncType(args[i].I, prm.Type)}}
+		}
+		fr.scopes[len(fr.scopes)-1][prm.Name] = slot
+	}
+	ctrl, err := fr.exec(fn.Body)
+	if err != nil {
+		return RtVal{}, err
+	}
+	if ctrl == ctrlReturn {
+		return fr.ret, nil
+	}
+	return RtVal{}, nil
+}
+
+// CallInts invokes a function with integer arguments and returns its
+// integer result; the common case for kernels.
+func (in *Interp) CallInts(name string, args ...int64) (int64, error) {
+	vals := make([]RtVal, len(args))
+	for i, a := range args {
+		vals[i] = IntVal(a)
+	}
+	r, err := in.Call(name, vals...)
+	return r.I, err
+}
+
+// NewBuffer allocates an argument buffer (for array parameters).
+func NewBuffer(vals []int64) RtVal {
+	data := make([]int64, len(vals))
+	copy(data, vals)
+	return RtVal{Buf: &Buffer{data: data}, IsPtr: true}
+}
+
+// BufferData returns a copy of a pointer value's underlying cells.
+func BufferData(v RtVal) []int64 {
+	if v.Buf == nil {
+		return nil
+	}
+	out := make([]int64, len(v.Buf.data))
+	copy(out, v.Buf.data)
+	return out
+}
+
+// --- frames and control flow --------------------------------------------
+
+type ctrlKind int
+
+const (
+	ctrlNone ctrlKind = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+type frame struct {
+	in     *Interp
+	scopes []map[string]*varSlot
+	ret    RtVal
+}
+
+func (fr *frame) push() { fr.scopes = append(fr.scopes, map[string]*varSlot{}) }
+func (fr *frame) pop()  { fr.scopes = fr.scopes[:len(fr.scopes)-1] }
+
+func (fr *frame) lookup(name string) (*varSlot, bool) {
+	for i := len(fr.scopes) - 1; i >= 0; i-- {
+		if s, ok := fr.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	s, ok := fr.in.globals[name]
+	return s, ok
+}
+
+func (fr *frame) step(line int) error {
+	fr.in.steps++
+	if fr.in.steps > fr.in.opts.MaxSteps {
+		return fmt.Errorf("%w at line %d", ErrStepLimit, line)
+	}
+	return nil
+}
+
+// truncType wraps a 64-bit value to the storage semantics of a C type.
+func truncType(v int64, t *Type) int64 {
+	switch t.Kind {
+	case KindChar:
+		return int64(int8(v))
+	case KindBool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case KindInt, KindFloat:
+		return int64(int32(v))
+	case KindUInt:
+		return int64(uint32(v))
+	default:
+		return v
+	}
+}
+
+// declare creates storage for one variable declaration.
+func (fr *frame) declare(d *VarDecl) error {
+	slot := &varSlot{typ: d.Type}
+	cur := fr.scopes[len(fr.scopes)-1]
+	switch d.Type.Kind {
+	case KindArray:
+		n := d.Type.ArrayLen
+		if n < 0 {
+			if len(d.InitList) > 0 {
+				n = len(d.InitList)
+			} else {
+				return &RuntimeError{Line: d.Line, Msg: fmt.Sprintf("array %q has no static length", d.Name)}
+			}
+		}
+		total := n
+		for e := d.Type.Elem; e != nil && e.Kind == KindArray; e = e.Elem {
+			if e.ArrayLen < 0 {
+				return &RuntimeError{Line: d.Line, Msg: fmt.Sprintf("array %q has no static length", d.Name)}
+			}
+			total *= e.ArrayLen
+		}
+		buf := &Buffer{data: make([]int64, total)}
+		slot.ptr = RtVal{Buf: buf, IsPtr: true}
+		for i, e := range d.InitList {
+			if i >= total {
+				break
+			}
+			v, err := fr.eval(e)
+			if err != nil {
+				return err
+			}
+			buf.data[i] = v.I
+		}
+	case KindPtr:
+		if d.Init != nil {
+			v, err := fr.eval(d.Init)
+			if err != nil {
+				return err
+			}
+			slot.ptr = v
+		}
+	default:
+		var init int64
+		if d.Init != nil {
+			v, err := fr.eval(d.Init)
+			if err != nil {
+				return err
+			}
+			if v.IsPtr {
+				return &RuntimeError{Line: d.Line, Msg: fmt.Sprintf("pointer assigned to scalar %q", d.Name)}
+			}
+			init = v.I
+		}
+		slot.buf = &Buffer{data: []int64{truncType(init, d.Type)}}
+	}
+	cur[d.Name] = slot
+	return nil
+}
+
+// exec runs one statement.
+func (fr *frame) exec(st Stmt) (ctrlKind, error) {
+	switch n := st.(type) {
+	case nil:
+		return ctrlNone, nil
+
+	case *BlockStmt:
+		fr.push()
+		defer fr.pop()
+		for _, s := range n.Stmts {
+			c, err := fr.exec(s)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		return ctrlNone, nil
+
+	case *DeclStmt:
+		for _, d := range n.Decls {
+			if err := fr.step(d.Line); err != nil {
+				return ctrlNone, err
+			}
+			if err := fr.declare(d); err != nil {
+				return ctrlNone, err
+			}
+			if fr.in.Trace != nil && fr.in.TraceVars[d.Name] {
+				if s, ok := fr.lookup(d.Name); ok && s.buf != nil {
+					fr.in.Trace(d.Line, d.Name, s.buf.data[0])
+				}
+			}
+		}
+		return ctrlNone, nil
+
+	case *ExprStmt:
+		if err := fr.step(n.Line); err != nil {
+			return ctrlNone, err
+		}
+		_, err := fr.eval(n.X)
+		return ctrlNone, err
+
+	case *IfStmt:
+		if err := fr.step(n.Line); err != nil {
+			return ctrlNone, err
+		}
+		c, err := fr.eval(n.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if truthy(c) {
+			fr.in.BranchCount[n.Line]++
+			return fr.exec(n.Then)
+		}
+		if n.Else != nil {
+			return fr.exec(n.Else)
+		}
+		return ctrlNone, nil
+
+	case *ForStmt:
+		fr.push()
+		defer fr.pop()
+		if n.Init != nil {
+			if c, err := fr.exec(n.Init); err != nil || c == ctrlReturn {
+				return c, err
+			}
+		}
+		for {
+			if err := fr.step(n.Line); err != nil {
+				return ctrlNone, err
+			}
+			if n.Cond != nil {
+				c, err := fr.eval(n.Cond)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if !truthy(c) {
+					return ctrlNone, nil
+				}
+			}
+			fr.in.BranchCount[n.Line]++
+			c, err := fr.exec(n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if n.Post != nil {
+				if _, err := fr.eval(n.Post); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+
+	case *WhileStmt:
+		for {
+			if err := fr.step(n.Line); err != nil {
+				return ctrlNone, err
+			}
+			c, err := fr.eval(n.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(c) {
+				return ctrlNone, nil
+			}
+			fr.in.BranchCount[n.Line]++
+			k, err := fr.exec(n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if k == ctrlReturn {
+				return k, nil
+			}
+			if k == ctrlBreak {
+				return ctrlNone, nil
+			}
+		}
+
+	case *DoStmt:
+		for {
+			if err := fr.step(n.Line); err != nil {
+				return ctrlNone, err
+			}
+			k, err := fr.exec(n.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if k == ctrlReturn {
+				return k, nil
+			}
+			if k == ctrlBreak {
+				return ctrlNone, nil
+			}
+			c, err := fr.eval(n.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !truthy(c) {
+				return ctrlNone, nil
+			}
+		}
+
+	case *ReturnStmt:
+		if err := fr.step(n.Line); err != nil {
+			return ctrlNone, err
+		}
+		if n.X != nil {
+			v, err := fr.eval(n.X)
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.ret = v
+		}
+		return ctrlReturn, nil
+
+	case *BreakStmt:
+		return ctrlBreak, nil
+	case *ContinueStmt:
+		return ctrlContinue, nil
+	case *PragmaStmt:
+		return ctrlNone, nil
+
+	default:
+		return ctrlNone, &RuntimeError{Msg: fmt.Sprintf("unsupported statement %T", st)}
+	}
+}
+
+func truthy(v RtVal) bool {
+	if v.IsPtr {
+		return v.Buf != nil
+	}
+	return v.I != 0
+}
+
+// --- expression evaluation ----------------------------------------------
+
+// lvalue locates the storage cell an expression designates.
+func (fr *frame) lvalue(ex Expr) (*Buffer, int, *Type, error) {
+	switch n := ex.(type) {
+	case *VarRef:
+		slot, ok := fr.lookup(n.Name)
+		if !ok {
+			return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("undefined variable %q", n.Name)}
+		}
+		switch slot.typ.Kind {
+		case KindPtr, KindArray:
+			return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("%q is a pointer; assign through an index or use plain assignment", n.Name)}
+		default:
+			return slot.buf, 0, slot.typ, nil
+		}
+
+	case *IndexExpr:
+		base, err := fr.eval(n.X)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if !base.IsPtr || base.Buf == nil {
+			return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: "indexing a non-pointer value"}
+		}
+		idx, err := fr.eval(n.Idx)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		off := base.Off + int(idx.I)
+		if base.Buf.freed {
+			return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: "use after free"}
+		}
+		if off < 0 || off >= len(base.Buf.data) {
+			return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("index %d out of bounds (length %d)", off, len(base.Buf.data))}
+		}
+		return base.Buf, off, elemTypeOf(n.X, fr), nil
+
+	case *UnExpr:
+		if n.Op == "*" {
+			ptr, err := fr.eval(n.X)
+			if err != nil {
+				return nil, 0, nil, err
+			}
+			if !ptr.IsPtr || ptr.Buf == nil {
+				return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: "dereferencing a non-pointer value"}
+			}
+			if ptr.Buf.freed {
+				return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: "use after free"}
+			}
+			if ptr.Off < 0 || ptr.Off >= len(ptr.Buf.data) {
+				return nil, 0, nil, &RuntimeError{Line: n.Line, Msg: "pointer dereference out of bounds"}
+			}
+			return ptr.Buf, ptr.Off, nil, nil
+		}
+	}
+	return nil, 0, nil, &RuntimeError{Msg: fmt.Sprintf("expression %T is not assignable", ex)}
+}
+
+// elemTypeOf gives the element type of an indexed expression when it can
+// be determined statically (for store truncation); nil otherwise.
+func elemTypeOf(ex Expr, fr *frame) *Type {
+	if vr, ok := ex.(*VarRef); ok {
+		if slot, found := fr.lookup(vr.Name); found && slot.typ.Elem != nil {
+			return slot.typ.Elem
+		}
+	}
+	return nil
+}
+
+// assignTo stores a value into an lvalue, applying type truncation and
+// firing instrumentation hooks.
+func (fr *frame) assignTo(lhs Expr, v RtVal, line int) (RtVal, error) {
+	// Pointer variable assignment replaces the pointer value.
+	if vr, ok := lhs.(*VarRef); ok {
+		if slot, found := fr.lookup(vr.Name); found && (slot.typ.Kind == KindPtr || slot.typ.Kind == KindArray) {
+			slot.ptr = v
+			return v, nil
+		}
+	}
+	buf, off, typ, err := fr.lvalue(lhs)
+	if err != nil {
+		return RtVal{}, err
+	}
+	if v.IsPtr {
+		return RtVal{}, &RuntimeError{Line: line, Msg: "storing a pointer into a scalar cell"}
+	}
+	stored := v.I
+	if typ != nil {
+		stored = truncType(stored, typ)
+	}
+	buf.data[off] = stored
+	if fr.in.Trace != nil {
+		if vr, ok := lhs.(*VarRef); ok && fr.in.TraceVars[vr.Name] {
+			fr.in.Trace(line, vr.Name, stored)
+		} else if ix, ok := lhs.(*IndexExpr); ok {
+			if vr, ok := ix.X.(*VarRef); ok && fr.in.TraceVars[vr.Name] {
+				fr.in.Trace(line, vr.Name, stored)
+			}
+		}
+	}
+	return RtVal{I: stored}, nil
+}
+
+var compoundBase = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"<<=": "<<", ">>=": ">>", "&=": "&", "|=": "|", "^=": "^",
+}
+
+// eval computes an expression value.
+func (fr *frame) eval(ex Expr) (RtVal, error) {
+	if err := fr.step(0); err != nil {
+		return RtVal{}, err
+	}
+	switch n := ex.(type) {
+	case *IntLit:
+		return IntVal(n.Val), nil
+
+	case *StrLit:
+		// Strings become cell buffers (one char per cell, NUL-terminated).
+		data := make([]int64, len(n.Val)+1)
+		for i := 0; i < len(n.Val); i++ {
+			data[i] = int64(n.Val[i])
+		}
+		return RtVal{Buf: &Buffer{data: data}, IsPtr: true}, nil
+
+	case *VarRef:
+		slot, ok := fr.lookup(n.Name)
+		if !ok {
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("undefined variable %q", n.Name)}
+		}
+		if slot.typ.Kind == KindPtr || slot.typ.Kind == KindArray {
+			return slot.ptr, nil
+		}
+		return IntVal(slot.buf.data[0]), nil
+
+	case *AssignExpr:
+		if n.Op == "=" {
+			v, err := fr.eval(n.RHS)
+			if err != nil {
+				return RtVal{}, err
+			}
+			return fr.assignTo(n.LHS, v, n.Line)
+		}
+		cur, err := fr.eval(n.LHS)
+		if err != nil {
+			return RtVal{}, err
+		}
+		rhs, err := fr.eval(n.RHS)
+		if err != nil {
+			return RtVal{}, err
+		}
+		if cur.IsPtr { // p += k
+			if n.Op != "+=" && n.Op != "-=" {
+				return RtVal{}, &RuntimeError{Line: n.Line, Msg: "unsupported pointer compound assignment"}
+			}
+			delta := int(rhs.I)
+			if n.Op == "-=" {
+				delta = -delta
+			}
+			nv := RtVal{Buf: cur.Buf, Off: cur.Off + delta, IsPtr: true}
+			return fr.assignTo(n.LHS, nv, n.Line)
+		}
+		res, err := applyCBinary(compoundBase[n.Op], cur, rhs, n.Line)
+		if err != nil {
+			return RtVal{}, err
+		}
+		return fr.assignTo(n.LHS, res, n.Line)
+
+	case *BinExpr:
+		// Short-circuit logicals first.
+		if n.Op == "&&" || n.Op == "||" {
+			x, err := fr.eval(n.X)
+			if err != nil {
+				return RtVal{}, err
+			}
+			if n.Op == "&&" && !truthy(x) {
+				return IntVal(0), nil
+			}
+			if n.Op == "||" && truthy(x) {
+				return IntVal(1), nil
+			}
+			y, err := fr.eval(n.Y)
+			if err != nil {
+				return RtVal{}, err
+			}
+			if truthy(y) {
+				return IntVal(1), nil
+			}
+			return IntVal(0), nil
+		}
+		x, err := fr.eval(n.X)
+		if err != nil {
+			return RtVal{}, err
+		}
+		y, err := fr.eval(n.Y)
+		if err != nil {
+			return RtVal{}, err
+		}
+		return applyCBinary(n.Op, x, y, n.Line)
+
+	case *UnExpr:
+		switch n.Op {
+		case "*":
+			buf, off, _, err := fr.lvalue(n)
+			if err != nil {
+				return RtVal{}, err
+			}
+			return IntVal(buf.data[off]), nil
+		case "&":
+			switch target := n.X.(type) {
+			case *VarRef:
+				slot, ok := fr.lookup(target.Name)
+				if !ok {
+					return RtVal{}, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("undefined variable %q", target.Name)}
+				}
+				if slot.typ.Kind == KindPtr || slot.typ.Kind == KindArray {
+					return slot.ptr, nil
+				}
+				return RtVal{Buf: slot.buf, IsPtr: true}, nil
+			case *IndexExpr:
+				buf, off, _, err := fr.lvalue(target)
+				if err != nil {
+					return RtVal{}, err
+				}
+				return RtVal{Buf: buf, Off: off, IsPtr: true}, nil
+			default:
+				return RtVal{}, &RuntimeError{Line: n.Line, Msg: "unsupported address-of target"}
+			}
+		case "++", "--":
+			cur, err := fr.eval(n.X)
+			if err != nil {
+				return RtVal{}, err
+			}
+			if cur.IsPtr {
+				d := 1
+				if n.Op == "--" {
+					d = -1
+				}
+				nv := RtVal{Buf: cur.Buf, Off: cur.Off + d, IsPtr: true}
+				return fr.assignTo(n.X, nv, n.Line)
+			}
+			d := int64(1)
+			if n.Op == "--" {
+				d = -1
+			}
+			return fr.assignTo(n.X, IntVal(cur.I+d), n.Line)
+		}
+		x, err := fr.eval(n.X)
+		if err != nil {
+			return RtVal{}, err
+		}
+		switch n.Op {
+		case "-":
+			return IntVal(-x.I), nil
+		case "!":
+			if truthy(x) {
+				return IntVal(0), nil
+			}
+			return IntVal(1), nil
+		case "~":
+			return IntVal(^x.I), nil
+		default:
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("unsupported unary %q", n.Op)}
+		}
+
+	case *PostfixExpr:
+		cur, err := fr.eval(n.X)
+		if err != nil {
+			return RtVal{}, err
+		}
+		if cur.IsPtr {
+			d := 1
+			if n.Op == "--" {
+				d = -1
+			}
+			if _, err := fr.assignTo(n.X, RtVal{Buf: cur.Buf, Off: cur.Off + d, IsPtr: true}, n.Line); err != nil {
+				return RtVal{}, err
+			}
+			return cur, nil
+		}
+		d := int64(1)
+		if n.Op == "--" {
+			d = -1
+		}
+		if _, err := fr.assignTo(n.X, IntVal(cur.I+d), n.Line); err != nil {
+			return RtVal{}, err
+		}
+		return cur, nil
+
+	case *CondExpr:
+		c, err := fr.eval(n.Cond)
+		if err != nil {
+			return RtVal{}, err
+		}
+		if truthy(c) {
+			return fr.eval(n.Then)
+		}
+		return fr.eval(n.Else)
+
+	case *IndexExpr:
+		buf, off, _, err := fr.lvalue(n)
+		if err != nil {
+			return RtVal{}, err
+		}
+		return IntVal(buf.data[off]), nil
+
+	case *CallExpr:
+		return fr.call(n)
+
+	case *CastExpr:
+		v, err := fr.eval(n.X)
+		if err != nil {
+			return RtVal{}, err
+		}
+		if n.To.Kind == KindPtr {
+			return v, nil // pointer casts are free at cell granularity
+		}
+		if v.IsPtr {
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: "casting a pointer to a scalar"}
+		}
+		return IntVal(truncType(v.I, n.To)), nil
+
+	case *SizeofExpr:
+		// Cell-granular memory model: every type occupies one cell.
+		return IntVal(1), nil
+
+	default:
+		return RtVal{}, &RuntimeError{Msg: fmt.Sprintf("unsupported expression %T", ex)}
+	}
+}
+
+// applyCBinary evaluates arithmetic/comparison on 64-bit values with C
+// truncate-toward-zero division. Pointer comparisons compare offsets.
+func applyCBinary(op string, x, y RtVal, line int) (RtVal, error) {
+	if x.IsPtr || y.IsPtr {
+		switch op {
+		case "+":
+			if x.IsPtr && !y.IsPtr {
+				return RtVal{Buf: x.Buf, Off: x.Off + int(y.I), IsPtr: true}, nil
+			}
+			if y.IsPtr && !x.IsPtr {
+				return RtVal{Buf: y.Buf, Off: y.Off + int(x.I), IsPtr: true}, nil
+			}
+		case "-":
+			if x.IsPtr && y.IsPtr {
+				return IntVal(int64(x.Off - y.Off)), nil
+			}
+			if x.IsPtr {
+				return RtVal{Buf: x.Buf, Off: x.Off - int(y.I), IsPtr: true}, nil
+			}
+		case "==", "!=", "<", "<=", ">", ">=":
+			xo, yo := int64(x.Off), int64(y.Off)
+			if x.Buf != y.Buf {
+				xo, yo = 0, 1 // distinct allocations: unequal, stable order
+			}
+			return cmpInt(op, xo, yo), nil
+		}
+		return RtVal{}, &RuntimeError{Line: line, Msg: fmt.Sprintf("unsupported pointer operation %q", op)}
+	}
+	a, b := x.I, y.I
+	switch op {
+	case "+":
+		return IntVal(a + b), nil
+	case "-":
+		return IntVal(a - b), nil
+	case "*":
+		return IntVal(a * b), nil
+	case "/":
+		if b == 0 {
+			return RtVal{}, &RuntimeError{Line: line, Msg: "division by zero"}
+		}
+		if a == int64(-1)<<63 && b == -1 {
+			return IntVal(a), nil
+		}
+		return IntVal(a / b), nil
+	case "%":
+		if b == 0 {
+			return RtVal{}, &RuntimeError{Line: line, Msg: "modulo by zero"}
+		}
+		if a == int64(-1)<<63 && b == -1 {
+			return IntVal(0), nil
+		}
+		return IntVal(a % b), nil
+	case "&":
+		return IntVal(a & b), nil
+	case "|":
+		return IntVal(a | b), nil
+	case "^":
+		return IntVal(a ^ b), nil
+	case "<<":
+		return IntVal(a << (uint64(b) & 63)), nil
+	case ">>":
+		return IntVal(a >> (uint64(b) & 63)), nil
+	case "==", "!=", "<", "<=", ">", ">=":
+		return cmpInt(op, a, b), nil
+	default:
+		return RtVal{}, &RuntimeError{Line: line, Msg: fmt.Sprintf("unsupported operator %q", op)}
+	}
+}
+
+func cmpInt(op string, a, b int64) RtVal {
+	var ok bool
+	switch op {
+	case "==":
+		ok = a == b
+	case "!=":
+		ok = a != b
+	case "<":
+		ok = a < b
+	case "<=":
+		ok = a <= b
+	case ">":
+		ok = a > b
+	case ">=":
+		ok = a >= b
+	}
+	if ok {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// --- builtins -------------------------------------------------------------
+
+func (fr *frame) call(n *CallExpr) (RtVal, error) {
+	in := fr.in
+	evalArgs := func() ([]RtVal, error) {
+		out := make([]RtVal, len(n.Args))
+		for i, a := range n.Args {
+			v, err := fr.eval(a)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	switch n.Name {
+	case "malloc", "calloc":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		cells := int64(0)
+		if len(args) >= 1 {
+			cells = args[0].I
+		}
+		if n.Name == "calloc" && len(args) == 2 {
+			cells = args[0].I * args[1].I
+		}
+		if cells < 0 || cells > 1<<24 {
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("malloc of %d cells rejected", cells)}
+		}
+		return RtVal{Buf: &Buffer{data: make([]int64, cells)}, IsPtr: true}, nil
+
+	case "free":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 1 && args[0].Buf != nil {
+			if args[0].Buf.freed {
+				return RtVal{}, &RuntimeError{Line: n.Line, Msg: "double free"}
+			}
+			args[0].Buf.freed = true
+		}
+		return RtVal{}, nil
+
+	case "printf":
+		return fr.printf(n)
+
+	case "putchar":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 1 && in.out.Len() < maxCOutput {
+			in.out.WriteByte(byte(args[0].I))
+		}
+		return IntVal(1), nil
+
+	case "puts":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 1 && args[0].Buf != nil && in.out.Len() < maxCOutput {
+			in.out.WriteString(cString(args[0]))
+			in.out.WriteByte('\n')
+		}
+		return IntVal(1), nil
+
+	case "memset":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 3 && args[0].Buf != nil {
+			b := args[0]
+			for i := 0; i < int(args[2].I) && b.Off+i < len(b.Buf.data); i++ {
+				b.Buf.data[b.Off+i] = args[1].I
+			}
+		}
+		return args[0], nil
+
+	case "memcpy":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 3 && args[0].Buf != nil && args[1].Buf != nil {
+			dst, src := args[0], args[1]
+			for i := 0; i < int(args[2].I); i++ {
+				if dst.Off+i >= len(dst.Buf.data) || src.Off+i >= len(src.Buf.data) {
+					break
+				}
+				dst.Buf.data[dst.Off+i] = src.Buf.data[src.Off+i]
+			}
+		}
+		return args[0], nil
+
+	case "abs", "labs":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		v := args[0].I
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v), nil
+
+	case "rand":
+		in.rngState = in.rngState*6364136223846793005 + 1442695040888963407
+		return IntVal((in.rngState >> 33) & 0x7FFFFFFF), nil
+
+	case "srand":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 1 {
+			in.rngState = args[0].I
+		}
+		return RtVal{}, nil
+
+	case "assert":
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		if len(args) == 1 && !truthy(args[0]) {
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: "assertion failed"}
+		}
+		return RtVal{}, nil
+
+	case "exit":
+		return RtVal{}, &RuntimeError{Line: n.Line, Msg: "exit() called"}
+
+	default:
+		fn := in.prog.FindFunc(n.Name)
+		if fn == nil {
+			return RtVal{}, &RuntimeError{Line: n.Line, Msg: fmt.Sprintf("call to undefined function %q", n.Name)}
+		}
+		args, err := evalArgs()
+		if err != nil {
+			return RtVal{}, err
+		}
+		return in.Call(n.Name, args...)
+	}
+}
+
+const maxCOutput = 1 << 20
+
+// cString reads a NUL-terminated cell string.
+func cString(v RtVal) string {
+	var b strings.Builder
+	for i := v.Off; i < len(v.Buf.data); i++ {
+		c := v.Buf.data[i]
+		if c == 0 {
+			break
+		}
+		b.WriteByte(byte(c))
+	}
+	return b.String()
+}
+
+// printf implements the %d/%u/%x/%c/%s/%ld/%lu/%% verbs.
+func (fr *frame) printf(n *CallExpr) (RtVal, error) {
+	if len(n.Args) == 0 {
+		return IntVal(0), nil
+	}
+	fmtv, err := fr.eval(n.Args[0])
+	if err != nil {
+		return RtVal{}, err
+	}
+	if !fmtv.IsPtr {
+		return RtVal{}, &RuntimeError{Line: n.Line, Msg: "printf format must be a string"}
+	}
+	format := cString(fmtv)
+	var args []RtVal
+	for _, a := range n.Args[1:] {
+		v, err := fr.eval(a)
+		if err != nil {
+			return RtVal{}, err
+		}
+		args = append(args, v)
+	}
+	var b strings.Builder
+	ai := 0
+	nextArg := func() RtVal {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return RtVal{}
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		// Skip flags/width and length modifiers.
+		for i < len(format) && (format[i] == '-' || format[i] == '0' || format[i] == ' ' ||
+			(format[i] >= '0' && format[i] <= '9') || format[i] == 'l' || format[i] == 'z' || format[i] == '.') {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case 'd', 'i':
+			fmt.Fprintf(&b, "%d", nextArg().I)
+		case 'u':
+			fmt.Fprintf(&b, "%d", uint64(nextArg().I))
+		case 'x':
+			fmt.Fprintf(&b, "%x", uint64(nextArg().I))
+		case 'c':
+			b.WriteByte(byte(nextArg().I))
+		case 's':
+			v := nextArg()
+			if v.IsPtr && v.Buf != nil {
+				b.WriteString(cString(v))
+			}
+		case 'f', 'g':
+			fmt.Fprintf(&b, "%d.0", nextArg().I)
+		case 'p':
+			fmt.Fprintf(&b, "ptr+%d", nextArg().Off)
+		case '%':
+			b.WriteByte('%')
+		default:
+			b.WriteByte('%')
+			b.WriteByte(format[i])
+		}
+	}
+	if fr.in.out.Len() < maxCOutput {
+		fr.in.out.WriteString(b.String())
+	}
+	return IntVal(int64(b.Len())), nil
+}

@@ -1,0 +1,270 @@
+package chdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies C tokens.
+type tokKind int
+
+const (
+	tEOF tokKind = iota + 1
+	tIdent
+	tNumber
+	tString
+	tChar
+	tPunct
+	tPragma // whole "#pragma ..." line
+)
+
+type tok struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// LexError is a positioned lexical error.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *LexError) Error() string {
+	return fmt.Sprintf("C lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+var cPunct = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+}
+
+type cLexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func (l *cLexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *cLexer) peekAt(n int) byte {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *cLexer) adv() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// lexC tokenizes C source. Preprocessor lines other than #pragma are
+// skipped (the subset has no macro expansion; #include is irrelevant
+// because all builtins are recognized by name).
+func lexC(src string) ([]tok, error) {
+	l := &cLexer{src: src, line: 1, col: 1}
+	var toks []tok
+	for {
+		// Skip whitespace and comments.
+		for l.pos < len(l.src) {
+			c := l.peek()
+			if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+				l.adv()
+				continue
+			}
+			if c == '/' && l.peekAt(1) == '/' {
+				for l.pos < len(l.src) && l.peek() != '\n' {
+					l.adv()
+				}
+				continue
+			}
+			if c == '/' && l.peekAt(1) == '*' {
+				line, col := l.line, l.col
+				l.adv()
+				l.adv()
+				closed := false
+				for l.pos < len(l.src) {
+					if l.peek() == '*' && l.peekAt(1) == '/' {
+						l.adv()
+						l.adv()
+						closed = true
+						break
+					}
+					l.adv()
+				}
+				if !closed {
+					return nil, &LexError{line, col, "unterminated block comment"}
+				}
+				continue
+			}
+			break
+		}
+		if l.pos >= len(l.src) {
+			toks = append(toks, tok{kind: tEOF, line: l.line, col: l.col})
+			return toks, nil
+		}
+
+		line, col := l.line, l.col
+		c := l.peek()
+		switch {
+		case c == '#':
+			start := l.pos
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				// Handle line continuations inside directives.
+				if l.peek() == '\\' && l.peekAt(1) == '\n' {
+					l.adv()
+					l.adv()
+					continue
+				}
+				l.adv()
+			}
+			text := strings.TrimSpace(l.src[start:l.pos])
+			if strings.HasPrefix(text, "#pragma") {
+				toks = append(toks, tok{kind: tPragma, text: strings.TrimSpace(text[len("#pragma"):]), line: line, col: col})
+			}
+			// #include/#define/#ifdef... skipped.
+
+		case c == '_' || unicode.IsLetter(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) {
+				ch := l.peek()
+				if ch == '_' || unicode.IsLetter(rune(ch)) || unicode.IsDigit(rune(ch)) {
+					l.adv()
+					continue
+				}
+				break
+			}
+			toks = append(toks, tok{kind: tIdent, text: l.src[start:l.pos], line: line, col: col})
+
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			isHex := false
+			if c == '0' && (l.peekAt(1) == 'x' || l.peekAt(1) == 'X') {
+				isHex = true
+				l.adv()
+				l.adv()
+			}
+			for l.pos < len(l.src) {
+				ch := l.peek()
+				if unicode.IsDigit(rune(ch)) || (isHex && isHexDigit(ch)) || ch == '.' {
+					l.adv()
+					continue
+				}
+				break
+			}
+			// Integer suffixes.
+			for l.pos < len(l.src) && (l.peek() == 'u' || l.peek() == 'U' || l.peek() == 'l' || l.peek() == 'L') {
+				l.adv()
+			}
+			toks = append(toks, tok{kind: tNumber, text: l.src[start:l.pos], line: line, col: col})
+
+		case c == '"':
+			l.adv()
+			var b strings.Builder
+			for l.pos < len(l.src) && l.peek() != '"' {
+				ch := l.adv()
+				if ch == '\\' && l.pos < len(l.src) {
+					b.WriteByte(unescape(l.adv()))
+					continue
+				}
+				b.WriteByte(ch)
+			}
+			if l.pos >= len(l.src) {
+				return nil, &LexError{line, col, "unterminated string literal"}
+			}
+			l.adv()
+			toks = append(toks, tok{kind: tString, text: b.String(), line: line, col: col})
+
+		case c == '\'':
+			l.adv()
+			if l.pos >= len(l.src) {
+				return nil, &LexError{line, col, "unterminated character literal"}
+			}
+			ch := l.adv()
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return nil, &LexError{line, col, "unterminated character literal"}
+				}
+				ch = unescape(l.adv())
+			}
+			if l.pos >= len(l.src) || l.adv() != '\'' {
+				return nil, &LexError{line, col, "unterminated character literal"}
+			}
+			toks = append(toks, tok{kind: tChar, text: string(ch), line: line, col: col})
+
+		default:
+			matched := ""
+			rest := l.src[l.pos:]
+			for _, p := range cPunct {
+				if strings.HasPrefix(rest, p) {
+					matched = p
+					break
+				}
+			}
+			if matched == "" {
+				return nil, &LexError{line, col, fmt.Sprintf("unexpected character %q", c)}
+			}
+			for range matched {
+				l.adv()
+			}
+			toks = append(toks, tok{kind: tPunct, text: matched, line: line, col: col})
+		}
+	}
+}
+
+func isHexDigit(c byte) bool {
+	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	default:
+		return c
+	}
+}
+
+// parseCInt parses an integer literal (decimal or 0x hex, suffixes
+// stripped). Floats are truncated: the subset flags them elsewhere.
+func parseCInt(text string) (int64, error) {
+	t := strings.TrimRight(text, "uUlL")
+	if dot := strings.IndexByte(t, '.'); dot >= 0 {
+		t = t[:dot]
+		if t == "" {
+			t = "0"
+		}
+	}
+	if strings.HasPrefix(t, "0x") || strings.HasPrefix(t, "0X") {
+		v, err := strconv.ParseUint(t[2:], 16, 64)
+		return int64(v), err
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	return v, err
+}

@@ -1,0 +1,224 @@
+package chdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrintProgram renders an AST back to compilable C source. The repair
+// framework parses a broken kernel, transforms the AST, and re-emits it
+// through this printer, mirroring how an LLM returns a full rewritten file.
+func PrintProgram(p *Program) string {
+	var b strings.Builder
+	for _, pr := range p.Pragmas {
+		fmt.Fprintf(&b, "#pragma %s\n", pr.Raw)
+	}
+	for _, g := range p.Globals {
+		b.WriteString(printDecl(g))
+		b.WriteString(";\n")
+	}
+	for i, fn := range p.Funcs {
+		if i > 0 || len(p.Globals) > 0 {
+			b.WriteByte('\n')
+		}
+		printFunc(&b, fn)
+	}
+	return b.String()
+}
+
+func printFunc(b *strings.Builder, fn *FuncDecl) {
+	fmt.Fprintf(b, "%s %s(", typeName(fn.Ret), fn.Name)
+	for i, prm := range fn.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(printParam(prm))
+	}
+	b.WriteString(") {\n")
+	for _, pr := range fn.Pragmas {
+		fmt.Fprintf(b, "#pragma %s\n", pr.Raw)
+	}
+	for _, st := range fn.Body.Stmts {
+		printStmt(b, st, 1)
+	}
+	b.WriteString("}\n")
+}
+
+// typeName renders the base (non-array) part of a type.
+func typeName(t *Type) string {
+	if t == nil {
+		return "int"
+	}
+	switch t.Kind {
+	case KindArray:
+		return typeName(t.Elem)
+	case KindPtr:
+		return typeName(t.Elem) + "*"
+	default:
+		return t.String()
+	}
+}
+
+// arraySuffix renders the [N] suffixes of a type.
+func arraySuffix(t *Type) string {
+	s := ""
+	for t != nil && t.Kind == KindArray {
+		if t.ArrayLen >= 0 {
+			s += fmt.Sprintf("[%d]", t.ArrayLen)
+		} else {
+			s += "[]"
+		}
+		t = t.Elem
+	}
+	return s
+}
+
+func printParam(d *VarDecl) string {
+	return fmt.Sprintf("%s %s%s", typeName(d.Type), d.Name, arraySuffix(d.Type))
+}
+
+func printDecl(d *VarDecl) string {
+	s := fmt.Sprintf("%s %s%s", typeName(d.Type), d.Name, arraySuffix(d.Type))
+	if d.Init != nil {
+		s += " = " + ExprString(d.Init)
+	}
+	if len(d.InitList) > 0 {
+		parts := make([]string, len(d.InitList))
+		for i, e := range d.InitList {
+			parts[i] = ExprString(e)
+		}
+		s += " = {" + strings.Join(parts, ", ") + "}"
+	}
+	return s
+}
+
+func printStmt(b *strings.Builder, st Stmt, depth int) {
+	ind := strings.Repeat("    ", depth)
+	switch n := st.(type) {
+	case nil:
+	case *BlockStmt:
+		fmt.Fprintf(b, "%s{\n", ind)
+		for _, s := range n.Stmts {
+			printStmt(b, s, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *DeclStmt:
+		for _, d := range n.Decls {
+			fmt.Fprintf(b, "%s%s;\n", ind, printDecl(d))
+		}
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s%s;\n", ind, ExprString(n.X))
+	case *IfStmt:
+		fmt.Fprintf(b, "%sif (%s)\n", ind, ExprString(n.Cond))
+		printNested(b, n.Then, depth)
+		if n.Else != nil {
+			fmt.Fprintf(b, "%selse\n", ind)
+			printNested(b, n.Else, depth)
+		}
+	case *ForStmt:
+		init, cond, post := "", "", ""
+		if n.Init != nil {
+			var ib strings.Builder
+			printStmt(&ib, n.Init, 0)
+			init = strings.TrimSuffix(strings.TrimSpace(ib.String()), ";")
+		}
+		if n.Cond != nil {
+			cond = ExprString(n.Cond)
+		}
+		if n.Post != nil {
+			post = ExprString(n.Post)
+		}
+		fmt.Fprintf(b, "%sfor (%s; %s; %s) {\n", ind, init, cond, post)
+		for _, pr := range n.Pragmas {
+			fmt.Fprintf(b, "#pragma %s\n", pr.Raw)
+		}
+		printBody(b, n.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *WhileStmt:
+		fmt.Fprintf(b, "%swhile (%s) {\n", ind, ExprString(n.Cond))
+		for _, pr := range n.Pragmas {
+			fmt.Fprintf(b, "#pragma %s\n", pr.Raw)
+		}
+		printBody(b, n.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case *DoStmt:
+		fmt.Fprintf(b, "%sdo {\n", ind)
+		printBody(b, n.Body, depth+1)
+		fmt.Fprintf(b, "%s} while (%s);\n", ind, ExprString(n.Cond))
+	case *ReturnStmt:
+		if n.X != nil {
+			fmt.Fprintf(b, "%sreturn %s;\n", ind, ExprString(n.X))
+		} else {
+			fmt.Fprintf(b, "%sreturn;\n", ind)
+		}
+	case *BreakStmt:
+		fmt.Fprintf(b, "%sbreak;\n", ind)
+	case *ContinueStmt:
+		fmt.Fprintf(b, "%scontinue;\n", ind)
+	case *PragmaStmt:
+		fmt.Fprintf(b, "#pragma %s\n", n.P.Raw)
+	}
+}
+
+// printNested prints a statement as the body of if/else, bracing bare
+// statements for readability.
+func printNested(b *strings.Builder, st Stmt, depth int) {
+	if _, ok := st.(*BlockStmt); ok {
+		printStmt(b, st, depth)
+		return
+	}
+	ind := strings.Repeat("    ", depth)
+	fmt.Fprintf(b, "%s{\n", ind)
+	printStmt(b, st, depth+1)
+	fmt.Fprintf(b, "%s}\n", ind)
+}
+
+// printBody flattens a block body (the braces were already printed).
+func printBody(b *strings.Builder, st Stmt, depth int) {
+	if blk, ok := st.(*BlockStmt); ok {
+		for _, s := range blk.Stmts {
+			printStmt(b, s, depth)
+		}
+		return
+	}
+	printStmt(b, st, depth)
+}
+
+// ExprString renders an expression with full parenthesization of
+// sub-operations (safe, if verbose).
+func ExprString(e Expr) string {
+	switch n := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return fmt.Sprintf("%d", n.Val)
+	case *StrLit:
+		return fmt.Sprintf("%q", n.Val)
+	case *VarRef:
+		return n.Name
+	case *BinExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(n.X), n.Op, ExprString(n.Y))
+	case *UnExpr:
+		return fmt.Sprintf("%s(%s)", n.Op, ExprString(n.X))
+	case *PostfixExpr:
+		return fmt.Sprintf("%s%s", ExprString(n.X), n.Op)
+	case *AssignExpr:
+		return fmt.Sprintf("%s %s %s", ExprString(n.LHS), n.Op, ExprString(n.RHS))
+	case *CondExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", ExprString(n.Cond), ExprString(n.Then), ExprString(n.Else))
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", ExprString(n.X), ExprString(n.Idx))
+	case *CallExpr:
+		args := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", n.Name, strings.Join(args, ", "))
+	case *CastExpr:
+		return fmt.Sprintf("(%s)(%s)", n.To, ExprString(n.X))
+	case *SizeofExpr:
+		return fmt.Sprintf("sizeof(%s)", n.To)
+	default:
+		return fmt.Sprintf("/*?%T*/", e)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStageAndLanguageNames(t *testing.T) {
+	if StageSynthesis.String() != "synthesis" || StageHDLGeneration.String() != "hdl-generation" {
+		t.Error("stage names wrong")
+	}
+	if LangVerilog.String() != "verilog" || LangC.String() != "c" {
+		t.Error("language names wrong")
+	}
+	if !strings.Contains(Stage(99).String(), "99") {
+		t.Error("unknown stage formatting")
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	cases := []struct {
+		d  Design
+		ok bool
+	}{
+		{Design{Name: "x", Language: LangC, Source: "int f(){}"}, true},
+		{Design{Name: "", Language: LangC, Source: "s"}, false},
+		{Design{Name: "x", Language: LangC, Source: ""}, false},
+		{Design{Name: "x", Language: LangVerilog, Source: "module m; endmodule"}, false}, // no top
+		{Design{Name: "x", Language: LangVerilog, Source: "module m; endmodule", TopModule: "m"}, true},
+	}
+	for i, c := range cases {
+		err := c.d.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	v := Verdict{Compiled: true, Checks: 10, Failures: 0}
+	if !v.Pass() || v.PassFraction() != 1 {
+		t.Errorf("pass verdict broken: %+v", v)
+	}
+	v = Verdict{Compiled: true, Checks: 10, Failures: 3}
+	if v.Pass() || v.PassFraction() != 0.7 {
+		t.Errorf("partial verdict broken: %v", v.PassFraction())
+	}
+	v = Verdict{Compiled: false}
+	if v.Pass() || v.PassFraction() != 0 {
+		t.Error("non-compiled verdict broken")
+	}
+	v = Verdict{Compiled: true, Checks: 0}
+	if v.Pass() {
+		t.Error("zero-check verdict must not pass")
+	}
+}
+
+func TestPassFractionBoundsQuick(t *testing.T) {
+	f := func(checks, failures uint8) bool {
+		c := int(checks)
+		fl := int(failures)
+		if fl > c {
+			fl = c
+		}
+		v := Verdict{Compiled: true, Checks: c, Failures: fl}
+		p := v.PassFraction()
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPPABetterAndScore(t *testing.T) {
+	a := PPA{PowerMW: 5, AreaGates: 100, DelayNS: 2}
+	b := PPA{PowerMW: 6, AreaGates: 50, DelayNS: 1}
+	if !a.Better(b) {
+		t.Error("lower power must dominate")
+	}
+	c := PPA{PowerMW: 5, AreaGates: 90, DelayNS: 9}
+	if !c.Better(a) {
+		t.Error("equal power, lower area must dominate")
+	}
+	if a.Score() <= 0 || a.Score() > 1 {
+		t.Errorf("score out of range: %f", a.Score())
+	}
+	// Strictly worse PPA has strictly lower score.
+	worse := PPA{PowerMW: 50, AreaGates: 10000, DelayNS: 100}
+	if worse.Score() >= a.Score() {
+		t.Error("score not monotone")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	r := Report{Design: Design{Name: "demo", Language: LangVerilog}}
+	r.Append(StageRecord{Stage: StageSimulation, Task: "verify", Detail: "10/10", OK: true})
+	r.Append(StageRecord{Stage: StageSynthesis, Task: "synth", Detail: "120 gates", OK: true})
+	if !r.OK() {
+		t.Error("all-ok report reports failure")
+	}
+	r.Append(StageRecord{Stage: StagePhysical, Task: "route", Detail: "congestion", OK: false})
+	if r.OK() {
+		t.Error("failed stage not reflected")
+	}
+	out := r.Render()
+	for _, want := range []string{"demo", "simulation", "synthesis", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExperimentRender(t *testing.T) {
+	e := Experiment{ID: "E0", Artifact: "test artifact"}
+	e.AddRow("series-a", 1, 2, "note")
+	e.AddFinding("finding %d", 42)
+	out := e.Render()
+	for _, want := range []string{"E0", "series-a", "finding 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment render missing %q:\n%s", want, out)
+		}
+	}
+}

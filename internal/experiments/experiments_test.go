@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentProducesRows is the integration smoke test for the
+// whole harness: each experiment must run at quick scale, produce rows and
+// carry no failure findings.
+func TestEveryExperimentProducesRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	r := Runner{Scale: ScaleQuick, Seed: 2}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := r.ByID(id)
+			if err != nil {
+				t.Fatalf("ByID: %v", err)
+			}
+			if len(exp.Rows) == 0 {
+				t.Fatalf("no rows: %s", exp.Render())
+			}
+			for _, f := range exp.Findings {
+				if strings.Contains(f, "failed") {
+					t.Errorf("failure finding: %s", f)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	r := Runner{Scale: ScaleQuick, Seed: 1}
+	if _, err := r.ByID("E99"); err == nil {
+		t.Error("expected error for unknown id")
+	}
+}
+
+// TestHeadlineShapes verifies the reproduction-critical orderings on the
+// quick-scale artifacts.
+func TestHeadlineShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	r := Runner{Scale: ScaleQuick, Seed: 7}
+
+	// E6: GP's final best must exceed the LLM loop's final best.
+	e6, err := r.ByID("E6")
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	var llmBest, gpBest float64
+	for _, row := range e6.Rows {
+		if row.Series == "best-watts" && row.X == 0 {
+			llmBest = row.Y
+		}
+		if row.Series == "best-watts" && row.X == 1 {
+			gpBest = row.Y
+		}
+	}
+	if gpBest <= llmBest {
+		t.Errorf("E6 ordering lost: gp %.3f <= llm %.3f", gpBest, llmBest)
+	}
+	if llmBest < 4.2 || gpBest > 6.5 {
+		t.Errorf("E6 out of band: llm %.3f gp %.3f", llmBest, gpBest)
+	}
+
+	// E9: self-consistency >= first sample.
+	e9, err := r.ByID("E9")
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	var first, chosen, oracle float64
+	for _, row := range e9.Rows {
+		switch row.Series {
+		case "first-sample":
+			first = row.Y
+		case "self-consistency":
+			chosen = row.Y
+		case "oracle-pass@k":
+			oracle = row.Y
+		}
+	}
+	if chosen < first {
+		t.Errorf("E9 ordering lost: chosen %.2f < first %.2f", chosen, first)
+	}
+	if oracle < chosen {
+		t.Errorf("E9 oracle %.2f below chosen %.2f", oracle, chosen)
+	}
+
+	// E10: LLM rewrites shrink area.
+	e10, err := r.ByID("E10")
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	for _, row := range e10.Rows {
+		if strings.HasPrefix(row.Series, "area:") && row.Y > 1.0001 {
+			t.Errorf("E10 rewrite grew area: %s = %.3f", row.Series, row.Y)
+		}
+	}
+}

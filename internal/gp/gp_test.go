@@ -1,0 +1,74 @@
+package gp
+
+import (
+	"strings"
+	"testing"
+
+	"llm4eda/internal/boom"
+	"llm4eda/internal/chdl"
+	"llm4eda/internal/isa"
+)
+
+func fastBoom() boom.RunOptions {
+	return boom.RunOptions{MaxInsts: 300_000}
+}
+
+func TestRandomGenomesCompileAndRun(t *testing.T) {
+	r := newRNG(1)
+	valid := 0
+	for i := 0; i < 20; i++ {
+		g := randomGenome(r)
+		src := g.render()
+		prog, err := chdl.ParseC(src)
+		if err != nil {
+			t.Errorf("genome %d does not parse: %v\n%s", i, err, src)
+			continue
+		}
+		if _, err := isa.Compile(prog, "main"); err != nil {
+			t.Errorf("genome %d does not compile: %v", i, err)
+			continue
+		}
+		valid++
+	}
+	if valid < 18 {
+		t.Errorf("only %d/20 random genomes valid", valid)
+	}
+}
+
+func TestGPImproves(t *testing.T) {
+	res := Run(Config{MaxEvals: 80, Boom: fastBoom(), Seed: 3})
+	if res.Best.Score < 4.2 {
+		t.Errorf("GP best %.3f W implausibly low", res.Best.Score)
+	}
+	if res.Trajectory[len(res.Trajectory)-1] <= res.Trajectory[0] {
+		t.Errorf("GP never improved: %v ... %v", res.Trajectory[0], res.Trajectory[len(res.Trajectory)-1])
+	}
+}
+
+func TestGPDeterministic(t *testing.T) {
+	a := Run(Config{MaxEvals: 40, Boom: fastBoom(), Seed: 7})
+	b := Run(Config{MaxEvals: 40, Boom: fastBoom(), Seed: 7})
+	if a.Best.Score != b.Best.Score {
+		t.Errorf("nondeterministic GP: %.4f vs %.4f", a.Best.Score, b.Best.Score)
+	}
+}
+
+func TestCrossoverMutationBounds(t *testing.T) {
+	r := newRNG(9)
+	for i := 0; i < 200; i++ {
+		a, b := randomGenome(r), randomGenome(r)
+		c := mutate(r, crossover(r, a, b), 0.5)
+		if c.accs < 1 || c.accs > maxAccs {
+			t.Fatalf("accs out of range: %d", c.accs)
+		}
+		if len(c.body) == 0 || len(c.body) > maxBodyLen {
+			t.Fatalf("body length out of range: %d", len(c.body))
+		}
+		if c.outer < minOuter || c.outer > maxOuter {
+			t.Fatalf("outer out of range: %d", c.outer)
+		}
+		if !strings.Contains(c.render(), "int main()") {
+			t.Fatal("render broken")
+		}
+	}
+}

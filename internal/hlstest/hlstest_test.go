@@ -1,0 +1,165 @@
+package hlstest
+
+import (
+	"strings"
+	"testing"
+
+	"llm4eda/internal/chdl"
+	"llm4eda/internal/llm"
+)
+
+// overflowKernel has a genuine 16-bit-vs-C discrepancy: the product
+// overflows a narrow FPGA datapath for large inputs.
+const overflowKernel = `
+int scale(int a, int b) {
+    int acc = 0;
+    for (int i = 0; i < 4; i++) {
+        acc = acc + a * b + i;
+    }
+    return acc;
+}`
+
+const cTestbench = `
+int scale(int a, int b) {
+    int acc = 0;
+    for (int i = 0; i < 4; i++) {
+        acc = acc + a * b + i;
+    }
+    return acc;
+}
+int main() {
+    int *ref = (int*)malloc(4 * sizeof(int));
+    for (int t = 0; t < 4; t++) {
+        ref[t] = scale(t, t + 1);
+        printf("case %d -> %d\n", t, ref[t]);
+    }
+    free(ref);
+    return 0;
+}`
+
+func TestBackwardSlice(t *testing.T) {
+	src := `
+int f(int a, int b, int c) {
+    int unused = c * 99;
+    int x = a + 1;
+    int y = 0;
+    if (b > 3) {
+        y = x * 2;
+    }
+    return y;
+}`
+	prog, err := chdl.ParseC(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	vars := BackwardSlice(prog.FindFunc("f"))
+	joined := strings.Join(vars, ",")
+	for _, want := range []string{"a", "b", "x", "y"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("slice missing %q: %v", want, vars)
+		}
+	}
+	for _, dontWant := range []string{"unused", "c"} {
+		for _, v := range vars {
+			if v == dontWant {
+				t.Errorf("slice includes irrelevant %q: %v", dontWant, vars)
+			}
+		}
+	}
+}
+
+func TestFindsOverflowDiscrepancy(t *testing.T) {
+	cfg := Config{
+		Model:        llm.NewSimModel(llm.TierLarge, 5),
+		WidthBits:    16,
+		SimBudget:    30,
+		UseSpectra:   true,
+		UseFilter:    true,
+		UseReasoning: true,
+		Seed:         5,
+	}
+	res, err := Run(overflowKernel, cTestbench, "scale", [][]int64{{1, 2}, {3, 4}}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Discrepancies) == 0 {
+		t.Fatalf("no discrepancies found; result: %+v", res)
+	}
+	if res.AdaptedTB == "" {
+		t.Error("testbench adaptation produced nothing")
+	}
+	if strings.Contains(res.AdaptedTB, "printf") || strings.Contains(res.AdaptedTB, "malloc") {
+		t.Errorf("adapted testbench still has unsupported constructs:\n%s", res.AdaptedTB)
+	}
+	if len(res.KeyVariables) == 0 {
+		t.Error("no key variables from slicing")
+	}
+}
+
+func TestFilterSkipsRedundantSims(t *testing.T) {
+	cfg := Config{
+		WidthBits:  16,
+		SimBudget:  25,
+		UseSpectra: false, // expand everything so duplicates arise
+		UseFilter:  true,
+		Seed:       9,
+	}
+	res, err := Run(overflowKernel, "", "scale", [][]int64{{1, 2}}, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.SimsSkipped == 0 {
+		t.Errorf("filter never skipped a simulation: %+v", res)
+	}
+}
+
+func TestGuidedMoreEfficientPerSimulation(t *testing.T) {
+	// The framework's value proposition (paper Fig. 3) is efficiency:
+	// discrepancies found per expensive hardware simulation. The guided
+	// campaign (spectra + filter + reasoning) must beat blind mutation on
+	// that ratio, while spending far fewer simulations.
+	run := func(guided bool) (found, sims int) {
+		cfg := Config{
+			WidthBits:    16,
+			SimBudget:    20,
+			UseSpectra:   guided,
+			UseFilter:    guided,
+			UseReasoning: guided,
+			Seed:         31,
+		}
+		if guided {
+			cfg.Model = llm.NewSimModel(llm.TierLarge, 31)
+		}
+		res, err := Run(overflowKernel, "", "scale", [][]int64{{1, 1}, {2, 3}}, cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return len(res.Discrepancies), res.SimsRun
+	}
+	gFound, gSims := run(true)
+	bFound, bSims := run(false)
+	if gFound == 0 {
+		t.Fatal("guided campaign found nothing")
+	}
+	gRate := float64(gFound) / float64(gSims)
+	bRate := float64(bFound) / float64(bSims)
+	if gRate <= bRate {
+		t.Errorf("guided hit rate %.2f (%d/%d) <= blind %.2f (%d/%d)",
+			gRate, gFound, gSims, bRate, bFound, bSims)
+	}
+	if gSims >= bSims {
+		t.Errorf("guided used %d sims, blind %d; filtering saved nothing", gSims, bSims)
+	}
+}
+
+func TestRejectsUnsynthesizableKernel(t *testing.T) {
+	src := `
+int f(int n) {
+    int *p = (int*)malloc(n);
+    free(p);
+    return n;
+}`
+	if _, err := Run(src, "", "f", nil, Config{}); err == nil {
+		t.Error("expected synthesizability error")
+	}
+}

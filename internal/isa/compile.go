@@ -1,0 +1,514 @@
+package isa
+
+import (
+	"fmt"
+
+	"llm4eda/internal/chdl"
+)
+
+// CompileError is a positioned compilation failure. In the SLT loop a
+// non-compiling snippet scores zero, exactly as in the paper.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("isa compile error at line %d: %s", e.Line, e.Msg)
+}
+
+// temp registers available for expression evaluation (t0-t6 in RV terms).
+var tempRegs = []int{5, 6, 7, 28, 29, 30, 31}
+
+// Compile lowers a chdl program to the abstract RV32-like ISA. The entry
+// function becomes the bootstrap target; all functions are compiled so
+// calls between them work. Pointers and dynamic memory are unsupported
+// (the SLT snippet grammar never produces them); such programs fail with
+// a CompileError, which the optimization loop scores as zero.
+func Compile(prog *chdl.Program, entry string) (*Program, error) {
+	if prog.FindFunc(entry) == nil {
+		return nil, &CompileError{Msg: fmt.Sprintf("entry function %q not defined", entry)}
+	}
+	c := &compiler{
+		prog:    prog,
+		out:     &Program{Entry: map[string]int{}},
+		globals: map[string]globalInfo{},
+	}
+	// Lay out globals.
+	for _, g := range prog.Globals {
+		if err := c.layoutGlobal(g); err != nil {
+			return nil, err
+		}
+	}
+	// Bootstrap: initialize globals, call entry, halt. Target patched later.
+	for _, g := range prog.Globals {
+		if err := c.emitGlobalInit(g); err != nil {
+			return nil, err
+		}
+	}
+	callIdx := len(c.out.Insts)
+	c.emit(Inst{Op: OpJal, Rd: RegRA, Imm: 0})
+	c.emit(Inst{Op: OpHalt})
+
+	for _, fn := range prog.Funcs {
+		if err := c.compileFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	entryIdx, ok := c.out.Entry[entry]
+	if !ok {
+		return nil, &CompileError{Msg: fmt.Sprintf("entry %q did not compile", entry)}
+	}
+	c.out.Insts[callIdx].Imm = int64(entryIdx)
+	for _, cp := range c.callFix {
+		target, ok := c.out.Entry[cp.name]
+		if !ok {
+			return nil, &CompileError{Msg: fmt.Sprintf("call to unknown function %q", cp.name)}
+		}
+		c.out.Insts[cp.idx].Imm = int64(target)
+	}
+	c.out.Start = 0
+	c.out.GlobalWords = c.globalTop
+	return c.out, nil
+}
+
+type globalInfo struct {
+	off     int
+	size    int
+	isArray bool
+}
+
+type localInfo struct {
+	off     int // sp-relative cell offset
+	size    int // 1 for scalars, N for arrays
+	isArray bool
+}
+
+type compiler struct {
+	prog      *chdl.Program
+	out       *Program
+	globals   map[string]globalInfo
+	globalTop int
+
+	// per-function state
+	fn        *chdl.FuncDecl
+	scopes    []map[string]localInfo
+	frameSize int
+	tempInUse map[int]bool
+	nextSlot  int
+	breakFix  [][]int // stacks of instruction indices to patch
+	contFix   [][]int
+	epilogFix []int
+	callFix   []callPatch
+}
+
+// callPatch records a call site whose target entry is resolved after all
+// functions have been compiled (forward references).
+type callPatch struct {
+	idx  int
+	name string
+}
+
+func (c *compiler) emit(i Inst) int {
+	c.out.Insts = append(c.out.Insts, i)
+	return len(c.out.Insts) - 1
+}
+
+func (c *compiler) layoutGlobal(g *chdl.VarDecl) error {
+	size := 1
+	if g.Type.Kind == chdl.KindArray {
+		size = g.Type.ArrayLen
+		if size < 0 {
+			size = len(g.InitList)
+		}
+		if size <= 0 {
+			return &CompileError{Line: g.Line, Msg: fmt.Sprintf("global array %q has no static size", g.Name)}
+		}
+	}
+	if g.Type.Kind == chdl.KindPtr {
+		return &CompileError{Line: g.Line, Msg: fmt.Sprintf("global pointer %q unsupported by the ISA backend", g.Name)}
+	}
+	c.globals[g.Name] = globalInfo{off: c.globalTop, size: size, isArray: g.Type.Kind == chdl.KindArray}
+	c.globalTop += size
+	return nil
+}
+
+func (c *compiler) emitGlobalInit(g *chdl.VarDecl) error {
+	info := c.globals[g.Name]
+	initCell := func(off int, val int64) {
+		if val == 0 {
+			return // memory starts zeroed
+		}
+		c.emit(Inst{Op: OpAddi, Rd: tempRegs[0], Rs1: RegZero, Imm: val})
+		c.emit(Inst{Op: OpSw, Rs1: RegGP, Rs2: tempRegs[0], Imm: int64(off)})
+	}
+	if g.Init != nil {
+		lit, ok := g.Init.(*chdl.IntLit)
+		if !ok {
+			return &CompileError{Line: g.Line, Msg: fmt.Sprintf("global %q needs a constant initializer", g.Name)}
+		}
+		initCell(info.off, lit.Val)
+	}
+	for i, e := range g.InitList {
+		lit, ok := e.(*chdl.IntLit)
+		if !ok {
+			return &CompileError{Line: g.Line, Msg: fmt.Sprintf("global %q needs constant initializers", g.Name)}
+		}
+		initCell(info.off+i, lit.Val)
+	}
+	return nil
+}
+
+// frameLayout pre-walks a function body to size its stack frame.
+func frameLayout(fn *chdl.FuncDecl) (int, error) {
+	size := 1 // slot 0: saved ra
+	var walk func(st chdl.Stmt) error
+	count := func(d *chdl.VarDecl) error {
+		switch d.Type.Kind {
+		case chdl.KindPtr:
+			return &CompileError{Line: d.Line, Msg: fmt.Sprintf("pointer variable %q unsupported by the ISA backend", d.Name)}
+		case chdl.KindArray:
+			n := d.Type.ArrayLen
+			if n < 0 {
+				n = len(d.InitList)
+			}
+			if n <= 0 {
+				return &CompileError{Line: d.Line, Msg: fmt.Sprintf("array %q has no static size", d.Name)}
+			}
+			if d.Type.Elem.Kind == chdl.KindArray {
+				return &CompileError{Line: d.Line, Msg: "multi-dimensional arrays unsupported by the ISA backend"}
+			}
+			size += n
+		default:
+			size++
+		}
+		return nil
+	}
+	walk = func(st chdl.Stmt) error {
+		switch n := st.(type) {
+		case *chdl.BlockStmt:
+			for _, s := range n.Stmts {
+				if err := walk(s); err != nil {
+					return err
+				}
+			}
+		case *chdl.DeclStmt:
+			for _, d := range n.Decls {
+				if err := count(d); err != nil {
+					return err
+				}
+			}
+		case *chdl.IfStmt:
+			if err := walk(n.Then); err != nil {
+				return err
+			}
+			if n.Else != nil {
+				return walk(n.Else)
+			}
+		case *chdl.ForStmt:
+			if n.Init != nil {
+				if err := walk(n.Init); err != nil {
+					return err
+				}
+			}
+			return walk(n.Body)
+		case *chdl.WhileStmt:
+			return walk(n.Body)
+		case *chdl.DoStmt:
+			return walk(n.Body)
+		}
+		return nil
+	}
+	for range fn.Params {
+		size++
+	}
+	if err := walk(fn.Body); err != nil {
+		return 0, err
+	}
+	return size, nil
+}
+
+func (c *compiler) compileFunc(fn *chdl.FuncDecl) error {
+	frame, err := frameLayout(fn)
+	if err != nil {
+		return err
+	}
+	c.fn = fn
+	c.frameSize = frame
+	c.scopes = []map[string]localInfo{{}}
+	c.tempInUse = map[int]bool{}
+	c.epilogFix = nil
+	c.out.Entry[fn.Name] = len(c.out.Insts)
+
+	// Prologue.
+	c.emit(Inst{Op: OpAddi, Rd: RegSP, Rs1: RegSP, Imm: -int64(frame)})
+	c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: RegRA, Imm: 0})
+	next := 1
+	for i, prm := range fn.Params {
+		if prm.Type.Kind == chdl.KindPtr || prm.Type.Kind == chdl.KindArray {
+			return &CompileError{Line: prm.Line, Msg: fmt.Sprintf("pointer/array parameter %q unsupported by the ISA backend", prm.Name)}
+		}
+		if i >= 8 {
+			return &CompileError{Line: fn.Line, Msg: "more than 8 parameters unsupported"}
+		}
+		c.scopes[0][prm.Name] = localInfo{off: next, size: 1}
+		c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: RegA0 + i, Imm: int64(next)})
+		next++
+	}
+	c.nextSlot = next
+
+	if err := c.stmt(fn.Body); err != nil {
+		return err
+	}
+	// Fall-through return (void or missing return): a0 = 0.
+	c.emit(Inst{Op: OpAddi, Rd: RegA0, Rs1: RegZero, Imm: 0})
+	epi := len(c.out.Insts)
+	for _, idx := range c.epilogFix {
+		c.out.Insts[idx].Imm = int64(epi)
+	}
+	c.emit(Inst{Op: OpLw, Rd: RegRA, Rs1: RegSP, Imm: 0})
+	c.emit(Inst{Op: OpAddi, Rd: RegSP, Rs1: RegSP, Imm: int64(frame)})
+	c.emit(Inst{Op: OpJalr, Rd: RegZero, Rs1: RegRA, Imm: 0})
+	return nil
+}
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, map[string]localInfo{}) }
+func (c *compiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *compiler) lookupLocal(name string) (localInfo, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if li, ok := c.scopes[i][name]; ok {
+			return li, true
+		}
+	}
+	return localInfo{}, false
+}
+
+func (c *compiler) allocTemp(line int) (int, error) {
+	for _, r := range tempRegs {
+		if !c.tempInUse[r] {
+			c.tempInUse[r] = true
+			return r, nil
+		}
+	}
+	return 0, &CompileError{Line: line, Msg: "expression too deep for the register allocator"}
+}
+
+func (c *compiler) freeTemp(r int) { delete(c.tempInUse, r) }
+
+// --- statements -----------------------------------------------------------
+
+func (c *compiler) stmt(st chdl.Stmt) error {
+	switch n := st.(type) {
+	case nil, *chdl.PragmaStmt:
+		return nil
+
+	case *chdl.BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, s := range n.Stmts {
+			if err := c.stmt(s); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *chdl.DeclStmt:
+		for _, d := range n.Decls {
+			if err := c.declLocal(d); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *chdl.ExprStmt:
+		r, err := c.expr(n.X)
+		if err != nil {
+			return err
+		}
+		c.freeTemp(r)
+		return nil
+
+	case *chdl.IfStmt:
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return err
+		}
+		br := c.emit(Inst{Op: OpBeq, Rs1: cond, Rs2: RegZero}) // to else/end
+		c.freeTemp(cond)
+		if err := c.stmt(n.Then); err != nil {
+			return err
+		}
+		if n.Else != nil {
+			jmp := c.emit(Inst{Op: OpJal, Rd: RegZero})
+			c.out.Insts[br].Imm = int64(len(c.out.Insts))
+			if err := c.stmt(n.Else); err != nil {
+				return err
+			}
+			c.out.Insts[jmp].Imm = int64(len(c.out.Insts))
+		} else {
+			c.out.Insts[br].Imm = int64(len(c.out.Insts))
+		}
+		return nil
+
+	case *chdl.ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if n.Init != nil {
+			if err := c.stmt(n.Init); err != nil {
+				return err
+			}
+		}
+		head := len(c.out.Insts)
+		var exitBr int = -1
+		if n.Cond != nil {
+			cond, err := c.expr(n.Cond)
+			if err != nil {
+				return err
+			}
+			exitBr = c.emit(Inst{Op: OpBeq, Rs1: cond, Rs2: RegZero})
+			c.freeTemp(cond)
+		}
+		c.breakFix = append(c.breakFix, nil)
+		c.contFix = append(c.contFix, nil)
+		if err := c.stmt(n.Body); err != nil {
+			return err
+		}
+		contTarget := len(c.out.Insts)
+		if n.Post != nil {
+			r, err := c.expr(n.Post)
+			if err != nil {
+				return err
+			}
+			c.freeTemp(r)
+		}
+		c.emit(Inst{Op: OpJal, Rd: RegZero, Imm: int64(head)})
+		end := len(c.out.Insts)
+		if exitBr >= 0 {
+			c.out.Insts[exitBr].Imm = int64(end)
+		}
+		c.patchLoop(end, contTarget)
+		return nil
+
+	case *chdl.WhileStmt:
+		head := len(c.out.Insts)
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return err
+		}
+		exitBr := c.emit(Inst{Op: OpBeq, Rs1: cond, Rs2: RegZero})
+		c.freeTemp(cond)
+		c.breakFix = append(c.breakFix, nil)
+		c.contFix = append(c.contFix, nil)
+		if err := c.stmt(n.Body); err != nil {
+			return err
+		}
+		c.emit(Inst{Op: OpJal, Rd: RegZero, Imm: int64(head)})
+		end := len(c.out.Insts)
+		c.out.Insts[exitBr].Imm = int64(end)
+		c.patchLoop(end, head)
+		return nil
+
+	case *chdl.DoStmt:
+		head := len(c.out.Insts)
+		c.breakFix = append(c.breakFix, nil)
+		c.contFix = append(c.contFix, nil)
+		if err := c.stmt(n.Body); err != nil {
+			return err
+		}
+		contTarget := len(c.out.Insts)
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return err
+		}
+		c.emit(Inst{Op: OpBne, Rs1: cond, Rs2: RegZero, Imm: int64(head)})
+		c.freeTemp(cond)
+		end := len(c.out.Insts)
+		c.patchLoop(end, contTarget)
+		return nil
+
+	case *chdl.ReturnStmt:
+		if n.X != nil {
+			r, err := c.expr(n.X)
+			if err != nil {
+				return err
+			}
+			c.emit(Inst{Op: OpAdd, Rd: RegA0, Rs1: r, Rs2: RegZero})
+			c.freeTemp(r)
+		} else {
+			c.emit(Inst{Op: OpAddi, Rd: RegA0, Rs1: RegZero, Imm: 0})
+		}
+		c.epilogFix = append(c.epilogFix, c.emit(Inst{Op: OpJal, Rd: RegZero}))
+		return nil
+
+	case *chdl.BreakStmt:
+		if len(c.breakFix) == 0 {
+			return &CompileError{Line: n.Line, Msg: "break outside loop"}
+		}
+		idx := c.emit(Inst{Op: OpJal, Rd: RegZero})
+		c.breakFix[len(c.breakFix)-1] = append(c.breakFix[len(c.breakFix)-1], idx)
+		return nil
+
+	case *chdl.ContinueStmt:
+		if len(c.contFix) == 0 {
+			return &CompileError{Line: n.Line, Msg: "continue outside loop"}
+		}
+		idx := c.emit(Inst{Op: OpJal, Rd: RegZero})
+		c.contFix[len(c.contFix)-1] = append(c.contFix[len(c.contFix)-1], idx)
+		return nil
+
+	default:
+		return &CompileError{Msg: fmt.Sprintf("unsupported statement %T", st)}
+	}
+}
+
+// patchLoop resolves break/continue jumps for the innermost loop.
+func (c *compiler) patchLoop(breakTo, contTo int) {
+	for _, idx := range c.breakFix[len(c.breakFix)-1] {
+		c.out.Insts[idx].Imm = int64(breakTo)
+	}
+	for _, idx := range c.contFix[len(c.contFix)-1] {
+		c.out.Insts[idx].Imm = int64(contTo)
+	}
+	c.breakFix = c.breakFix[:len(c.breakFix)-1]
+	c.contFix = c.contFix[:len(c.contFix)-1]
+}
+
+func (c *compiler) declLocal(d *chdl.VarDecl) error {
+	switch d.Type.Kind {
+	case chdl.KindPtr:
+		return &CompileError{Line: d.Line, Msg: fmt.Sprintf("pointer variable %q unsupported by the ISA backend", d.Name)}
+	case chdl.KindArray:
+		n := d.Type.ArrayLen
+		if n < 0 {
+			n = len(d.InitList)
+		}
+		li := localInfo{off: c.nextSlot, size: n, isArray: true}
+		c.nextSlot += n
+		c.scopes[len(c.scopes)-1][d.Name] = li
+		for i, e := range d.InitList {
+			r, err := c.expr(e)
+			if err != nil {
+				return err
+			}
+			c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: r, Imm: int64(li.off + i)})
+			c.freeTemp(r)
+		}
+		return nil
+	default:
+		li := localInfo{off: c.nextSlot, size: 1}
+		c.nextSlot++
+		c.scopes[len(c.scopes)-1][d.Name] = li
+		if d.Init != nil {
+			r, err := c.expr(d.Init)
+			if err != nil {
+				return err
+			}
+			c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: r, Imm: int64(li.off)})
+			c.freeTemp(r)
+		} else {
+			c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: RegZero, Imm: int64(li.off)})
+		}
+		return nil
+	}
+}

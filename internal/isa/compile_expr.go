@@ -1,0 +1,454 @@
+package isa
+
+import (
+	"fmt"
+
+	"llm4eda/internal/chdl"
+)
+
+// expr generates code computing e into a freshly allocated temp register,
+// which the caller must free.
+func (c *compiler) expr(e chdl.Expr) (int, error) {
+	switch n := e.(type) {
+	case *chdl.IntLit:
+		r, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAddi, Rd: r, Rs1: RegZero, Imm: n.Val})
+		return r, nil
+
+	case *chdl.VarRef:
+		r, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		if li, ok := c.lookupLocal(n.Name); ok {
+			if li.isArray {
+				c.emit(Inst{Op: OpAddi, Rd: r, Rs1: RegSP, Imm: int64(li.off)})
+			} else {
+				c.emit(Inst{Op: OpLw, Rd: r, Rs1: RegSP, Imm: int64(li.off)})
+			}
+			return r, nil
+		}
+		if gi, ok := c.globals[n.Name]; ok {
+			if gi.isArray {
+				c.emit(Inst{Op: OpAddi, Rd: r, Rs1: RegGP, Imm: int64(gi.off)})
+			} else {
+				c.emit(Inst{Op: OpLw, Rd: r, Rs1: RegGP, Imm: int64(gi.off)})
+			}
+			return r, nil
+		}
+		c.freeTemp(r)
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("undefined variable %q", n.Name)}
+
+	case *chdl.IndexExpr:
+		addr, err := c.address(n)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpLw, Rd: addr, Rs1: addr, Imm: 0})
+		return addr, nil
+
+	case *chdl.AssignExpr:
+		return c.assign(n)
+
+	case *chdl.BinExpr:
+		return c.binary(n)
+
+	case *chdl.UnExpr:
+		return c.unary(n)
+
+	case *chdl.PostfixExpr:
+		// Evaluate to old value, then increment storage.
+		old, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		delta := int64(1)
+		if n.Op == "--" {
+			delta = -1
+		}
+		nv, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAddi, Rd: nv, Rs1: old, Imm: delta})
+		if err := c.store(n.X, nv, n.Line); err != nil {
+			return 0, err
+		}
+		c.freeTemp(nv)
+		return old, nil
+
+	case *chdl.CondExpr:
+		res, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		cond, err := c.expr(n.Cond)
+		if err != nil {
+			return 0, err
+		}
+		br := c.emit(Inst{Op: OpBeq, Rs1: cond, Rs2: RegZero})
+		c.freeTemp(cond)
+		rt, err := c.expr(n.Then)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAdd, Rd: res, Rs1: rt, Rs2: RegZero})
+		c.freeTemp(rt)
+		jmp := c.emit(Inst{Op: OpJal, Rd: RegZero})
+		c.out.Insts[br].Imm = int64(len(c.out.Insts))
+		re, err := c.expr(n.Else)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAdd, Rd: res, Rs1: re, Rs2: RegZero})
+		c.freeTemp(re)
+		c.out.Insts[jmp].Imm = int64(len(c.out.Insts))
+		return res, nil
+
+	case *chdl.CallExpr:
+		return c.callExpr(n)
+
+	case *chdl.CastExpr:
+		r, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		if n.To.Kind == chdl.KindChar {
+			c.emit(Inst{Op: OpSlli, Rd: r, Rs1: r, Imm: 24})
+			c.emit(Inst{Op: OpSrai, Rd: r, Rs1: r, Imm: 24})
+		}
+		return r, nil
+
+	case *chdl.SizeofExpr:
+		r, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAddi, Rd: r, Rs1: RegZero, Imm: 1})
+		return r, nil
+
+	default:
+		return 0, &CompileError{Msg: fmt.Sprintf("unsupported expression %T", e)}
+	}
+}
+
+// address computes the cell address of an index expression into a temp.
+func (c *compiler) address(n *chdl.IndexExpr) (int, error) {
+	vr, ok := n.X.(*chdl.VarRef)
+	if !ok {
+		return 0, &CompileError{Line: n.Line, Msg: "only direct array indexing is supported by the ISA backend"}
+	}
+	base, err := c.allocTemp(n.Line)
+	if err != nil {
+		return 0, err
+	}
+	if li, ok := c.lookupLocal(vr.Name); ok && li.isArray {
+		c.emit(Inst{Op: OpAddi, Rd: base, Rs1: RegSP, Imm: int64(li.off)})
+	} else if gi, ok := c.globals[vr.Name]; ok && gi.isArray {
+		c.emit(Inst{Op: OpAddi, Rd: base, Rs1: RegGP, Imm: int64(gi.off)})
+	} else {
+		c.freeTemp(base)
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("%q is not an array", vr.Name)}
+	}
+	idx, err := c.expr(n.Idx)
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Inst{Op: OpAdd, Rd: base, Rs1: base, Rs2: idx})
+	c.freeTemp(idx)
+	return base, nil
+}
+
+// store writes register val into the storage the lvalue designates.
+func (c *compiler) store(lhs chdl.Expr, val int, line int) error {
+	switch n := lhs.(type) {
+	case *chdl.VarRef:
+		if li, ok := c.lookupLocal(n.Name); ok && !li.isArray {
+			c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: val, Imm: int64(li.off)})
+			return nil
+		}
+		if gi, ok := c.globals[n.Name]; ok && !gi.isArray {
+			c.emit(Inst{Op: OpSw, Rs1: RegGP, Rs2: val, Imm: int64(gi.off)})
+			return nil
+		}
+		return &CompileError{Line: line, Msg: fmt.Sprintf("cannot assign to %q", n.Name)}
+	case *chdl.IndexExpr:
+		addr, err := c.address(n)
+		if err != nil {
+			return err
+		}
+		c.emit(Inst{Op: OpSw, Rs1: addr, Rs2: val, Imm: 0})
+		c.freeTemp(addr)
+		return nil
+	default:
+		return &CompileError{Line: line, Msg: fmt.Sprintf("unsupported assignment target %T", lhs)}
+	}
+}
+
+var isaBinOps = map[string]Op{
+	"+": OpAdd, "-": OpSub, "&": OpAnd, "|": OpOr, "^": OpXor,
+	"<<": OpSll, ">>": OpSra, "*": OpMul, "/": OpDiv, "%": OpRem,
+}
+
+func (c *compiler) assign(n *chdl.AssignExpr) (int, error) {
+	if n.Op == "=" {
+		r, err := c.expr(n.RHS)
+		if err != nil {
+			return 0, err
+		}
+		if err := c.store(n.LHS, r, n.Line); err != nil {
+			return 0, err
+		}
+		return r, nil
+	}
+	// Compound: load, op, store.
+	base := n.Op[:len(n.Op)-1]
+	op, ok := isaBinOps[base]
+	if !ok {
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("unsupported compound assignment %q", n.Op)}
+	}
+	cur, err := c.expr(n.LHS)
+	if err != nil {
+		return 0, err
+	}
+	rhs, err := c.expr(n.RHS)
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Inst{Op: op, Rd: cur, Rs1: cur, Rs2: rhs})
+	c.freeTemp(rhs)
+	if err := c.store(n.LHS, cur, n.Line); err != nil {
+		return 0, err
+	}
+	return cur, nil
+}
+
+func (c *compiler) binary(n *chdl.BinExpr) (int, error) {
+	switch n.Op {
+	case "&&", "||":
+		return c.shortCircuit(n)
+	}
+	if op, ok := isaBinOps[n.Op]; ok {
+		x, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := c.expr(n.Y)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: op, Rd: x, Rs1: x, Rs2: y})
+		c.freeTemp(y)
+		return x, nil
+	}
+	// Comparisons.
+	x, err := c.expr(n.X)
+	if err != nil {
+		return 0, err
+	}
+	y, err := c.expr(n.Y)
+	if err != nil {
+		return 0, err
+	}
+	switch n.Op {
+	case "<":
+		c.emit(Inst{Op: OpSlt, Rd: x, Rs1: x, Rs2: y})
+	case ">":
+		c.emit(Inst{Op: OpSlt, Rd: x, Rs1: y, Rs2: x})
+	case "<=":
+		c.emit(Inst{Op: OpSlt, Rd: x, Rs1: y, Rs2: x})
+		c.emit(Inst{Op: OpXori, Rd: x, Rs1: x, Imm: 1})
+	case ">=":
+		c.emit(Inst{Op: OpSlt, Rd: x, Rs1: x, Rs2: y})
+		c.emit(Inst{Op: OpXori, Rd: x, Rs1: x, Imm: 1})
+	case "==":
+		c.emit(Inst{Op: OpXor, Rd: x, Rs1: x, Rs2: y})
+		c.emit(Inst{Op: OpSltu, Rd: x, Rs1: RegZero, Rs2: x})
+		c.emit(Inst{Op: OpXori, Rd: x, Rs1: x, Imm: 1})
+	case "!=":
+		c.emit(Inst{Op: OpXor, Rd: x, Rs1: x, Rs2: y})
+		c.emit(Inst{Op: OpSltu, Rd: x, Rs1: RegZero, Rs2: x})
+	default:
+		c.freeTemp(x)
+		c.freeTemp(y)
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("unsupported operator %q", n.Op)}
+	}
+	c.freeTemp(y)
+	return x, nil
+}
+
+func (c *compiler) shortCircuit(n *chdl.BinExpr) (int, error) {
+	res, err := c.allocTemp(n.Line)
+	if err != nil {
+		return 0, err
+	}
+	x, err := c.expr(n.X)
+	if err != nil {
+		return 0, err
+	}
+	var br int
+	if n.Op == "&&" {
+		br = c.emit(Inst{Op: OpBeq, Rs1: x, Rs2: RegZero}) // x false -> result 0
+	} else {
+		br = c.emit(Inst{Op: OpBne, Rs1: x, Rs2: RegZero}) // x true -> result 1
+	}
+	c.freeTemp(x)
+	y, err := c.expr(n.Y)
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Inst{Op: OpSltu, Rd: res, Rs1: RegZero, Rs2: y}) // normalize y
+	c.freeTemp(y)
+	jmp := c.emit(Inst{Op: OpJal, Rd: RegZero})
+	c.out.Insts[br].Imm = int64(len(c.out.Insts))
+	short := int64(0)
+	if n.Op == "||" {
+		short = 1
+	}
+	c.emit(Inst{Op: OpAddi, Rd: res, Rs1: RegZero, Imm: short})
+	c.out.Insts[jmp].Imm = int64(len(c.out.Insts))
+	return res, nil
+}
+
+func (c *compiler) unary(n *chdl.UnExpr) (int, error) {
+	switch n.Op {
+	case "-":
+		x, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpSub, Rd: x, Rs1: RegZero, Rs2: x})
+		return x, nil
+	case "~":
+		x, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpXori, Rd: x, Rs1: x, Imm: -1})
+		return x, nil
+	case "!":
+		x, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpSltu, Rd: x, Rs1: RegZero, Rs2: x})
+		c.emit(Inst{Op: OpXori, Rd: x, Rs1: x, Imm: 1})
+		return x, nil
+	case "++", "--":
+		cur, err := c.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		delta := int64(1)
+		if n.Op == "--" {
+			delta = -1
+		}
+		c.emit(Inst{Op: OpAddi, Rd: cur, Rs1: cur, Imm: delta})
+		if err := c.store(n.X, cur, n.Line); err != nil {
+			return 0, err
+		}
+		return cur, nil
+	case "*", "&":
+		return 0, &CompileError{Line: n.Line, Msg: "pointers unsupported by the ISA backend"}
+	default:
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("unsupported unary %q", n.Op)}
+	}
+}
+
+func (c *compiler) callExpr(n *chdl.CallExpr) (int, error) {
+	switch n.Name {
+	case "abs", "labs":
+		if len(n.Args) != 1 {
+			return 0, &CompileError{Line: n.Line, Msg: "abs takes one argument"}
+		}
+		x, err := c.expr(n.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		// if x >= 0 skip negate
+		br := c.emit(Inst{Op: OpBge, Rs1: x, Rs2: RegZero})
+		c.emit(Inst{Op: OpSub, Rd: x, Rs1: RegZero, Rs2: x})
+		c.out.Insts[br].Imm = int64(len(c.out.Insts))
+		return x, nil
+
+	case "printf", "puts", "putchar", "srand", "assert":
+		// Evaluated for side effects of the arguments only; the processor
+		// model has no console.
+		for _, a := range n.Args {
+			r, err := c.expr(a)
+			if err != nil {
+				return 0, err
+			}
+			c.freeTemp(r)
+		}
+		r, err := c.allocTemp(n.Line)
+		if err != nil {
+			return 0, err
+		}
+		c.emit(Inst{Op: OpAddi, Rd: r, Rs1: RegZero, Imm: 0})
+		return r, nil
+
+	case "malloc", "calloc", "free", "rand", "memset", "memcpy", "exit":
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("builtin %q unsupported by the ISA backend", n.Name)}
+	}
+
+	fn := c.prog.FindFunc(n.Name)
+	if fn == nil {
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("call to undefined function %q", n.Name)}
+	}
+	if len(n.Args) != len(fn.Params) {
+		return 0, &CompileError{Line: n.Line, Msg: fmt.Sprintf("%s expects %d args, got %d", n.Name, len(fn.Params), len(n.Args))}
+	}
+	if len(n.Args) > 8 {
+		return 0, &CompileError{Line: n.Line, Msg: "more than 8 arguments unsupported"}
+	}
+
+	// Evaluate arguments into temps.
+	var argRegs []int
+	for _, a := range n.Args {
+		r, err := c.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		argRegs = append(argRegs, r)
+	}
+	// Spill live temps that are not argument registers.
+	isArg := map[int]bool{}
+	for _, r := range argRegs {
+		isArg[r] = true
+	}
+	var save []int
+	for _, r := range tempRegs {
+		if c.tempInUse[r] && !isArg[r] {
+			save = append(save, r)
+		}
+	}
+	if len(save) > 0 {
+		c.emit(Inst{Op: OpAddi, Rd: RegSP, Rs1: RegSP, Imm: -int64(len(save))})
+		for i, r := range save {
+			c.emit(Inst{Op: OpSw, Rs1: RegSP, Rs2: r, Imm: int64(i)})
+		}
+	}
+	// Move arguments into a0..a7 and release the temps.
+	for i, r := range argRegs {
+		c.emit(Inst{Op: OpAdd, Rd: RegA0 + i, Rs1: r, Rs2: RegZero})
+		c.freeTemp(r)
+	}
+	c.callFix = append(c.callFix, callPatch{idx: c.emit(Inst{Op: OpJal, Rd: RegRA}), name: n.Name})
+	// Restore spilled temps.
+	if len(save) > 0 {
+		for i, r := range save {
+			c.emit(Inst{Op: OpLw, Rd: r, Rs1: RegSP, Imm: int64(i)})
+		}
+		c.emit(Inst{Op: OpAddi, Rd: RegSP, Rs1: RegSP, Imm: int64(len(save))})
+	}
+	res, err := c.allocTemp(n.Line)
+	if err != nil {
+		return 0, err
+	}
+	c.emit(Inst{Op: OpAdd, Rd: res, Rs1: RegA0, Rs2: RegZero})
+	return res, nil
+}

@@ -1,0 +1,211 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrISAStepLimit reports that functional interpretation exceeded its
+// step budget.
+var ErrISAStepLimit = errors.New("isa: step limit exceeded")
+
+const interpMemWords = 1 << 20
+
+// Interpret runs the program functionally (no timing) from its bootstrap
+// and returns a0 at HALT. It validates compiled code independently of the
+// boom microarchitectural model.
+func Interpret(p *Program, maxSteps int) (int32, error) {
+	return interpret(p, p.Start, nil, maxSteps)
+}
+
+// InterpretArgs calls a specific function entry with register arguments
+// (a0..a7) and returns a0 when it returns to the synthetic halt frame.
+func InterpretArgs(p *Program, fn string, maxSteps int, args ...int32) (int32, error) {
+	entry, ok := p.Entry[fn]
+	if !ok {
+		return 0, fmt.Errorf("isa: unknown function %q", fn)
+	}
+	if len(args) > 8 {
+		return 0, fmt.Errorf("isa: more than 8 arguments")
+	}
+	return interpret(p, entry, args, maxSteps)
+}
+
+func interpret(p *Program, startPC int, args []int32, maxSteps int) (int32, error) {
+	var regs [32]int32
+	mem := make([]int32, interpMemWords)
+	regs[RegSP] = int32(interpMemWords - 1)
+	pc := startPC
+
+	// Run bootstrap global initializers when entering a raw function so
+	// that globals hold their declared values.
+	if args != nil {
+		for i := 0; i < len(p.Insts); i++ {
+			in := p.Insts[i]
+			if in.Op == OpJal && in.Rd == RegRA {
+				break // end of the init prologue
+			}
+			switch in.Op {
+			case OpAddi:
+				if in.Rd != 0 {
+					regs[in.Rd] = regs[in.Rs1] + int32(in.Imm)
+				}
+			case OpSw:
+				addr := regs[in.Rs1] + int32(in.Imm)
+				if addr >= 0 && int(addr) < len(mem) {
+					mem[addr] = regs[in.Rs2]
+				}
+			}
+		}
+		for i, a := range args {
+			regs[RegA0+i] = a
+		}
+		// Return address: a synthetic halt cell (the instruction after the
+		// bootstrap call is HALT).
+		haltIdx := -1
+		for i, in := range p.Insts {
+			if in.Op == OpHalt {
+				haltIdx = i
+				break
+			}
+		}
+		if haltIdx < 0 {
+			return 0, fmt.Errorf("isa: program has no halt")
+		}
+		regs[RegRA] = int32(haltIdx)
+		pc = startPC
+	}
+
+	for steps := 0; steps < maxSteps; steps++ {
+		if pc < 0 || pc >= len(p.Insts) {
+			return 0, fmt.Errorf("isa: pc %d out of range", pc)
+		}
+		in := p.Insts[pc]
+		next := pc + 1
+		wr := func(v int32) {
+			if in.Rd != 0 {
+				regs[in.Rd] = v
+			}
+		}
+		switch in.Op {
+		case OpHalt:
+			return regs[RegA0], nil
+		case OpAdd:
+			wr(regs[in.Rs1] + regs[in.Rs2])
+		case OpSub:
+			wr(regs[in.Rs1] - regs[in.Rs2])
+		case OpAnd:
+			wr(regs[in.Rs1] & regs[in.Rs2])
+		case OpOr:
+			wr(regs[in.Rs1] | regs[in.Rs2])
+		case OpXor:
+			wr(regs[in.Rs1] ^ regs[in.Rs2])
+		case OpSll:
+			wr(regs[in.Rs1] << (uint32(regs[in.Rs2]) & 31))
+		case OpSrl:
+			wr(int32(uint32(regs[in.Rs1]) >> (uint32(regs[in.Rs2]) & 31)))
+		case OpSra:
+			wr(regs[in.Rs1] >> (uint32(regs[in.Rs2]) & 31))
+		case OpSlt:
+			wr(b2i(regs[in.Rs1] < regs[in.Rs2]))
+		case OpSltu:
+			wr(b2i(uint32(regs[in.Rs1]) < uint32(regs[in.Rs2])))
+		case OpMul:
+			wr(int32(int64(regs[in.Rs1]) * int64(regs[in.Rs2])))
+		case OpMulh:
+			wr(int32((int64(regs[in.Rs1]) * int64(regs[in.Rs2])) >> 32))
+		case OpDiv:
+			a, b := regs[in.Rs1], regs[in.Rs2]
+			switch {
+			case b == 0:
+				wr(-1)
+			case a == -1<<31 && b == -1:
+				wr(a)
+			default:
+				wr(a / b)
+			}
+		case OpRem:
+			a, b := regs[in.Rs1], regs[in.Rs2]
+			switch {
+			case b == 0:
+				wr(a)
+			case a == -1<<31 && b == -1:
+				wr(0)
+			default:
+				wr(a % b)
+			}
+		case OpAddi:
+			wr(regs[in.Rs1] + int32(in.Imm))
+		case OpAndi:
+			wr(regs[in.Rs1] & int32(in.Imm))
+		case OpOri:
+			wr(regs[in.Rs1] | int32(in.Imm))
+		case OpXori:
+			wr(regs[in.Rs1] ^ int32(in.Imm))
+		case OpSlli:
+			wr(regs[in.Rs1] << (uint32(in.Imm) & 31))
+		case OpSrli:
+			wr(int32(uint32(regs[in.Rs1]) >> (uint32(in.Imm) & 31)))
+		case OpSrai:
+			wr(regs[in.Rs1] >> (uint32(in.Imm) & 31))
+		case OpSlti:
+			wr(b2i(regs[in.Rs1] < int32(in.Imm)))
+		case OpLui:
+			wr(int32(in.Imm) << 12)
+		case OpLw:
+			addr := regs[in.Rs1] + int32(in.Imm)
+			if addr < 0 || int(addr) >= len(mem) {
+				return 0, fmt.Errorf("isa: load address %d out of range at pc %d", addr, pc)
+			}
+			wr(mem[addr])
+		case OpSw:
+			addr := regs[in.Rs1] + int32(in.Imm)
+			if addr < 0 || int(addr) >= len(mem) {
+				return 0, fmt.Errorf("isa: store address %d out of range at pc %d", addr, pc)
+			}
+			mem[addr] = regs[in.Rs2]
+		case OpBeq:
+			if regs[in.Rs1] == regs[in.Rs2] {
+				next = int(in.Imm)
+			}
+		case OpBne:
+			if regs[in.Rs1] != regs[in.Rs2] {
+				next = int(in.Imm)
+			}
+		case OpBlt:
+			if regs[in.Rs1] < regs[in.Rs2] {
+				next = int(in.Imm)
+			}
+		case OpBge:
+			if regs[in.Rs1] >= regs[in.Rs2] {
+				next = int(in.Imm)
+			}
+		case OpBltu:
+			if uint32(regs[in.Rs1]) < uint32(regs[in.Rs2]) {
+				next = int(in.Imm)
+			}
+		case OpBgeu:
+			if uint32(regs[in.Rs1]) >= uint32(regs[in.Rs2]) {
+				next = int(in.Imm)
+			}
+		case OpJal:
+			wr(int32(pc + 1))
+			next = int(in.Imm)
+		case OpJalr:
+			t := int(regs[in.Rs1]) + int(in.Imm)
+			wr(int32(pc + 1))
+			next = t
+		default:
+			return 0, fmt.Errorf("isa: illegal opcode %v at pc %d", in.Op, pc)
+		}
+		pc = next
+	}
+	return 0, ErrISAStepLimit
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

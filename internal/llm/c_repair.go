@@ -1,0 +1,551 @@
+package llm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"llm4eda/internal/chdl"
+)
+
+// This file implements the simulated model's C-repair behaviors for the
+// Fig. 2 HLS repair framework: AST-level rewrites that remove HLS
+// incompatibilities. A matching RAG correction template makes the rewrite
+// use the safe canonical parameters; without one, weaker models guess
+// (e.g. undersized static arrays), which the equivalence-verification
+// stage then catches — the dynamic the ablation in experiment E2 measures.
+
+// template knobs extracted from RAG correction templates.
+type repairKnobs struct {
+	arrayBound   int
+	loopBound    int
+	hasArrayTmpl bool
+	hasLoopTmpl  bool
+	hasRecTmpl   bool
+}
+
+func parseKnobs(templates []string) repairKnobs {
+	k := repairKnobs{arrayBound: 0, loopBound: 0}
+	for _, t := range templates {
+		low := strings.ToLower(t)
+		if strings.Contains(low, "static array") || strings.Contains(low, "malloc") {
+			k.hasArrayTmpl = true
+			if n := extractInt(low, "bound="); n > 0 {
+				k.arrayBound = n
+			}
+		}
+		if strings.Contains(low, "trip count") || strings.Contains(low, "bounded loop") {
+			k.hasLoopTmpl = true
+			if n := extractInt(low, "bound="); n > 0 {
+				k.loopBound = n
+			}
+		}
+		if strings.Contains(low, "iterative") || strings.Contains(low, "recursion") {
+			k.hasRecTmpl = true
+		}
+	}
+	return k
+}
+
+func extractInt(s, key string) int {
+	i := strings.Index(s, key)
+	if i < 0 {
+		return 0
+	}
+	j := i + len(key)
+	end := j
+	for end < len(s) && s[end] >= '0' && s[end] <= '9' {
+		end++
+	}
+	n, err := strconv.Atoi(s[j:end])
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// cRepair rewrites the kernel to remove the diagnosed incompatibilities.
+func (m *SimModel) cRepair(task CRepair) (string, error) {
+	prog, err := chdl.ParseC(task.Source)
+	if err != nil {
+		return "", fmt.Errorf("llm: repair input does not parse: %w", err)
+	}
+	knobs := parseKnobs(task.Templates)
+
+	// Without a template the model guesses bounds; weak models guess
+	// small, strong models usually guess generously.
+	guessBound := func(templ bool, canonical int) int {
+		if templ && canonical > 0 {
+			return canonical
+		}
+		if templ {
+			return 1024
+		}
+		if m.rng.float() < m.prof.quality {
+			return 1024
+		}
+		return 16 // undersized: equivalence check will catch it
+	}
+	arrayBound := guessBound(knobs.hasArrayTmpl, knobs.arrayBound)
+	loopBound := guessBound(knobs.hasLoopTmpl, knobs.loopBound)
+
+	diag := strings.ToLower(strings.Join(task.Diagnostics, "\n"))
+	r := &cRewriter{
+		model:        m,
+		fixMalloc:    strings.Contains(diag, "dynamic-memory"),
+		fixLoops:     strings.Contains(diag, "unbounded-loop"),
+		fixFloat:     strings.Contains(diag, "floating-point"),
+		fixIO:        strings.Contains(diag, "io-in-kernel"),
+		fixPtrParam:  strings.Contains(diag, "pointer-parameter") || strings.Contains(diag, "pointer-arithmetic"),
+		fixRecursion: strings.Contains(diag, "recursion") && knobs.hasRecTmpl,
+		arrayBound:   arrayBound,
+		loopBound:    loopBound,
+	}
+	r.rewriteProgram(prog)
+	return chdl.PrintProgram(prog), nil
+}
+
+// tbAdapt strips unsupported testbench constructs (Fig. 3 stage 1): I/O
+// and dynamic memory are removed unconditionally.
+func (m *SimModel) tbAdapt(task TBAdapt) (string, error) {
+	prog, err := chdl.ParseC(task.Source)
+	if err != nil {
+		return "", fmt.Errorf("llm: testbench does not parse: %w", err)
+	}
+	r := &cRewriter{model: m, fixIO: true, fixMalloc: true, arrayBound: 1024}
+	r.rewriteProgram(prog)
+	return chdl.PrintProgram(prog), nil
+}
+
+// cRewriter walks and transforms the AST in place.
+type cRewriter struct {
+	model        *SimModel
+	fixMalloc    bool
+	fixLoops     bool
+	fixFloat     bool
+	fixIO        bool
+	fixPtrParam  bool
+	fixRecursion bool
+	arrayBound   int
+	loopBound    int
+}
+
+func (r *cRewriter) rewriteProgram(p *chdl.Program) {
+	for _, fn := range p.Funcs {
+		if r.fixPtrParam {
+			for _, prm := range fn.Params {
+				if prm.Type.Kind == chdl.KindPtr {
+					prm.Type = &chdl.Type{Kind: chdl.KindArray, Elem: prm.Type.Elem, ArrayLen: r.arrayBound}
+				}
+			}
+		}
+		if r.fixFloat {
+			for _, prm := range fn.Params {
+				retypeFloat(prm.Type)
+			}
+			retypeFloat(fn.Ret)
+		}
+		fn.Body = r.rewriteBlock(fn.Body)
+		if r.fixRecursion {
+			r.rewriteSelfRecursion(fn)
+		}
+	}
+}
+
+func retypeFloat(t *chdl.Type) {
+	for t != nil {
+		if t.Kind == chdl.KindFloat {
+			t.Kind = chdl.KindInt
+		}
+		t = t.Elem
+	}
+}
+
+func (r *cRewriter) rewriteBlock(b *chdl.BlockStmt) *chdl.BlockStmt {
+	if b == nil {
+		return nil
+	}
+	var out []chdl.Stmt
+	for _, st := range b.Stmts {
+		ns := r.rewriteStmt(st)
+		if ns != nil {
+			out = append(out, ns)
+		}
+	}
+	b.Stmts = out
+	return b
+}
+
+// rewriteStmt returns the replacement statement, or nil to drop it.
+func (r *cRewriter) rewriteStmt(st chdl.Stmt) chdl.Stmt {
+	switch n := st.(type) {
+	case *chdl.BlockStmt:
+		return r.rewriteBlock(n)
+
+	case *chdl.DeclStmt:
+		var decls []*chdl.VarDecl
+		for _, d := range n.Decls {
+			if r.fixFloat {
+				retypeFloat(d.Type)
+			}
+			// T *p = (T*)malloc(...)  -->  T p[BOUND];
+			if r.fixMalloc && d.Type.Kind == chdl.KindPtr && isMallocInit(d.Init) {
+				d.Type = &chdl.Type{Kind: chdl.KindArray, Elem: d.Type.Elem, ArrayLen: r.arrayBound}
+				d.Init = nil
+			}
+			decls = append(decls, d)
+		}
+		n.Decls = decls
+		return n
+
+	case *chdl.ExprStmt:
+		if call, ok := n.X.(*chdl.CallExpr); ok {
+			if r.fixMalloc && call.Name == "free" {
+				return nil
+			}
+			if r.fixIO && (call.Name == "printf" || call.Name == "puts" || call.Name == "putchar") {
+				return nil
+			}
+		}
+		return n
+
+	case *chdl.IfStmt:
+		n.Then = r.rewriteStmt(n.Then)
+		if n.Else != nil {
+			n.Else = r.rewriteStmt(n.Else)
+		}
+		return n
+
+	case *chdl.ForStmt:
+		n.Body = r.rewriteStmt(n.Body)
+		return n
+
+	case *chdl.WhileStmt:
+		body := r.rewriteStmt(n.Body)
+		if !r.fixLoops {
+			n.Body = body
+			return n
+		}
+		// while (cond) body  -->  for (int _b = 0; _b < BOUND && cond; _b++) body
+		iv := "_b"
+		return &chdl.ForStmt{
+			Init: &chdl.DeclStmt{Decls: []*chdl.VarDecl{{
+				Name: iv, Type: &chdl.Type{Kind: chdl.KindInt},
+				Init: &chdl.IntLit{Val: 0},
+			}}},
+			Cond: &chdl.BinExpr{Op: "&&",
+				X: &chdl.BinExpr{Op: "<", X: &chdl.VarRef{Name: iv}, Y: &chdl.IntLit{Val: int64(r.loopBound)}},
+				Y: n.Cond,
+			},
+			Post: &chdl.PostfixExpr{Op: "++", X: &chdl.VarRef{Name: iv}},
+			Body: body,
+			Line: n.Line,
+		}
+
+	case *chdl.DoStmt:
+		body := r.rewriteStmt(n.Body)
+		if !r.fixLoops {
+			n.Body = body
+			return n
+		}
+		// do body while (cond) --> runs at least once under the bound.
+		iv := "_b"
+		return &chdl.ForStmt{
+			Init: &chdl.DeclStmt{Decls: []*chdl.VarDecl{{
+				Name: iv, Type: &chdl.Type{Kind: chdl.KindInt},
+				Init: &chdl.IntLit{Val: 0},
+			}}},
+			Cond: &chdl.BinExpr{Op: "&&",
+				X: &chdl.BinExpr{Op: "<", X: &chdl.VarRef{Name: iv}, Y: &chdl.IntLit{Val: int64(r.loopBound)}},
+				Y: &chdl.BinExpr{Op: "||",
+					X: &chdl.BinExpr{Op: "==", X: &chdl.VarRef{Name: iv}, Y: &chdl.IntLit{Val: 0}},
+					Y: n.Cond,
+				},
+			},
+			Post: &chdl.PostfixExpr{Op: "++", X: &chdl.VarRef{Name: iv}},
+			Body: body,
+			Line: n.Line,
+		}
+
+	default:
+		return st
+	}
+}
+
+func isMallocInit(e chdl.Expr) bool {
+	switch n := e.(type) {
+	case *chdl.CallExpr:
+		return n.Name == "malloc" || n.Name == "calloc"
+	case *chdl.CastExpr:
+		return isMallocInit(n.X)
+	default:
+		return false
+	}
+}
+
+// rewriteSelfRecursion converts the canonical accumulator recursion
+//
+//	T f(int n) { if (n <= C) return K; return f(n-1) OP E(n); }
+//
+// into an iterative loop. The pattern covers the recursion cases in the
+// repair benchmark suite; anything else is left untouched (and the
+// equivalence check will reject the repair, as a real flow would).
+func (r *cRewriter) rewriteSelfRecursion(fn *chdl.FuncDecl) {
+	if len(fn.Params) != 1 || len(fn.Body.Stmts) != 2 {
+		return
+	}
+	param := fn.Params[0].Name
+	ifSt, ok := fn.Body.Stmts[0].(*chdl.IfStmt)
+	if !ok || ifSt.Else != nil {
+		return
+	}
+	baseRet, ok := thenReturn(ifSt.Then)
+	if !ok {
+		return
+	}
+	baseLit, ok := baseRet.X.(*chdl.IntLit)
+	if !ok {
+		return
+	}
+	cond, ok := ifSt.Cond.(*chdl.BinExpr)
+	if !ok || cond.Op != "<=" && cond.Op != "<" {
+		return
+	}
+	condVar, ok := cond.X.(*chdl.VarRef)
+	if !ok || condVar.Name != param {
+		return
+	}
+	condLim, ok := cond.Y.(*chdl.IntLit)
+	if !ok {
+		return
+	}
+	limit := condLim.Val
+	if cond.Op == "<" {
+		limit--
+	}
+	ret, ok := fn.Body.Stmts[1].(*chdl.ReturnStmt)
+	if !ok {
+		return
+	}
+	bin, ok := ret.X.(*chdl.BinExpr)
+	if !ok {
+		return
+	}
+	var recCall *chdl.CallExpr
+	var tail chdl.Expr
+	if c, ok := bin.X.(*chdl.CallExpr); ok && c.Name == fn.Name {
+		recCall, tail = c, bin.Y
+	} else if c, ok := bin.Y.(*chdl.CallExpr); ok && c.Name == fn.Name {
+		recCall, tail = c, bin.X
+	}
+	if recCall == nil || containsCall(tail, fn.Name) {
+		return
+	}
+	// Emit: acc = K; for (i = limit+1; i <= n; i++) acc = acc OP E(i); return acc;
+	iv := "_i"
+	tailSub := substituteVar(tail, param, &chdl.VarRef{Name: iv})
+	fn.Body.Stmts = []chdl.Stmt{
+		&chdl.DeclStmt{Decls: []*chdl.VarDecl{{
+			Name: "_acc", Type: fn.Ret, Init: &chdl.IntLit{Val: baseLit.Val},
+		}}},
+		&chdl.ForStmt{
+			Init: &chdl.DeclStmt{Decls: []*chdl.VarDecl{{
+				Name: iv, Type: &chdl.Type{Kind: chdl.KindInt},
+				Init: &chdl.IntLit{Val: limit + 1},
+			}}},
+			Cond: &chdl.BinExpr{Op: "<=", X: &chdl.VarRef{Name: iv}, Y: &chdl.VarRef{Name: param}},
+			Post: &chdl.PostfixExpr{Op: "++", X: &chdl.VarRef{Name: iv}},
+			Body: &chdl.BlockStmt{Stmts: []chdl.Stmt{
+				&chdl.ExprStmt{X: &chdl.AssignExpr{Op: "=",
+					LHS: &chdl.VarRef{Name: "_acc"},
+					RHS: &chdl.BinExpr{Op: bin.Op, X: &chdl.VarRef{Name: "_acc"}, Y: tailSub},
+				}},
+			}},
+		},
+		&chdl.ReturnStmt{X: &chdl.VarRef{Name: "_acc"}},
+	}
+}
+
+func thenReturn(st chdl.Stmt) (*chdl.ReturnStmt, bool) {
+	switch n := st.(type) {
+	case *chdl.ReturnStmt:
+		return n, true
+	case *chdl.BlockStmt:
+		if len(n.Stmts) == 1 {
+			return thenReturn(n.Stmts[0])
+		}
+	}
+	return nil, false
+}
+
+func containsCall(e chdl.Expr, name string) bool {
+	found := false
+	walkExpr(e, func(x chdl.Expr) {
+		if c, ok := x.(*chdl.CallExpr); ok && c.Name == name {
+			found = true
+		}
+	})
+	return found
+}
+
+// substituteVar returns a copy of e with every VarRef named from replaced.
+func substituteVar(e chdl.Expr, from string, to chdl.Expr) chdl.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *chdl.VarRef:
+		if n.Name == from {
+			return to
+		}
+		return n
+	case *chdl.IntLit, *chdl.StrLit, *chdl.SizeofExpr:
+		return n
+	case *chdl.BinExpr:
+		return &chdl.BinExpr{Op: n.Op, X: substituteVar(n.X, from, to), Y: substituteVar(n.Y, from, to), Line: n.Line}
+	case *chdl.UnExpr:
+		return &chdl.UnExpr{Op: n.Op, X: substituteVar(n.X, from, to), Line: n.Line}
+	case *chdl.PostfixExpr:
+		return &chdl.PostfixExpr{Op: n.Op, X: substituteVar(n.X, from, to), Line: n.Line}
+	case *chdl.AssignExpr:
+		return &chdl.AssignExpr{Op: n.Op, LHS: substituteVar(n.LHS, from, to), RHS: substituteVar(n.RHS, from, to), Line: n.Line}
+	case *chdl.CondExpr:
+		return &chdl.CondExpr{Cond: substituteVar(n.Cond, from, to), Then: substituteVar(n.Then, from, to), Else: substituteVar(n.Else, from, to), Line: n.Line}
+	case *chdl.IndexExpr:
+		return &chdl.IndexExpr{X: substituteVar(n.X, from, to), Idx: substituteVar(n.Idx, from, to), Line: n.Line}
+	case *chdl.CallExpr:
+		args := make([]chdl.Expr, len(n.Args))
+		for i, a := range n.Args {
+			args[i] = substituteVar(a, from, to)
+		}
+		return &chdl.CallExpr{Name: n.Name, Args: args, Line: n.Line}
+	case *chdl.CastExpr:
+		return &chdl.CastExpr{To: n.To, X: substituteVar(n.X, from, to), Line: n.Line}
+	default:
+		return e
+	}
+}
+
+func walkExpr(e chdl.Expr, f func(chdl.Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch n := e.(type) {
+	case *chdl.BinExpr:
+		walkExpr(n.X, f)
+		walkExpr(n.Y, f)
+	case *chdl.UnExpr:
+		walkExpr(n.X, f)
+	case *chdl.PostfixExpr:
+		walkExpr(n.X, f)
+	case *chdl.AssignExpr:
+		walkExpr(n.LHS, f)
+		walkExpr(n.RHS, f)
+	case *chdl.CondExpr:
+		walkExpr(n.Cond, f)
+		walkExpr(n.Then, f)
+		walkExpr(n.Else, f)
+	case *chdl.IndexExpr:
+		walkExpr(n.X, f)
+		walkExpr(n.Idx, f)
+	case *chdl.CallExpr:
+		for _, a := range n.Args {
+			walkExpr(a, f)
+		}
+	case *chdl.CastExpr:
+		walkExpr(n.X, f)
+	}
+}
+
+// pragmaOpt inserts pragmas targeting the reported bottleneck (stage 4 of
+// the repair flow). Stronger models choose more aggressive but safe
+// factors.
+func (m *SimModel) pragmaOpt(task PragmaOpt) (string, error) {
+	prog, err := chdl.ParseC(task.Source)
+	if err != nil {
+		return "", fmt.Errorf("llm: pragma-opt input does not parse: %w", err)
+	}
+	factor := 2
+	if m.prof.quality > 0.6 {
+		factor = 4
+	}
+	for _, fn := range prog.Funcs {
+		switch task.Bottleneck {
+		case "latency":
+			addLoopPragma(fn.Body, &chdl.Pragma{
+				Raw: fmt.Sprintf("HLS pipeline II=1"), Directive: "pipeline",
+				Args: map[string]string{"ii": "1"},
+			})
+			addLoopPragma(fn.Body, &chdl.Pragma{
+				Raw: fmt.Sprintf("HLS unroll factor=%d", factor), Directive: "unroll",
+				Args: map[string]string{"factor": strconv.Itoa(factor)},
+			})
+		case "area":
+			// Remove unroll pragmas: trade latency back for area.
+			stripLoopPragmas(fn.Body, "unroll")
+		case "power":
+			addLoopPragma(fn.Body, &chdl.Pragma{
+				Raw: "HLS pipeline II=2", Directive: "pipeline",
+				Args: map[string]string{"ii": "2"},
+			})
+		}
+	}
+	return chdl.PrintProgram(prog), nil
+}
+
+func addLoopPragma(st chdl.Stmt, p *chdl.Pragma) {
+	switch n := st.(type) {
+	case *chdl.BlockStmt:
+		for _, s := range n.Stmts {
+			addLoopPragma(s, p)
+		}
+	case *chdl.ForStmt:
+		for _, existing := range n.Pragmas {
+			if existing.Directive == p.Directive {
+				return
+			}
+		}
+		n.Pragmas = append(n.Pragmas, p)
+	}
+}
+
+func stripLoopPragmas(st chdl.Stmt, directive string) {
+	switch n := st.(type) {
+	case *chdl.BlockStmt:
+		for _, s := range n.Stmts {
+			stripLoopPragmas(s, directive)
+		}
+	case *chdl.ForStmt:
+		var kept []*chdl.Pragma
+		for _, p := range n.Pragmas {
+			if p.Directive != directive {
+				kept = append(kept, p)
+			}
+		}
+		n.Pragmas = kept
+		stripLoopPragmas(n.Body, directive)
+	}
+}
+
+// synthRewrite applies strength-reduction rewrites to RTL text (LLSM-style
+// synthesis assist); the model's quality gates how many rewrites it finds.
+func (m *SimModel) synthRewrite(task SynthRewrite) string {
+	rewrites := []struct{ from, to string }{
+		{" * 2)", " << 1)"},
+		{" * 4)", " << 2)"},
+		{" * 8)", " << 3)"},
+		{" * 16)", " << 4)"},
+		{" / 2)", " >> 1)"},
+		{" / 4)", " >> 2)"},
+		{"* 2;", "<< 1;"},
+		{"* 4;", "<< 2;"},
+		{"/ 2;", ">> 1;"},
+	}
+	out := task.RTL
+	for _, rw := range rewrites {
+		if m.rng.float() < m.prof.quality {
+			out = strings.ReplaceAll(out, rw.from, rw.to)
+		}
+	}
+	return out
+}

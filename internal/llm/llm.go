@@ -1,0 +1,354 @@
+// Package llm implements the simulated large-language-model substrate the
+// reproduction uses in place of GPT-3.5/4/4o and Code Llama (the paper's
+// models are cloud services; this environment is offline). The simulation
+// preserves the statistical interface the case studies depend on:
+//
+//   - candidates of varying correctness, produced by injecting seeded
+//     faults into a hidden reference solution, with fault rates that fall
+//     as model capability rises and grow with task difficulty and
+//     temperature;
+//   - feedback-driven repair, where compiler/simulator output raises the
+//     probability that a defective line is fixed, with stronger models
+//     exploiting feedback far better (the paper's central AutoChip
+//     observation);
+//   - structured prompting effects (SCoT) that reduce syntax-level failures;
+//   - retrieval-augmented repair, where a matching correction template
+//     makes the difference between a correct and a botched C rewrite.
+//
+// Every model is deterministic given its seed, so experiments reproduce
+// bit-for-bit.
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tier is a capability class mirroring the model families the paper
+// evaluates.
+type Tier int
+
+// Capability tiers, weakest first.
+const (
+	TierSmall    Tier = iota + 1 // Code-Llama-13B-class
+	TierMedium                   // GPT-3.5-class
+	TierLarge                    // GPT-4-class
+	TierFrontier                 // GPT-4o-class
+)
+
+// String returns the simulated model family name.
+func (t Tier) String() string {
+	switch t {
+	case TierSmall:
+		return "codellama-13b-sim"
+	case TierMedium:
+		return "gpt-3.5-sim"
+	case TierLarge:
+		return "gpt-4-sim"
+	case TierFrontier:
+		return "gpt-4o-sim"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// AllTiers lists the four simulated models, weakest first.
+func AllTiers() []Tier {
+	return []Tier{TierSmall, TierMedium, TierLarge, TierFrontier}
+}
+
+// profile holds a tier's behavioral parameters.
+type profile struct {
+	// faultRate is the expected functional faults injected per difficulty
+	// unit at temperature 1.
+	faultRate float64
+	// syntaxRate is the probability of a syntax-level fault per generation.
+	syntaxRate float64
+	// syntaxRepair is the probability a defective line is reverted when
+	// feedback contains a syntax diagnostic.
+	syntaxRepair float64
+	// funcRepair is the probability a defective line is reverted when
+	// feedback reports failing checks.
+	funcRepair float64
+	// recall is the fraction of advisory issues the model spots when asked
+	// for potential errors (repair framework stage 1).
+	recall float64
+	// quality scales miscellaneous generation quality in [0,1] (testbench
+	// coverage, pragma choices, SLT code structure).
+	quality float64
+}
+
+var profiles = map[Tier]profile{
+	TierSmall:    {faultRate: 1.00, syntaxRate: 0.22, syntaxRepair: 0.35, funcRepair: 0.08, recall: 0.30, quality: 0.35},
+	TierMedium:   {faultRate: 0.70, syntaxRate: 0.12, syntaxRepair: 0.55, funcRepair: 0.18, recall: 0.50, quality: 0.55},
+	TierLarge:    {faultRate: 0.45, syntaxRate: 0.05, syntaxRepair: 0.80, funcRepair: 0.42, recall: 0.75, quality: 0.75},
+	TierFrontier: {faultRate: 0.30, syntaxRate: 0.02, syntaxRepair: 0.92, funcRepair: 0.70, recall: 0.90, quality: 0.92},
+}
+
+// Request is one model invocation. Prompt carries the full text a real
+// deployment would send (built by the prompts helpers); Task carries the
+// structured description the simulation dispatches on.
+type Request struct {
+	System      string
+	Prompt      string
+	Task        Task
+	Temperature float64
+}
+
+// Response is the model's reply.
+type Response struct {
+	Text      string
+	TokensIn  int
+	TokensOut int
+}
+
+// Task is a structured task descriptor; see the concrete types below.
+type Task interface{ taskName() string }
+
+// VerilogGen asks for a Verilog module implementing Spec. Reference is the
+// hidden ground-truth implementation the simulation perturbs — the stand-in
+// for the model's latent knowledge. Feedback/PrevAttempt drive repair.
+type VerilogGen struct {
+	ProblemID   string
+	Spec        string
+	Reference   string
+	Difficulty  int // 1..5
+	PrevAttempt string
+	Feedback    string
+}
+
+// TestbenchGen asks for a testbench. The reference testbench arrives
+// pre-split so the simulation can model coverage loss: weaker models keep
+// fewer vector blocks (the paper's "testbenches lacking acceptable test
+// coverage").
+type TestbenchGen struct {
+	ProblemID    string
+	Spec         string
+	Header       string
+	VectorBlocks []string
+	Footer       string
+}
+
+// PotentialErrors asks the model to flag HLS risks beyond what the
+// compiler reported (repair framework stage 1).
+type PotentialErrors struct {
+	Source      string
+	KnownIssues []string // canonical findings; the model recalls a subset
+}
+
+// CRepair asks for an HLS-compatible rewrite of a C kernel. Diagnostics
+// are HLS tool messages; Templates are RAG-retrieved correction templates
+// (their presence gates correct rewrites of the hard cases).
+type CRepair struct {
+	Source      string
+	Diagnostics []string
+	Templates   []string
+}
+
+// PragmaOpt asks for pragma insertion targeting a PPA bottleneck
+// (repair framework stage 4).
+type PragmaOpt struct {
+	Source     string
+	Bottleneck string // "latency" | "area" | "power"
+}
+
+// SLTGen asks for a power-maximizing C snippet given scored examples
+// (§V optimization loop). UseSCoT selects structured chain-of-thought.
+type SLTGen struct {
+	Examples []SLTExample
+	UseSCoT  bool
+}
+
+// SLTExample is one candidate-pool entry shown in the prompt.
+type SLTExample struct {
+	Source string
+	Score  float64 // watts
+}
+
+// SynthRewrite asks for PPA-friendly RTL rewrites (LLSM-style assist).
+type SynthRewrite struct {
+	RTL string
+}
+
+// TBAdapt asks for an HLS-compatible testbench rewrite (Fig. 3 stage 1):
+// strip unsupported I/O constructs from a C testbench.
+type TBAdapt struct {
+	Source string
+}
+
+// CModelGen asks for an untimed C behavioral model of a specification
+// (the §VI "high-level guided RTL debugging" direction). Untimed C is the
+// models' strong suit, so the simulated fault rate is far below HDL's.
+type CModelGen struct {
+	Spec      string
+	Reference string
+}
+
+func (VerilogGen) taskName() string      { return "verilog-gen" }
+func (TestbenchGen) taskName() string    { return "testbench-gen" }
+func (PotentialErrors) taskName() string { return "potential-errors" }
+func (CRepair) taskName() string         { return "c-repair" }
+func (PragmaOpt) taskName() string       { return "pragma-opt" }
+func (SLTGen) taskName() string          { return "slt-gen" }
+func (SynthRewrite) taskName() string    { return "synth-rewrite" }
+func (TBAdapt) taskName() string         { return "tb-adapt" }
+func (CModelGen) taskName() string       { return "c-model-gen" }
+
+// Model is the interface every framework programs against; SimModel is the
+// offline implementation, and a future cloud-backed implementation would
+// satisfy the same contract.
+type Model interface {
+	Name() string
+	Generate(req Request) (Response, error)
+}
+
+// SimModel simulates one model of a given tier. Calls mutate an internal
+// counter, so a fresh SimModel with the same seed replays exactly.
+type SimModel struct {
+	tier    Tier
+	prof    profile
+	rng     *rng
+	calls   int
+	verbose bool
+}
+
+var _ Model = (*SimModel)(nil)
+
+// NewSimModel creates a deterministic simulated model.
+func NewSimModel(tier Tier, seed uint64) *SimModel {
+	return &SimModel{tier: tier, prof: profiles[tier], rng: newRNG(seed ^ uint64(tier)*0x9E3779B97F4A7C15)}
+}
+
+// Name returns the simulated model family name.
+func (m *SimModel) Name() string { return m.tier.String() }
+
+// Tier returns the capability tier.
+func (m *SimModel) Tier() Tier { return m.tier }
+
+// Generate dispatches on the structured task. The error is non-nil only
+// for malformed requests; degenerate generations are still text.
+func (m *SimModel) Generate(req Request) (Response, error) {
+	m.calls++
+	temp := req.Temperature
+	if temp <= 0 {
+		temp = 0.7
+	}
+	var text string
+	var err error
+	switch task := req.Task.(type) {
+	case VerilogGen:
+		text = m.verilogGen(task, temp)
+	case TestbenchGen:
+		text = m.testbenchGen(task)
+	case PotentialErrors:
+		text = m.potentialErrors(task)
+	case CRepair:
+		text, err = m.cRepair(task)
+	case PragmaOpt:
+		text, err = m.pragmaOpt(task)
+	case SLTGen:
+		text = m.sltGen(task, temp)
+	case SynthRewrite:
+		text = m.synthRewrite(task)
+	case TBAdapt:
+		text, err = m.tbAdapt(task)
+	case CModelGen:
+		text = m.cModelGen(task)
+	case nil:
+		return Response{}, fmt.Errorf("llm: request carries no task")
+	default:
+		return Response{}, fmt.Errorf("llm: unsupported task %q", req.Task.taskName())
+	}
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{
+		Text:      text,
+		TokensIn:  approxTokens(req.System) + approxTokens(req.Prompt),
+		TokensOut: approxTokens(text),
+	}, nil
+}
+
+func approxTokens(s string) int { return (len(s) + 3) / 4 }
+
+// --- deterministic RNG -----------------------------------------------------
+
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x853C49E6748FEA9B
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state << 13
+	r.state ^= r.state >> 7
+	r.state ^= r.state << 17
+	return r.state
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// pick selects one string uniformly.
+func (r *rng) pick(xs []string) string {
+	return xs[r.intn(len(xs))]
+}
+
+// --- small text helpers -----------------------------------------------------
+
+// splitLines keeps line structure stable for the diff-based repair model.
+func splitLines(s string) []string { return strings.Split(s, "\n") }
+
+func joinLines(ls []string) string { return strings.Join(ls, "\n") }
+
+// poisson samples a Poisson(lambda) count (Knuth's method; lambda is
+// always small here).
+func (m *SimModel) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	// L = e^-lambda via exp approximation; lambda <= ~6 in practice.
+	l := expNeg(lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= m.rng.float()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 16 {
+			return k
+		}
+	}
+}
+
+// expNeg computes e^-x for x >= 0 without importing math (a 16-term
+// series on the reduced argument is exact to float64 noise here).
+func expNeg(x float64) float64 {
+	// e^-x = (e^-x/2)^2 reduction keeps the series well-conditioned.
+	if x > 1 {
+		h := expNeg(x / 2)
+		return h * h
+	}
+	term := 1.0
+	sum := 1.0
+	for i := 1; i <= 16; i++ {
+		term *= -x / float64(i)
+		sum += term
+	}
+	return sum
+}

@@ -1,0 +1,101 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prompt builders. The simulated model dispatches on the structured Task,
+// but the frameworks still build the full prompt text a production
+// deployment would send: the text drives token accounting, appears in
+// logs and reports, and documents the prompting methodology of each case
+// study (conversational feedback, RAG-augmented repair, SCoT).
+
+// SystemVerilogDesigner is the system prompt for design generation.
+const SystemVerilogDesigner = "You are an expert digital design engineer. " +
+	"Respond with complete, synthesizable Verilog-2001 inside a single module. " +
+	"Do not include explanations outside code comments."
+
+// SystemHLSExpert is the system prompt for the HLS repair flow (Fig. 2).
+const SystemHLSExpert = "You are an expert in High-Level Synthesis. " +
+	"Rewrite C/C++ programs so Vitis-class HLS tools can synthesize them, " +
+	"preserving functional behavior exactly."
+
+// SystemSLT is the system prompt for the SLT program generator (§V).
+const SystemSLT = "You write C programs that maximize the power consumption " +
+	"of a superscalar out-of-order RISC-V processor. Programs must compile, " +
+	"terminate, and avoid undefined behavior."
+
+// BuildDesignPrompt renders the initial conversational design request.
+func BuildDesignPrompt(spec string) string {
+	return fmt.Sprintf("Design a Verilog module meeting this specification:\n\n%s\n\n"+
+		"Return only the Verilog source.", spec)
+}
+
+// BuildFeedbackPrompt renders the AutoChip-style iteration prompt: the
+// previous attempt plus raw EDA tool output.
+func BuildFeedbackPrompt(spec, prevAttempt, toolOutput string) string {
+	return fmt.Sprintf("The previous Verilog attempt failed.\n\nSpecification:\n%s\n\n"+
+		"Previous attempt:\n```verilog\n%s\n```\n\n"+
+		"EDA tool output:\n```\n%s\n```\n\n"+
+		"Fix the design. Return only the corrected Verilog source.",
+		spec, prevAttempt, toolOutput)
+}
+
+// BuildTestbenchPrompt renders the testbench request of the structured
+// conversational flow.
+func BuildTestbenchPrompt(spec, design string) string {
+	return fmt.Sprintf("Write a self-checking Verilog testbench for this design. "+
+		"Use $check_eq(actual, expected) for each check and $finish at the end.\n\n"+
+		"Specification:\n%s\n\nDesign:\n```verilog\n%s\n```", spec, design)
+}
+
+// BuildRepairPrompt renders the RAG-augmented repair request (Fig. 2
+// stage 2): diagnostics plus retrieved correction templates.
+func BuildRepairPrompt(source string, diagnostics, templates []string) string {
+	var b strings.Builder
+	b.WriteString("Convert this C program into an HLS-compatible version.\n\n")
+	b.WriteString("HLS tool diagnostics:\n")
+	for _, d := range diagnostics {
+		fmt.Fprintf(&b, "  - %s\n", d)
+	}
+	if len(templates) > 0 {
+		b.WriteString("\nRetrieved correction templates:\n")
+		for i, t := range templates {
+			fmt.Fprintf(&b, "--- template %d ---\n%s\n", i+1, t)
+		}
+	}
+	fmt.Fprintf(&b, "\nProgram:\n```c\n%s\n```\n\nReturn only the repaired C source.", source)
+	return b.String()
+}
+
+// BuildSCoTPrompt renders the two-stage structured chain-of-thought prompt
+// of the SLT generator: examples with measured power, pseudocode first,
+// then code.
+func BuildSCoTPrompt(examples []SLTExample) string {
+	var b strings.Builder
+	b.WriteString("Goal: write a C program that maximizes processor power consumption.\n\n")
+	b.WriteString("Step 1 — write pseudocode for a candidate program.\n")
+	b.WriteString("Step 2 — convert the pseudocode to C, fixing any errors in it.\n\n")
+	if len(examples) > 0 {
+		b.WriteString("Example programs with measured power:\n")
+		for i, ex := range examples {
+			fmt.Fprintf(&b, "--- example %d (%.3f W) ---\n%s\n", i+1, ex.Score, ex.Source)
+		}
+	}
+	b.WriteString("Higher-power examples are better guides; avoid repeating low scorers.\n")
+	return b.String()
+}
+
+// BuildPragmaPrompt renders the PPA-optimization request (Fig. 2 stage 4).
+func BuildPragmaPrompt(source, bottleneck string) string {
+	return fmt.Sprintf("The synthesized design's bottleneck is %s. "+
+		"Insert HLS pragmas (pipeline, unroll) into the hot loops to improve it without "+
+		"changing behavior.\n\n```c\n%s\n```", bottleneck, source)
+}
+
+// BuildSynthHintPrompt renders the LLSM-style synthesis-assist request.
+func BuildSynthHintPrompt(rtl string) string {
+	return fmt.Sprintf("Suggest PPA-friendly rewrites of this RTL (strength reduction, "+
+		"sharing). Return the rewritten RTL only.\n\n```verilog\n%s\n```", rtl)
+}

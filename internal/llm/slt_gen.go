@@ -1,0 +1,305 @@
+package llm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the simulated model's SLT snippet generation (§V):
+// C programs that try to maximize processor power draw. The model works
+// in a space of idiomatic code shapes ("genomes"): loop nests over a few
+// accumulator chains built from recognizable motifs. That space is
+// deliberately a strict subset of what the genetic-programming baseline
+// can reach by raw AST mutation — the structural reason the paper's GP
+// run ultimately beats the LLM loop while the LLM saturates earlier.
+//
+// The genome of a previously generated snippet is recovered from its
+// header comment, modeling how a real LLM reads the example programs in
+// its prompt; temperature controls how far mutations stray from the best
+// examples (exploitation vs exploration, as in the paper's
+// temperature-adaptation mechanism).
+
+// sltGenome parameterizes one generated snippet. The bounds (two chains,
+// unroll up to 2, at most four motifs) delimit the idiomatic-code space a
+// language model trained on real software writes in; the GP baseline's
+// statement soup is deliberately wider, which is what lets it keep
+// climbing after this space is exhausted (paper §V).
+type sltGenome struct {
+	outer  int   // outer-loop trip count
+	chains int   // independent accumulator chains (1..2 in the LLM space)
+	motifs []int // motif sequence (ids 0..5), length 1..4
+	arrLog int   // log2 of the working array (4..13)
+	branch int   // 0 none, 1 predictable, 2 data-dependent
+	unroll int   // body replication 1 or 2
+}
+
+// motif ids.
+const (
+	motifALU = iota
+	motifMul
+	motifMem
+	motifDiv
+	motifXorShift
+	motifBranch
+	motifCount
+)
+
+func (g sltGenome) clone() sltGenome {
+	m := make([]int, len(g.motifs))
+	copy(m, g.motifs)
+	g.motifs = m
+	return g
+}
+
+func (g sltGenome) header() string {
+	ms := make([]string, len(g.motifs))
+	for i, m := range g.motifs {
+		ms[i] = strconv.Itoa(m)
+	}
+	return fmt.Sprintf("// genome o=%d c=%d m=%s a=%d b=%d u=%d",
+		g.outer, g.chains, strings.Join(ms, ","), g.arrLog, g.branch, g.unroll)
+}
+
+// parseGenome recovers a genome from a generated snippet's header line.
+func parseGenome(src string) (sltGenome, bool) {
+	line := src
+	if i := strings.IndexByte(src, '\n'); i >= 0 {
+		line = src[:i]
+	}
+	if !strings.HasPrefix(line, "// genome ") {
+		return sltGenome{}, false
+	}
+	g := sltGenome{}
+	for _, field := range strings.Fields(line[len("// genome "):]) {
+		kv := strings.SplitN(field, "=", 2)
+		if len(kv) != 2 {
+			continue
+		}
+		switch kv[0] {
+		case "o":
+			g.outer, _ = strconv.Atoi(kv[1])
+		case "c":
+			g.chains, _ = strconv.Atoi(kv[1])
+		case "m":
+			for _, ms := range strings.Split(kv[1], ",") {
+				v, err := strconv.Atoi(ms)
+				if err == nil {
+					g.motifs = append(g.motifs, v)
+				}
+			}
+		case "a":
+			g.arrLog, _ = strconv.Atoi(kv[1])
+		case "b":
+			g.branch, _ = strconv.Atoi(kv[1])
+		case "u":
+			g.unroll, _ = strconv.Atoi(kv[1])
+		}
+	}
+	if g.outer == 0 || g.chains == 0 || len(g.motifs) == 0 {
+		return sltGenome{}, false
+	}
+	return g.normalize(), true
+}
+
+// normalize clamps a genome into the LLM-reachable space.
+func (g sltGenome) normalize() sltGenome {
+	clamp := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	g.outer = clamp(g.outer, 2000, 20000)
+	g.chains = clamp(g.chains, 1, 2)
+	g.arrLog = clamp(g.arrLog, 4, 13)
+	g.branch = clamp(g.branch, 0, 2)
+	if g.unroll >= 2 {
+		g.unroll = 2
+	} else {
+		g.unroll = 1
+	}
+	if len(g.motifs) > 4 {
+		g.motifs = g.motifs[:4]
+	}
+	for i := range g.motifs {
+		g.motifs[i] = clamp(g.motifs[i], 0, motifCount-1)
+	}
+	return g
+}
+
+// randomGenome samples the LLM space uniformly-ish.
+func (m *SimModel) randomGenome() sltGenome {
+	g := sltGenome{
+		outer:  2000 + m.rng.intn(18000),
+		chains: 1 + m.rng.intn(2),
+		arrLog: 4 + m.rng.intn(10),
+		branch: m.rng.intn(3),
+		unroll: 1 + m.rng.intn(2),
+	}
+	n := 1 + m.rng.intn(4)
+	for i := 0; i < n; i++ {
+		g.motifs = append(g.motifs, m.rng.intn(motifCount))
+	}
+	return g.normalize()
+}
+
+// mutateGenome perturbs fields; the count and magnitude grow with
+// temperature.
+func (m *SimModel) mutateGenome(g sltGenome, temp float64, scot bool) sltGenome {
+	g = g.clone()
+	fields := 1 + int(temp*2.5)
+	for i := 0; i < fields; i++ {
+		switch m.rng.intn(6) {
+		case 0:
+			g.outer += (m.rng.intn(8001) - 4000)
+		case 1:
+			g.chains += m.rng.intn(3) - 1
+		case 2:
+			if len(g.motifs) > 0 {
+				g.motifs[m.rng.intn(len(g.motifs))] = m.rng.intn(motifCount)
+			}
+			if m.rng.float() < 0.3*temp && len(g.motifs) < 4 {
+				g.motifs = append(g.motifs, m.rng.intn(motifCount))
+			}
+			if m.rng.float() < 0.2*temp && len(g.motifs) > 1 {
+				g.motifs = g.motifs[:len(g.motifs)-1]
+			}
+		case 3:
+			g.arrLog += m.rng.intn(5) - 2
+		case 4:
+			g.branch = m.rng.intn(3)
+		case 5:
+			g.unroll *= 2
+			if m.rng.intn(2) == 0 {
+				g.unroll = 1
+			}
+		}
+	}
+	if scot && m.rng.float() < m.prof.quality {
+		// Structured reasoning nudges toward power-friendly structure:
+		// more chains, compute-dense motifs, L1-resident arrays, no
+		// data-dependent branches.
+		g.chains = 2
+		g.branch = min(g.branch, 1)
+		if g.arrLog > 9 {
+			g.arrLog = 9
+		}
+		for i := range g.motifs {
+			if g.motifs[i] == motifDiv || g.motifs[i] == motifBranch {
+				g.motifs[i] = []int{motifALU, motifMul, motifMem, motifXorShift}[m.rng.intn(4)]
+			}
+		}
+	}
+	return g.normalize()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sltGen produces a snippet: exploration (fresh random genome) at high
+// temperature, exploitation (mutate a good example) at low temperature.
+func (m *SimModel) sltGen(task SLTGen, temp float64) string {
+	var g sltGenome
+	examples := make([]SLTExample, len(task.Examples))
+	copy(examples, task.Examples)
+	sort.SliceStable(examples, func(i, j int) bool { return examples[i].Score > examples[j].Score })
+
+	exploreP := 0.15 + 0.55*temp // hotter = more exploration
+	if len(examples) == 0 || m.rng.float() < exploreP {
+		g = m.randomGenome()
+		if len(examples) > 0 && task.UseSCoT {
+			g = m.mutateGenome(g, temp, true)
+		}
+	} else {
+		// Prefer the best examples, geometric-ish.
+		idx := 0
+		for idx < len(examples)-1 && m.rng.float() < 0.4 {
+			idx++
+		}
+		if parsed, ok := parseGenome(examples[idx].Source); ok {
+			g = m.mutateGenome(parsed, temp, task.UseSCoT)
+		} else {
+			g = m.randomGenome()
+		}
+	}
+	src := emitSLT(g)
+
+	// Syntax failure: SCoT substantially reduces malformed output.
+	syntaxP := m.prof.syntaxRate * (0.5 + temp)
+	if task.UseSCoT {
+		syntaxP *= 0.25
+	}
+	if m.rng.float() < syntaxP {
+		// Drop the final closing brace: reliably a parse error.
+		if i := strings.LastIndexByte(src, '}'); i >= 0 {
+			src = src[:i] + src[i+1:]
+		}
+	}
+	return src
+}
+
+// emitSLT renders a genome as a C program in the idiomatic LLM style.
+func emitSLT(g sltGenome) string {
+	var b strings.Builder
+	b.WriteString(g.header())
+	b.WriteByte('\n')
+	n := 1 << uint(g.arrLog)
+	mask := n - 1
+	fmt.Fprintf(&b, "int arr[%d];\n", n)
+	b.WriteString("int main() {\n")
+	fmt.Fprintf(&b, "    for (int i = 0; i < %d; i++) arr[i] = i * 2654435761;\n", n)
+	for c := 0; c < g.chains; c++ {
+		fmt.Fprintf(&b, "    int acc%d = %d;\n", c, c+1)
+	}
+	b.WriteString("    int x = 123456789;\n")
+	fmt.Fprintf(&b, "    for (int r = 0; r < %d; r++) {\n", g.outer)
+	stmt := 0
+	for u := 0; u < g.unroll; u++ {
+		for mi, motif := range g.motifs {
+			v := fmt.Sprintf("acc%d", (u*len(g.motifs)+mi)%g.chains)
+			switch motif {
+			case motifALU:
+				fmt.Fprintf(&b, "        %s = ((%s + r) ^ (%s << 3)) - (r | 1);\n", v, v, v)
+			case motifMul:
+				fmt.Fprintf(&b, "        %s = %s * 2654435761 + r;\n", v, v)
+			case motifMem:
+				// Idiomatic code chains the load into the accumulator it
+				// indexes with: the load latency lands on the dependence
+				// chain (unlike GP's independent streams).
+				fmt.Fprintf(&b, "        %s += arr[(%s + r) & %d];\n", v, v, mask)
+				fmt.Fprintf(&b, "        arr[(r + %d) & %d] = %s;\n", 31*(stmt+1), mask, v)
+			case motifDiv:
+				fmt.Fprintf(&b, "        %s = %s / ((r & 7) + 3) + 1000;\n", v, v)
+			case motifXorShift:
+				fmt.Fprintf(&b, "        %s ^= %s >> 5;\n        %s += %s << 2;\n", v, v, v, v)
+			case motifBranch:
+				switch g.branch {
+				case 2:
+					b.WriteString("        x = x * 1103515245 + 12345;\n")
+					fmt.Fprintf(&b, "        if ((x >> 16) & 1) { %s += 13; } else { %s -= 7; }\n", v, v)
+				case 1:
+					fmt.Fprintf(&b, "        if ((r & 15) == 0) { %s += 11; }\n", v)
+				default:
+					fmt.Fprintf(&b, "        %s += 3;\n", v)
+				}
+			}
+			stmt++
+		}
+	}
+	b.WriteString("    }\n")
+	b.WriteString("    int out = x;\n")
+	for c := 0; c < g.chains; c++ {
+		fmt.Fprintf(&b, "    out += acc%d;\n", c)
+	}
+	b.WriteString("    return out;\n}\n")
+	return b.String()
+}

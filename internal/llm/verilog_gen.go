@@ -1,0 +1,280 @@
+package llm
+
+import (
+	"strings"
+)
+
+// This file implements the simulated model's Verilog behaviors: candidate
+// generation by seeded fault injection into the hidden reference, and
+// feedback-driven repair by line-level reversion — the mechanism that
+// reproduces the paper's AutoChip dynamics (stronger models exploit tool
+// feedback; weaker models mostly benefit from more candidates).
+
+// lineMutator rewrites one line to inject a fault; it returns the mutated
+// line and whether it applied.
+type lineMutator struct {
+	name   string
+	syntax bool
+	apply  func(r *rng, line string) (string, bool)
+}
+
+var verilogMutators = []lineMutator{
+	{name: "swap-arith", apply: func(r *rng, l string) (string, bool) {
+		return swapOneOf(r, l, []string{" + ", " - "})
+	}},
+	{name: "swap-bitop", apply: func(r *rng, l string) (string, bool) {
+		return swapOneOf(r, l, []string{" & ", " | ", " ^ "})
+	}},
+	{name: "swap-eq", apply: func(r *rng, l string) (string, bool) {
+		if strings.Contains(l, " == ") {
+			return strings.Replace(l, " == ", " != ", 1), true
+		}
+		if strings.Contains(l, " != ") {
+			return strings.Replace(l, " != ", " == ", 1), true
+		}
+		return l, false
+	}},
+	{name: "flip-edge", apply: func(r *rng, l string) (string, bool) {
+		if strings.Contains(l, "posedge") {
+			return strings.Replace(l, "posedge", "negedge", 1), true
+		}
+		return l, false
+	}},
+	{name: "off-by-one", apply: offByOneLiteral},
+	{name: "drop-semicolon", syntax: true, apply: func(r *rng, l string) (string, bool) {
+		if i := strings.LastIndexByte(l, ';'); i >= 0 {
+			return l[:i] + l[i+1:], true
+		}
+		return l, false
+	}},
+	{name: "typo-keyword", syntax: true, apply: func(r *rng, l string) (string, bool) {
+		for _, kw := range []string{"assign", "always", "endmodule", "begin"} {
+			if strings.Contains(l, kw) {
+				return strings.Replace(l, kw, kw[:len(kw)-1], 1), true
+			}
+		}
+		return l, false
+	}},
+}
+
+// swapOneOf replaces the first present operator with a different one from
+// the same family.
+func swapOneOf(r *rng, line string, ops []string) (string, bool) {
+	present := -1
+	for i, op := range ops {
+		if strings.Contains(line, op) {
+			present = i
+			break
+		}
+	}
+	if present < 0 {
+		return line, false
+	}
+	replacement := ops[(present+1+r.intn(len(ops)-1))%len(ops)]
+	if replacement == ops[present] {
+		replacement = ops[(present+1)%len(ops)]
+	}
+	return strings.Replace(line, ops[present], replacement, 1), true
+}
+
+// offByOneLiteral perturbs the first standalone decimal literal on the line.
+func offByOneLiteral(r *rng, line string) (string, bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] >= '1' && line[i] <= '9' && (i == 0 || !isWordByte(line[i-1])) && line[i-1] != '\'' {
+			j := i
+			for j < len(line) && line[j] >= '0' && line[j] <= '9' {
+				j++
+			}
+			if j < len(line) && (line[j] == '\'' || isWordByte(line[j])) {
+				continue // part of a sized literal or identifier
+			}
+			n := 0
+			for _, c := range line[i:j] {
+				n = n*10 + int(c-'0')
+			}
+			if r.intn(2) == 0 {
+				n++
+			} else if n > 0 {
+				n--
+			}
+			return line[:i] + itoa(n) + line[j:], true
+		}
+	}
+	return line, false
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// mutableLines returns the indices of lines worth mutating (those carrying
+// behavior, not blank/structural lines).
+func mutableLines(lines []string) []int {
+	var out []int
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		if strings.Contains(t, "assign") || strings.Contains(t, "=") ||
+			strings.Contains(t, "always") || strings.Contains(t, "if") ||
+			strings.Contains(t, "case") {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// verilogGen produces a candidate: the reference with 0..4 injected faults,
+// or a feedback-driven revision of the previous attempt.
+func (m *SimModel) verilogGen(task VerilogGen, temp float64) string {
+	if task.PrevAttempt != "" && task.Feedback != "" {
+		return m.verilogRepair(task)
+	}
+	lines := splitLines(task.Reference)
+	targets := mutableLines(lines)
+	if len(targets) == 0 {
+		return task.Reference
+	}
+
+	difficulty := task.Difficulty
+	if difficulty <= 0 {
+		difficulty = 1
+	}
+	// Fault counts are Poisson-distributed so that P(clean) = e^-lambda:
+	// the per-candidate pass probability that drives the pass@k curves.
+	lambda := m.prof.faultRate * (float64(difficulty) / 1.5) * (0.5 + temp)
+	n := m.poisson(lambda)
+	if n > 4 {
+		n = 4
+	}
+	// Syntax fault: one extra mutation from the syntax class.
+	syntax := m.rng.float() < m.prof.syntaxRate*(0.5+temp)
+
+	for fault := 0; fault < n; fault++ {
+		for attempt := 0; attempt < 12; attempt++ {
+			li := targets[m.rng.intn(len(targets))]
+			mut := verilogMutators[m.rng.intn(len(verilogMutators)-2)] // functional classes
+			if nl, ok := mut.apply(m.rng, lines[li]); ok && nl != lines[li] {
+				lines[li] = nl
+				break
+			}
+		}
+	}
+	if syntax {
+		for attempt := 0; attempt < 12; attempt++ {
+			li := targets[m.rng.intn(len(targets))]
+			mut := verilogMutators[len(verilogMutators)-1-m.rng.intn(2)] // syntax class
+			if nl, ok := mut.apply(m.rng, lines[li]); ok && nl != lines[li] {
+				lines[li] = nl
+				break
+			}
+		}
+	}
+	return joinLines(lines)
+}
+
+// verilogRepair revises the previous attempt: every line differing from
+// the reference is reverted with a probability set by the feedback type
+// and the model tier. This is the statistical heart of the "only capable
+// models leverage EDA tool feedback" result.
+func (m *SimModel) verilogRepair(task VerilogGen) string {
+	prev := splitLines(task.PrevAttempt)
+	ref := splitLines(task.Reference)
+	if len(prev) != len(ref) {
+		// Structure diverged (shouldn't happen with line-local faults):
+		// regenerate from scratch at low temperature.
+		return m.verilogGen(VerilogGen{
+			ProblemID: task.ProblemID, Spec: task.Spec, Reference: task.Reference,
+			Difficulty: task.Difficulty,
+		}, 0.3)
+	}
+	fb := strings.ToLower(task.Feedback)
+	syntaxFB := strings.Contains(fb, "syntax error") || strings.Contains(fb, "lex error") ||
+		strings.Contains(fb, "elaboration error")
+	p := m.prof.funcRepair
+	if syntaxFB {
+		p = m.prof.syntaxRepair
+	}
+	out := make([]string, len(prev))
+	for i := range prev {
+		out[i] = prev[i]
+		if prev[i] != ref[i] && m.rng.float() < p {
+			out[i] = ref[i]
+		}
+	}
+	// A weak model occasionally introduces a fresh fault while "fixing".
+	if m.rng.float() < m.prof.faultRate*0.15 {
+		targets := mutableLines(out)
+		if len(targets) > 0 {
+			li := targets[m.rng.intn(len(targets))]
+			mut := verilogMutators[m.rng.intn(5)] // functional classes only
+			if nl, ok := mut.apply(m.rng, out[li]); ok {
+				out[li] = nl
+			}
+		}
+	}
+	return joinLines(out)
+}
+
+// testbenchGen keeps a tier-dependent fraction of the vector blocks:
+// coverage loss is the failure mode the paper reports for generated
+// testbenches.
+func (m *SimModel) testbenchGen(task TestbenchGen) string {
+	keep := int(float64(len(task.VectorBlocks))*m.prof.quality + 0.5)
+	if keep < 1 && len(task.VectorBlocks) > 0 {
+		keep = 1
+	}
+	var b strings.Builder
+	b.WriteString(task.Header)
+	for i := 0; i < keep && i < len(task.VectorBlocks); i++ {
+		b.WriteString(task.VectorBlocks[i])
+	}
+	b.WriteString(task.Footer)
+	return b.String()
+}
+
+// potentialErrors recalls a tier-dependent subset of the canonical issue
+// list (stage 1 of the repair flow: "the HLS compiler may not detect all
+// errors in one go; an LLM flags the rest").
+func (m *SimModel) potentialErrors(task PotentialErrors) string {
+	var out []string
+	for _, issue := range task.KnownIssues {
+		if m.rng.float() < m.prof.recall {
+			out = append(out, issue)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// cModelGen produces an untimed C behavioral model. LLMs are markedly
+// more reliable here than at HDL (the premise of the paper's high-level
+// guided debugging direction): the fault probability is an order of
+// magnitude below Verilog generation and vanishes for strong tiers.
+func (m *SimModel) cModelGen(task CModelGen) string {
+	lines := splitLines(task.Reference)
+	if m.rng.float() < (1-m.prof.quality)*0.25 {
+		targets := mutableLines(lines)
+		if len(targets) > 0 {
+			li := targets[m.rng.intn(len(targets))]
+			if nl, ok := swapOneOf(m.rng, lines[li], []string{" + ", " - "}); ok {
+				lines[li] = nl
+			}
+		}
+	}
+	return joinLines(lines)
+}

@@ -1,0 +1,149 @@
+package rag
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("Replace heap-allocation: malloc(n * sizeof(int))!")
+	want := []string{"replace", "heap", "allocation", "malloc", "n", "sizeof", "int"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestRetrieveMatchesByTopic(t *testing.T) {
+	lib := DefaultCorrectionLibrary()
+	hits := lib.Retrieve("sum_dyn:3: [dynamic-memory] malloc allocates unbounded memory", 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if hits[0].Template.Name != "malloc-to-static-array" {
+		t.Errorf("top hit = %q, want malloc template; hits: %v", hits[0].Template.Name, names(hits))
+	}
+	hits = lib.Retrieve("[recursion] function is recursive; hardware needs an iterative form", 3)
+	if len(hits) == 0 || hits[0].Template.Name != "recursion-to-iteration" {
+		t.Errorf("recursion query top hit = %v", names(hits))
+	}
+}
+
+func names(hits []Hit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.Template.Name
+	}
+	return out
+}
+
+func TestRetrieveDeterministicOrder(t *testing.T) {
+	lib := DefaultCorrectionLibrary()
+	a := names(lib.Retrieve("unbounded loop while trip count", 5))
+	b := names(lib.Retrieve("unbounded loop while trip count", 5))
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("retrieval nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRetrieveEmptyQuery(t *testing.T) {
+	lib := DefaultCorrectionLibrary()
+	if hits := lib.Retrieve("", 3); len(hits) != 0 {
+		t.Errorf("empty query returned %v", names(hits))
+	}
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "xy", 2},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinPropertiesQuick(t *testing.T) {
+	// Symmetry.
+	sym := func(a, b string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	// Identity and upper bound.
+	bounds := func(a, b string) bool {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		d := Levenshtein(a, b)
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		if a == b {
+			return d == 0
+		}
+		return d >= 1 && d <= maxLen
+	}
+	if err := quick.Check(bounds, nil); err != nil {
+		t.Error(err)
+	}
+	// Triangle inequality on short strings.
+	tri := func(a, b, c string) bool {
+		if len(a) > 24 {
+			a = a[:24]
+		}
+		if len(b) > 24 {
+			b = b[:24]
+		}
+		if len(c) > 24 {
+			c = c[:24]
+		}
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizedLevenshtein(t *testing.T) {
+	if d := NormalizedLevenshtein("aaaa", "aaaa"); d != 0 {
+		t.Errorf("identical = %f", d)
+	}
+	if d := NormalizedLevenshtein("aaaa", "bbbb"); d != 1 {
+		t.Errorf("disjoint = %f", d)
+	}
+	if d := NormalizedLevenshtein("", ""); d != 0 {
+		t.Errorf("empty = %f", d)
+	}
+}
+
+func TestLibrarySize(t *testing.T) {
+	if n := DefaultCorrectionLibrary().Size(); n < 6 {
+		t.Errorf("library has only %d templates", n)
+	}
+}

@@ -1,0 +1,138 @@
+package repair
+
+// The repair benchmark suite: C kernels with real HLS incompatibilities of
+// the classes the paper's Fig. 2 flow targets. Every kernel runs correctly
+// under CPU execution (the chdl interpreter) but is rejected by the HLS
+// frontend until repaired. Vectors stay in the non-negative domain where
+// the unsigned RTL datapath and C semantics agree, as a real co-simulation
+// setup would arrange.
+
+// BenchKernel is one entry of the repair suite.
+type BenchKernel struct {
+	ID     string
+	Source string
+	// Kernel is the function to synthesize.
+	Kernel string
+	// Vectors are equivalence-check inputs.
+	Vectors [][]int64
+	// Classes lists the incompatibility kinds present (for reporting).
+	Classes []string
+}
+
+// BenchKernels returns the suite.
+func BenchKernels() []BenchKernel {
+	return []BenchKernel{
+		{
+			ID:     "malloc_sum",
+			Kernel: "sum_dyn",
+			Source: `
+int sum_dyn(int n) {
+    int *buf = (int*)malloc(n * sizeof(int));
+    for (int i = 0; i < n; i++) {
+        buf[i] = i * 2 + 1;
+    }
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        total = total + buf[i];
+    }
+    free(buf);
+    return total;
+}`,
+			Vectors: [][]int64{{4}, {10}, {32}, {100}},
+			Classes: []string{"dynamic-memory"},
+		},
+		{
+			ID:     "while_collatz",
+			Kernel: "collatz",
+			Source: `
+int collatz(int n) {
+    int steps = 0;
+    while (n > 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = 3 * n + 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}`,
+			Vectors: [][]int64{{1}, {6}, {27}, {97}},
+			Classes: []string{"unbounded-loop"},
+		},
+		{
+			ID:     "recursive_triangle",
+			Kernel: "triangle",
+			Source: `
+int triangle(int n) {
+    if (n <= 0) return 0;
+    return triangle(n - 1) + n;
+}`,
+			Vectors: [][]int64{{0}, {5}, {12}, {40}},
+			Classes: []string{"recursion"},
+		},
+		{
+			ID:     "printf_kernel",
+			Kernel: "checksum",
+			Source: `
+int checksum(int seed) {
+    int acc = seed;
+    int i = 0;
+    while (i < 16) {
+        acc = acc * 31 + i;
+        acc = acc % 65521;
+        printf("step %d: %d\n", i, acc);
+        i = i + 1;
+    }
+    return acc;
+}`,
+			Vectors: [][]int64{{1}, {7}, {1000}},
+			Classes: []string{"io-in-kernel", "unbounded-loop"},
+		},
+		{
+			ID:     "malloc_while_mix",
+			Kernel: "histmax",
+			Source: `
+int histmax(int n) {
+    int *hist = (int*)malloc(16 * sizeof(int));
+    for (int i = 0; i < 16; i++) {
+        hist[i] = 0;
+    }
+    int x = n;
+    while (x > 0) {
+        hist[x % 16] = hist[x % 16] + 1;
+        x = x / 2;
+    }
+    int best = 0;
+    for (int i = 0; i < 16; i++) {
+        if (hist[i] > best) {
+            best = hist[i];
+        }
+    }
+    free(hist);
+    return best;
+}`,
+			Vectors: [][]int64{{1}, {100}, {65535}, {1000000}},
+			Classes: []string{"dynamic-memory", "unbounded-loop"},
+		},
+		{
+			ID:     "do_while_gcd",
+			Kernel: "gcdsum",
+			Source: `
+int gcdsum(int a, int b) {
+    do {
+        if (a > b) {
+            a = a - b;
+        } else if (b > a) {
+            b = b - a;
+        } else {
+            break;
+        }
+    } while (a != b);
+    return a + b;
+}`,
+			Vectors: [][]int64{{12, 18}, {7, 7}, {100, 75}, {13, 5}},
+			Classes: []string{"unbounded-loop"},
+		},
+	}
+}

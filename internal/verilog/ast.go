@@ -1,0 +1,321 @@
+package verilog
+
+// This file defines the abstract syntax tree produced by the parser. The
+// tree is deliberately plain (no interning, no position-heavy nodes): the
+// frameworks built on top re-parse candidate sources frequently and care
+// about construction speed and simplicity.
+
+// SourceFile is one parsed Verilog source: an ordered list of modules.
+type SourceFile struct {
+	Modules []*Module
+}
+
+// FindModule returns the module with the given name, or nil.
+func (f *SourceFile) FindModule(name string) *Module {
+	for _, m := range f.Modules {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// PortDir is the direction of a module port.
+type PortDir int
+
+// Port directions.
+const (
+	DirInput PortDir = iota + 1
+	DirOutput
+	DirInout
+)
+
+// Port is one declared module port.
+type Port struct {
+	Name  string
+	Dir   PortDir
+	Width Expr // MSB expression of [msb:0]; nil means scalar
+	IsReg bool
+	Line  int
+}
+
+// Param is a module parameter or localparam with its default value.
+type Param struct {
+	Name    string
+	Default Expr
+	IsLocal bool
+}
+
+// Module is a parsed module declaration.
+type Module struct {
+	Name   string
+	Ports  []*Port
+	Params []*Param
+	Items  []Item
+	Line   int
+}
+
+// Item is a module-level item: declaration, assign, always, initial,
+// or instance.
+type Item interface{ item() }
+
+// NetDecl declares wires or regs (one name per decl after parsing).
+type NetDecl struct {
+	Name    string
+	IsReg   bool
+	Width   Expr // MSB of [msb:0]; nil = scalar
+	ArrayHi Expr // non-nil for memories: name [0:ArrayHi] or [ArrayHi:0]
+	Init    Expr // optional initializer (wire x = expr)
+	Line    int
+}
+
+// ContAssign is a continuous assignment: assign lhs = rhs.
+type ContAssign struct {
+	LHS  Expr // Ident, Index, PartSelect or Concat of those
+	RHS  Expr
+	Line int
+}
+
+// AlwaysBlock is an always block with its sensitivity list.
+type AlwaysBlock struct {
+	Sens []SensItem // empty means always @* (inferred) or always #... loop
+	Star bool       // @* or @(*)
+	Body Stmt
+	Line int
+}
+
+// InitialBlock is an initial process.
+type InitialBlock struct {
+	Body Stmt
+	Line int
+}
+
+// Instance is a module instantiation.
+type Instance struct {
+	ModuleName string
+	Name       string
+	ParamOrder []Expr          // positional #(...) overrides
+	ParamNamed map[string]Expr // named #(.P(expr)) overrides
+	Conns      map[string]Expr // named .port(expr) connections
+	ConnOrder  []Expr          // positional connections (exclusive with Conns)
+	Line       int
+}
+
+func (*NetDecl) item()      {}
+func (*ContAssign) item()   {}
+func (*AlwaysBlock) item()  {}
+func (*InitialBlock) item() {}
+func (*Instance) item()     {}
+
+// EdgeKind is the edge specifier of a sensitivity item.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	EdgeAny EdgeKind = iota + 1 // level-sensitive (no edge keyword)
+	EdgePos
+	EdgeNeg
+)
+
+// SensItem is one entry of a sensitivity list.
+type SensItem struct {
+	Edge   EdgeKind
+	Signal string
+}
+
+// Stmt is a behavioral statement.
+type Stmt interface{ stmt() }
+
+// Block is a begin/end statement sequence.
+type Block struct {
+	Stmts []Stmt
+}
+
+// Assign is a blocking (=) or non-blocking (<=) assignment.
+type Assign struct {
+	LHS         Expr
+	RHS         Expr
+	NonBlocking bool
+	Line        int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+// CaseItem is one arm of a case statement.
+type CaseItem struct {
+	Exprs     []Expr // empty for default
+	Body      Stmt
+	IsDefault bool
+}
+
+// CaseStmt is case/casez (casez treats x/z label bits as wildcards).
+type CaseStmt struct {
+	Subject Expr
+	Items   []CaseItem
+	IsCasez bool
+	Line    int
+}
+
+// ForStmt is the C-style for loop used in testbenches and generate-free RTL.
+type ForStmt struct {
+	Init *Assign
+	Cond Expr
+	Step *Assign
+	Body Stmt
+	Line int
+}
+
+// WhileStmt loops while the condition holds.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+// RepeatStmt executes the body N times.
+type RepeatStmt struct {
+	Count Expr
+	Body  Stmt
+	Line  int
+}
+
+// ForeverStmt loops forever (used with internal delays).
+type ForeverStmt struct {
+	Body Stmt
+	Line int
+}
+
+// DelayStmt suspends the process for Amount time units, then runs Body
+// (Body may be nil for a bare "#10;").
+type DelayStmt struct {
+	Amount Expr
+	Body   Stmt
+	Line   int
+}
+
+// EventStmt suspends the process until the sensitivity fires: @(posedge clk) body.
+type EventStmt struct {
+	Sens []SensItem
+	Star bool
+	Body Stmt // may be nil
+	Line int
+}
+
+// WaitStmt suspends until the condition is true: wait (expr);
+type WaitStmt struct {
+	Cond Expr
+	Line int
+}
+
+// SysCall is a system-task invocation statement ($display, $finish, ...).
+type SysCall struct {
+	Name string
+	Args []Expr
+	Str  string // first string literal argument, if any (format string)
+	Line int
+}
+
+// NullStmt is an empty statement (bare semicolon).
+type NullStmt struct{}
+
+func (*Block) stmt()       {}
+func (*Assign) stmt()      {}
+func (*IfStmt) stmt()      {}
+func (*CaseStmt) stmt()    {}
+func (*ForStmt) stmt()     {}
+func (*WhileStmt) stmt()   {}
+func (*RepeatStmt) stmt()  {}
+func (*ForeverStmt) stmt() {}
+func (*DelayStmt) stmt()   {}
+func (*EventStmt) stmt()   {}
+func (*WaitStmt) stmt()    {}
+func (*SysCall) stmt()     {}
+func (*NullStmt) stmt()    {}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// Ident is a signal, parameter or genvar reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// Number is a literal.
+type Number struct {
+	Val  Value
+	Line int
+}
+
+// StringLit is a string literal (only valid as a $display argument).
+type StringLit struct {
+	Text string
+	Line int
+}
+
+// Unary is a prefix operator: ~ ! - & | ^ ~& ~| ~^.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is an infix operator.
+type Binary struct {
+	Op   string
+	X, Y Expr
+}
+
+// Ternary is cond ? a : b.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Concat is {a, b, c}.
+type Concat struct {
+	Parts []Expr
+}
+
+// Repeat is {n{expr}}.
+type Repeat struct {
+	Count Expr
+	X     Expr
+}
+
+// Index is name[expr]: bit select or memory word select.
+type Index struct {
+	X    Expr
+	Idx  Expr
+	Line int
+}
+
+// PartSelect is name[msb:lsb] with constant bounds.
+type PartSelect struct {
+	X        Expr
+	MSB, LSB Expr
+	Line     int
+}
+
+// SysFunc is a system-function call in expression position ($time, $random).
+type SysFunc struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*Ident) expr()      {}
+func (*Number) expr()     {}
+func (*StringLit) expr()  {}
+func (*Unary) expr()      {}
+func (*Binary) expr()     {}
+func (*Ternary) expr()    {}
+func (*Concat) expr()     {}
+func (*Repeat) expr()     {}
+func (*Index) expr()      {}
+func (*PartSelect) expr() {}
+func (*SysFunc) expr()    {}

@@ -1,0 +1,816 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// evaluator computes expression values against the simulator state. It is
+// used both by the scheduler (continuous assigns) and by process runners.
+type evaluator struct {
+	sim   *Simulator
+	scope scope
+}
+
+// resolveSignal resolves an identifier expression (possibly scope-wrapped)
+// to a signal, unwrapping port-connection scope switches.
+func (ev *evaluator) resolveSignal(ex Expr) (*Signal, scope, error) {
+	switch n := ex.(type) {
+	case *Ident:
+		ent, ok := ev.scope[n.Name]
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown identifier %q", n.Name)
+		}
+		if ent.isParam {
+			return nil, nil, fmt.Errorf("%q is a parameter, not a signal", n.Name)
+		}
+		return ev.sim.design.Signals[ent.sig], ev.scope, nil
+	case scopedExpr:
+		sub := &evaluator{sim: ev.sim, scope: n.Scope}
+		return sub.resolveSignal(n.Expr)
+	default:
+		return nil, nil, fmt.Errorf("expected signal reference, got %T", ex)
+	}
+}
+
+// eval computes the value of an expression.
+func (ev *evaluator) eval(ex Expr) (Value, error) {
+	switch n := ex.(type) {
+	case *Number:
+		return n.Val, nil
+
+	case *Ident:
+		ent, ok := ev.scope[n.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("unknown identifier %q at line %d", n.Name, n.Line)
+		}
+		if ent.isParam {
+			return ent.param, nil
+		}
+		sig := ev.sim.design.Signals[ent.sig]
+		if sig.Words > 1 {
+			return Value{}, fmt.Errorf("memory %q used without an index at line %d", n.Name, n.Line)
+		}
+		return ev.sim.vals[ent.sig][0], nil
+
+	case scopedExpr:
+		sub := &evaluator{sim: ev.sim, scope: n.Scope}
+		return sub.eval(n.Expr)
+
+	case *StringLit:
+		return Value{}, fmt.Errorf("string literal %q used in value context", n.Text)
+
+	case *Unary:
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyUnary(n.Op, x)
+
+	case *Binary:
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := ev.eval(n.Y)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyBinary(n.Op, x, y)
+
+	case *Ternary:
+		c, err := ev.eval(n.Cond)
+		if err != nil {
+			return Value{}, err
+		}
+		if !c.IsFullyKnown() {
+			t, err := ev.eval(n.Then)
+			if err != nil {
+				return Value{}, err
+			}
+			e, err := ev.eval(n.Else)
+			if err != nil {
+				return Value{}, err
+			}
+			return AllX(max(t.Width, e.Width)), nil
+		}
+		if c.IsTrue() {
+			return ev.eval(n.Then)
+		}
+		return ev.eval(n.Else)
+
+	case *Concat:
+		parts := make([]Value, 0, len(n.Parts))
+		for _, p := range n.Parts {
+			v, err := ev.eval(p)
+			if err != nil {
+				return Value{}, err
+			}
+			parts = append(parts, v)
+		}
+		return ConcatValues(parts...)
+
+	case *Repeat:
+		cnt, err := ev.eval(n.Count)
+		if err != nil {
+			return Value{}, err
+		}
+		if !cnt.IsFullyKnown() {
+			return Value{}, fmt.Errorf("replication count is unknown")
+		}
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		k := int(cnt.Uint())
+		if k <= 0 || k*x.Width > 64 {
+			return Value{}, fmt.Errorf("replication {%d{...}} of width %d unsupported", k, x.Width)
+		}
+		parts := make([]Value, k)
+		for i := range parts {
+			parts[i] = x
+		}
+		return ConcatValues(parts...)
+
+	case *Index:
+		// Memory word read?
+		if sig, _, err := ev.resolveSignal(n.X); err == nil && sig.Words > 1 {
+			idx, err := ev.eval(n.Idx)
+			if err != nil {
+				return Value{}, err
+			}
+			if !idx.IsFullyKnown() {
+				return AllX(sig.Width), nil
+			}
+			w := int(idx.Uint())
+			if w < 0 || w >= sig.Words {
+				return AllX(sig.Width), nil
+			}
+			return ev.sim.vals[sig.ID][w], nil
+		}
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		idx, err := ev.eval(n.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		if !idx.IsFullyKnown() {
+			return AllX(1), nil
+		}
+		i := int(idx.Uint())
+		if i < 0 || i >= x.Width {
+			return AllX(1), nil
+		}
+		return x.Bit(i), nil
+
+	case *PartSelect:
+		x, err := ev.eval(n.X)
+		if err != nil {
+			return Value{}, err
+		}
+		msbV, err := ev.eval(n.MSB)
+		if err != nil {
+			return Value{}, err
+		}
+		lsbV, err := ev.eval(n.LSB)
+		if err != nil {
+			return Value{}, err
+		}
+		if !msbV.IsFullyKnown() || !lsbV.IsFullyKnown() {
+			return Value{}, fmt.Errorf("part-select bounds are unknown at line %d", n.Line)
+		}
+		msb, lsb := int(msbV.Uint()), int(lsbV.Uint())
+		if msb < lsb || msb-lsb+1 > 64 {
+			return Value{}, fmt.Errorf("bad part-select [%d:%d] at line %d", msb, lsb, n.Line)
+		}
+		w := msb - lsb + 1
+		return Value{
+			Bits:    (x.Bits >> uint(lsb)) & maskFor(w),
+			Unknown: (x.Unknown >> uint(lsb)) & maskFor(w),
+			Width:   w,
+		}, nil
+
+	case *SysFunc:
+		switch n.Name {
+		case "$time", "$stime", "$realtime":
+			return NewValue(ev.sim.now, 64), nil
+		case "$random", "$urandom":
+			return NewValue(ev.sim.random()&0xFFFFFFFF, 32), nil
+		case "$clog2":
+			if len(n.Args) != 1 {
+				return Value{}, fmt.Errorf("$clog2 takes one argument")
+			}
+			v, err := ev.eval(n.Args[0])
+			if err != nil {
+				return Value{}, err
+			}
+			if !v.IsFullyKnown() {
+				return AllX(32), nil
+			}
+			x := v.Uint()
+			n := 0
+			for (uint64(1) << uint(n)) < x {
+				n++
+			}
+			return NewValue(uint64(n), 32), nil
+		default:
+			return Value{}, fmt.Errorf("unsupported system function %s at line %d", n.Name, n.Line)
+		}
+
+	default:
+		return Value{}, fmt.Errorf("unsupported expression %T", ex)
+	}
+}
+
+// lvalueWidth returns the bit width an lvalue expression covers.
+func (ev *evaluator) lvalueWidth(lhs Expr) (int, error) {
+	switch n := lhs.(type) {
+	case *Ident, scopedExpr:
+		sig, _, err := ev.resolveSignal(n)
+		if err != nil {
+			return 0, err
+		}
+		return sig.Width, nil
+	case *Index:
+		if sig, _, err := ev.resolveSignal(n.X); err == nil && sig.Words > 1 {
+			return sig.Width, nil
+		}
+		return 1, nil
+	case *PartSelect:
+		msbV, err := ev.eval(n.MSB)
+		if err != nil {
+			return 0, err
+		}
+		lsbV, err := ev.eval(n.LSB)
+		if err != nil {
+			return 0, err
+		}
+		return int(msbV.Uint()) - int(lsbV.Uint()) + 1, nil
+	case *Concat:
+		total := 0
+		for _, p := range n.Parts {
+			w, err := ev.lvalueWidth(p)
+			if err != nil {
+				return 0, err
+			}
+			total += w
+		}
+		return total, nil
+	default:
+		return 0, fmt.Errorf("invalid lvalue %T", lhs)
+	}
+}
+
+// writeLValue stores v into the lvalue. procedural selects the
+// reg-only legality rule; nonBlocking defers the commit to the NBA region.
+func (ev *evaluator) writeLValue(lhs Expr, v Value, procedural bool, _ []SignalID) error {
+	return ev.write(lhs, v, procedural, false)
+}
+
+func (ev *evaluator) write(lhs Expr, v Value, procedural, nonBlocking bool) error {
+	switch n := lhs.(type) {
+	case scopedExpr:
+		sub := &evaluator{sim: ev.sim, scope: n.Scope}
+		return sub.write(n.Expr, v, procedural, nonBlocking)
+
+	case *Ident:
+		sig, _, err := ev.resolveSignal(n)
+		if err != nil {
+			return err
+		}
+		if err := checkWriteLegality(sig, procedural); err != nil {
+			return err
+		}
+		if sig.Words > 1 {
+			return fmt.Errorf("memory %q assigned without an index", sig.Name)
+		}
+		ev.commit(sig, 0, maskFor(sig.Width), v.Resize(sig.Width), nonBlocking)
+		return nil
+
+	case *Index:
+		sig, outerScope, err := ev.resolveSignal(n.X)
+		if err != nil {
+			return err
+		}
+		if err := checkWriteLegality(sig, procedural); err != nil {
+			return err
+		}
+		idxEv := ev
+		if _, ok := n.X.(scopedExpr); ok {
+			idxEv = &evaluator{sim: ev.sim, scope: outerScope}
+		}
+		idx, err := idxEv.eval(n.Idx)
+		if err != nil {
+			return err
+		}
+		if !idx.IsFullyKnown() {
+			return nil // write to unknown index: dropped
+		}
+		i := int(idx.Uint())
+		if sig.Words > 1 {
+			ev.commit(sig, i, maskFor(sig.Width), v.Resize(sig.Width), nonBlocking)
+			return nil
+		}
+		if i < 0 || i >= sig.Width {
+			return nil
+		}
+		shifted := Value{Bits: (v.Bits & 1) << uint(i), Unknown: (v.Unknown & 1) << uint(i), Width: sig.Width}
+		ev.commit(sig, 0, uint64(1)<<uint(i), shifted, nonBlocking)
+		return nil
+
+	case *PartSelect:
+		sig, _, err := ev.resolveSignal(n.X)
+		if err != nil {
+			return err
+		}
+		if err := checkWriteLegality(sig, procedural); err != nil {
+			return err
+		}
+		msbV, err := ev.eval(n.MSB)
+		if err != nil {
+			return err
+		}
+		lsbV, err := ev.eval(n.LSB)
+		if err != nil {
+			return err
+		}
+		msb, lsb := int(msbV.Uint()), int(lsbV.Uint())
+		if msb < lsb || lsb < 0 || msb >= sig.Width {
+			return fmt.Errorf("part-select [%d:%d] out of range for %q", msb, lsb, sig.Name)
+		}
+		w := msb - lsb + 1
+		mask := maskFor(w) << uint(lsb)
+		shifted := Value{
+			Bits:    (v.Bits & maskFor(w)) << uint(lsb),
+			Unknown: (v.Unknown & maskFor(w)) << uint(lsb),
+			Width:   sig.Width,
+		}
+		ev.commit(sig, 0, mask, shifted, nonBlocking)
+		return nil
+
+	case *Concat:
+		// Split v across the parts, MSB-first.
+		total, err := ev.lvalueWidth(n)
+		if err != nil {
+			return err
+		}
+		shift := total
+		for _, p := range n.Parts {
+			w, err := ev.lvalueWidth(p)
+			if err != nil {
+				return err
+			}
+			shift -= w
+			slice := Value{
+				Bits:    (v.Bits >> uint(shift)) & maskFor(w),
+				Unknown: (v.Unknown >> uint(shift)) & maskFor(w),
+				Width:   w,
+			}
+			if err := ev.write(p, slice, procedural, nonBlocking); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("invalid assignment target %T", lhs)
+	}
+}
+
+// checkWriteLegality enforces the reg/wire assignment rules: procedural
+// code writes regs, continuous assigns drive wires.
+func checkWriteLegality(sig *Signal, procedural bool) error {
+	if procedural && !sig.IsReg {
+		return fmt.Errorf("procedural assignment to wire %q (declare it reg)", sig.Name)
+	}
+	if !procedural && sig.IsReg {
+		return fmt.Errorf("continuous assignment to reg %q (declare it wire)", sig.Name)
+	}
+	return nil
+}
+
+// commit routes a masked write either immediately or to the NBA region.
+func (ev *evaluator) commit(sig *Signal, word int, mask uint64, v Value, nonBlocking bool) {
+	if nonBlocking {
+		ev.sim.nba = append(ev.sim.nba, nbaUpdate{sig: sig.ID, word: word, mask: mask, value: v})
+		return
+	}
+	ev.sim.commitWrite(sig.ID, word, mask, v)
+}
+
+// --- statement execution (runner side) ----------------------------------
+
+// exec runs one statement; it returns errFinish for $finish, errBudget on
+// step exhaustion, or a runtime diagnostic.
+func (r *runner) exec(st Stmt) error {
+	if err := r.step(); err != nil {
+		return err
+	}
+	ev := &evaluator{sim: r.sim, scope: r.scope}
+	switch n := st.(type) {
+	case nil, *NullStmt:
+		return nil
+
+	case *Block:
+		for _, s := range n.Stmts {
+			if err := r.exec(s); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *Assign:
+		rhs, err := ev.eval(n.RHS)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		if err := ev.write(n.LHS, rhs, true, n.NonBlocking); err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		return nil
+
+	case *IfStmt:
+		c, err := ev.eval(n.Cond)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		if c.IsTrue() {
+			return r.exec(n.Then)
+		}
+		if n.Else != nil {
+			return r.exec(n.Else)
+		}
+		return nil
+
+	case *CaseStmt:
+		subj, err := ev.eval(n.Subject)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		var deflt *CaseItem
+		for i := range n.Items {
+			item := &n.Items[i]
+			if item.IsDefault {
+				deflt = item
+				continue
+			}
+			for _, le := range item.Exprs {
+				lv, err := ev.eval(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %w", n.Line, err)
+				}
+				if caseMatch(subj, lv, n.IsCasez) {
+					return r.exec(item.Body)
+				}
+			}
+		}
+		if deflt != nil {
+			return r.exec(deflt.Body)
+		}
+		return nil
+
+	case *ForStmt:
+		if err := r.exec(n.Init); err != nil {
+			return err
+		}
+		for {
+			c, err := ev.eval(n.Cond)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", n.Line, err)
+			}
+			if !c.IsTrue() {
+				return nil
+			}
+			if err := r.exec(n.Body); err != nil {
+				return err
+			}
+			if err := r.exec(n.Step); err != nil {
+				return err
+			}
+		}
+
+	case *WhileStmt:
+		for {
+			c, err := ev.eval(n.Cond)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", n.Line, err)
+			}
+			if !c.IsTrue() {
+				return nil
+			}
+			if err := r.exec(n.Body); err != nil {
+				return err
+			}
+		}
+
+	case *RepeatStmt:
+		cnt, err := ev.eval(n.Count)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		if !cnt.IsFullyKnown() {
+			return fmt.Errorf("line %d: repeat count is unknown", n.Line)
+		}
+		for i := uint64(0); i < cnt.Uint(); i++ {
+			if err := r.exec(n.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ForeverStmt:
+		if !containsTiming(n.Body) {
+			return fmt.Errorf("line %d: forever loop without timing control", n.Line)
+		}
+		for {
+			if err := r.exec(n.Body); err != nil {
+				return err
+			}
+		}
+
+	case *DelayStmt:
+		amt, err := ev.eval(n.Amount)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		if !amt.IsFullyKnown() {
+			return fmt.Errorf("line %d: delay amount is unknown", n.Line)
+		}
+		d := amt.Uint()
+		if d == 0 {
+			d = 1 // #0 rounds up: the subset has no inactive region
+		}
+		r.yield(yieldReq{kind: yieldDelay, delay: d})
+		if n.Body != nil {
+			return r.exec(n.Body)
+		}
+		return nil
+
+	case *EventStmt:
+		if n.Star {
+			return fmt.Errorf("line %d: statement-level @(*) is not supported", n.Line)
+		}
+		sens, err := r.resolveSens(n.Sens)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		r.yield(yieldReq{kind: yieldEvent, sens: sens})
+		if n.Body != nil {
+			return r.exec(n.Body)
+		}
+		return nil
+
+	case *WaitStmt:
+		for {
+			c, err := ev.eval(n.Cond)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", n.Line, err)
+			}
+			if c.IsTrue() {
+				return nil
+			}
+			reads := readSet(n.Cond, r.scope, nil)
+			if len(reads) == 0 {
+				return fmt.Errorf("line %d: wait condition reads no signals", n.Line)
+			}
+			sens := make([]resolvedSens, 0, len(reads))
+			for _, s := range reads {
+				sens = append(sens, resolvedSens{sig: s, edge: EdgeAny})
+			}
+			r.yield(yieldReq{kind: yieldEvent, sens: sens})
+		}
+
+	case *SysCall:
+		return r.execSysCall(n)
+
+	default:
+		return fmt.Errorf("unsupported statement %T", st)
+	}
+}
+
+// caseMatch compares a case subject with one label; casez treats unknown
+// label bits as wildcards.
+func caseMatch(subj, label Value, casez bool) bool {
+	w := max(subj.Width, label.Width)
+	s, l := subj.Resize(w), label.Resize(w)
+	if casez {
+		care := ^l.Unknown & maskFor(w)
+		return (s.Bits^l.Bits)&care&^s.Unknown == 0 && s.Unknown&care == 0
+	}
+	return s.Equal(l)
+}
+
+const maxSimOutput = 1 << 20
+
+// execSysCall dispatches system tasks.
+func (r *runner) execSysCall(n *SysCall) error {
+	ev := &evaluator{sim: r.sim, scope: r.scope}
+	s := r.sim
+	switch n.Name {
+	case "$display", "$write", "$strobe", "$monitor":
+		text, err := r.formatCall(n)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		if s.out.Len() < maxSimOutput {
+			s.out.WriteString(text)
+			if n.Name != "$write" {
+				s.out.WriteByte('\n')
+			}
+		}
+		return nil
+
+	case "$finish", "$stop":
+		return errFinish
+
+	case "$error", "$fatal":
+		s.failures++
+		text, err := r.formatCall(n)
+		if err != nil {
+			text = "(unformattable $error message)"
+		}
+		if s.out.Len() < maxSimOutput {
+			fmt.Fprintf(&s.out, "ERROR at time %d: %s\n", s.now, text)
+		}
+		if n.Name == "$fatal" {
+			return errFinish
+		}
+		return nil
+
+	case "$check_eq":
+		if len(n.Args) < 2 {
+			return fmt.Errorf("line %d: $check_eq needs (actual, expected)", n.Line)
+		}
+		a, err := ev.eval(n.Args[0])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		b, err := ev.eval(n.Args[1])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		s.checks++
+		w := max(a.Width, b.Width)
+		if !a.Resize(w).Equal(b.Resize(w)) {
+			s.failures++
+			if s.out.Len() < maxSimOutput {
+				fmt.Fprintf(&s.out, "CHECK FAILED at time %d (line %d): got %s, want %s\n",
+					s.now, n.Line, a.Resize(w), b.Resize(w))
+			}
+		}
+		return nil
+
+	case "$check":
+		if len(n.Args) < 1 {
+			return fmt.Errorf("line %d: $check needs a condition", n.Line)
+		}
+		c, err := ev.eval(n.Args[0])
+		if err != nil {
+			return fmt.Errorf("line %d: %w", n.Line, err)
+		}
+		s.checks++
+		if !c.IsTrue() {
+			s.failures++
+			if s.out.Len() < maxSimOutput {
+				fmt.Fprintf(&s.out, "CHECK FAILED at time %d (line %d)\n", s.now, n.Line)
+			}
+		}
+		return nil
+
+	case "$dumpfile", "$dumpvars", "$timeformat", "$readmemh", "$readmemb":
+		return nil // accepted and ignored by the subset
+
+	default:
+		return fmt.Errorf("line %d: unsupported system task %s", n.Line, n.Name)
+	}
+}
+
+// formatCall renders $display-style arguments.
+func (r *runner) formatCall(n *SysCall) (string, error) {
+	ev := &evaluator{sim: r.sim, scope: r.scope}
+	// No args: empty line.
+	if len(n.Args) == 0 {
+		return "", nil
+	}
+	// Format-string style if the first arg is a string literal.
+	if first, ok := n.Args[0].(*StringLit); ok {
+		return r.formatString(first.Text, n.Args[1:])
+	}
+	// Otherwise: space-separated decimal values.
+	var parts []string
+	for _, a := range n.Args {
+		if sl, ok := a.(*StringLit); ok {
+			parts = append(parts, sl.Text)
+			continue
+		}
+		v, err := ev.eval(a)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, v.FormatRadix('d'))
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// formatString implements the $display verb subset: %d %h %x %b %o %s %c
+// %t %0d %m and %%.
+func (r *runner) formatString(format string, args []Expr) (string, error) {
+	ev := &evaluator{sim: r.sim, scope: r.scope}
+	var b strings.Builder
+	ai := 0
+	nextVal := func() (Value, error) {
+		if ai >= len(args) {
+			return Value{}, fmt.Errorf("format string %q has more verbs than arguments", format)
+		}
+		a := args[ai]
+		ai++
+		if _, ok := a.(*StringLit); ok {
+			return Value{}, fmt.Errorf("string argument where value expected in %q", format)
+		}
+		return ev.eval(a)
+	}
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(format) {
+			b.WriteByte('%')
+			break
+		}
+		// Skip width/zero flags: %0d, %2d ...
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			b.WriteByte('%')
+		case 'd', 'D':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v.FormatRadix('d'))
+		case 'h', 'H', 'x', 'X':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v.FormatRadix('h'))
+		case 'b', 'B':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v.FormatRadix('b'))
+		case 'o', 'O':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			if v.IsFullyKnown() {
+				fmt.Fprintf(&b, "%o", v.Uint())
+			} else {
+				b.WriteByte('x')
+			}
+		case 't', 'T':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v.FormatRadix('d'))
+		case 'c':
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteByte(byte(v.Uint()))
+		case 's':
+			if ai < len(args) {
+				if sl, ok := args[ai].(*StringLit); ok {
+					ai++
+					b.WriteString(sl.Text)
+					break
+				}
+			}
+			v, err := nextVal()
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(v.FormatRadix('d'))
+		case 'm':
+			b.WriteString(r.ps.proc.name)
+		default:
+			b.WriteByte('%')
+			b.WriteByte(format[i])
+		}
+	}
+	return b.String(), nil
+}

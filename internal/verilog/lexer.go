@@ -1,0 +1,362 @@
+package verilog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber // possibly sized: 4'b1010, 8'hff, 12, 'd7
+	tokString
+	tokKeyword
+	tokOp    // operator or punctuation
+	tokSysID // $display etc.
+)
+
+// token is one lexical token with source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string { return fmt.Sprintf("%s@%d:%d", t.text, t.line, t.col) }
+
+var verilogKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"inout": true, "wire": true, "reg": true, "integer": true,
+	"assign": true, "always": true, "initial": true, "begin": true,
+	"end": true, "if": true, "else": true, "case": true, "casez": true,
+	"endcase": true, "default": true, "for": true, "while": true,
+	"posedge": true, "negedge": true, "or": true, "parameter": true,
+	"localparam": true, "genvar": true, "generate": true, "endgenerate": true,
+	"function": true, "endfunction": true, "signed": true, "repeat": true,
+	"forever": true, "wait": true,
+}
+
+// lexError is a positioned lexical error.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lexer turns Verilog source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments; it returns an error only for
+// unterminated block comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &lexError{startLine, startCol, "unterminated block comment"}
+			}
+		case c == '`':
+			// Compiler directives (`timescale, `define without args) are
+			// skipped to end of line: the subset ignores them.
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"===", "!==", "<<<", ">>>",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "~&", "~|", "~^", "^~",
+	"+:", "-:",
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, text: "", line: l.line, col: l.col}, nil
+	}
+	startLine, startCol := l.line, l.col
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if verilogKeywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+
+	case c == '$':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		if start == l.pos {
+			return token{}, &lexError{startLine, startCol, "stray '$'"}
+		}
+		return token{kind: tokSysID, text: "$" + l.src[start:l.pos], line: startLine, col: startCol}, nil
+
+	case unicode.IsDigit(rune(c)) || c == '\'':
+		return l.lexNumber(startLine, startCol)
+
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) && l.peek() != '"' {
+			ch := l.advance()
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte(esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		if l.pos >= len(l.src) {
+			return token{}, &lexError{startLine, startCol, "unterminated string"}
+		}
+		l.advance() // closing quote
+		return token{kind: tokString, text: b.String(), line: startLine, col: startCol}, nil
+
+	default:
+		for _, op := range multiOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				for range op {
+					l.advance()
+				}
+				return token{kind: tokOp, text: op, line: startLine, col: startCol}, nil
+			}
+		}
+		l.advance()
+		return token{kind: tokOp, text: string(c), line: startLine, col: startCol}, nil
+	}
+}
+
+// lexNumber handles plain decimals and sized/based literals. The token text
+// is normalized to "<width>'<base><digits>" or a plain decimal string.
+func (l *lexer) lexNumber(startLine, startCol int) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '_') {
+		l.advance()
+	}
+	sizeText := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	if l.pos < len(l.src) && l.peek() == '\'' {
+		l.advance()
+		if l.pos >= len(l.src) {
+			return token{}, &lexError{startLine, startCol, "truncated based literal"}
+		}
+		base := l.advance()
+		if base == 's' || base == 'S' { // signed marker, skip
+			if l.pos >= len(l.src) {
+				return token{}, &lexError{startLine, startCol, "truncated based literal"}
+			}
+			base = l.advance()
+		}
+		switch base {
+		case 'b', 'B', 'h', 'H', 'd', 'D', 'o', 'O':
+		default:
+			return token{}, &lexError{startLine, startCol, fmt.Sprintf("bad number base %q", base)}
+		}
+		dstart := l.pos
+		for l.pos < len(l.src) {
+			ch := l.peek()
+			if ch == '_' || ch == 'x' || ch == 'X' || ch == 'z' || ch == 'Z' || ch == '?' ||
+				isHexDigit(ch) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		digits := strings.ReplaceAll(l.src[dstart:l.pos], "_", "")
+		if digits == "" {
+			return token{}, &lexError{startLine, startCol, "based literal has no digits"}
+		}
+		text := sizeText + "'" + strings.ToLower(string(base)) + strings.ToLower(digits)
+		return token{kind: tokNumber, text: text, line: startLine, col: startCol}, nil
+	}
+	if sizeText == "" {
+		return token{}, &lexError{startLine, startCol, "malformed number"}
+	}
+	return token{kind: tokNumber, text: sizeText, line: startLine, col: startCol}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// parseNumberLiteral converts normalized number text to a Value. Unsized
+// literals get width 32. x/z digits produce unknown bits.
+func parseNumberLiteral(text string) (Value, error) {
+	apos := strings.IndexByte(text, '\'')
+	if apos < 0 {
+		n, err := strconv.ParseUint(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("verilog: bad number %q: %w", text, err)
+		}
+		return NewValue(n, 32), nil
+	}
+	width := 32
+	if apos > 0 {
+		w, err := strconv.Atoi(text[:apos])
+		if err != nil || w <= 0 || w > 64 {
+			return Value{}, fmt.Errorf("verilog: bad literal width in %q", text)
+		}
+		width = w
+	}
+	base := text[apos+1]
+	digits := text[apos+2:]
+	var bitsPer int
+	switch base {
+	case 'b':
+		bitsPer = 1
+	case 'o':
+		bitsPer = 3
+	case 'h':
+		bitsPer = 4
+	case 'd':
+		clean := strings.Map(func(r rune) rune {
+			if r == 'x' || r == 'z' || r == '?' {
+				return -1
+			}
+			return r
+		}, digits)
+		if clean != digits {
+			return AllX(width), nil
+		}
+		n, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("verilog: bad decimal literal %q: %w", text, err)
+		}
+		return NewValue(n, width), nil
+	}
+	var v Value
+	v.Width = width
+	for i := 0; i < len(digits); i++ {
+		v.Bits <<= uint(bitsPer)
+		v.Unknown <<= uint(bitsPer)
+		d := digits[i]
+		switch {
+		case d == 'x' || d == 'z' || d == '?':
+			v.Unknown |= maskFor(bitsPer)
+		default:
+			n, err := strconv.ParseUint(string(d), 16, 8)
+			if err != nil || n >= uint64(1)<<uint(bitsPer) {
+				return Value{}, fmt.Errorf("verilog: digit %q invalid for base in %q", d, text)
+			}
+			v.Bits |= n
+		}
+	}
+	v.Bits &= maskFor(width)
+	v.Unknown &= maskFor(width)
+	return v, nil
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,654 @@
+package verilog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SimOptions bound a simulation run. Zero values select defaults; the
+// bounds exist so that broken LLM-generated candidates (combinational
+// loops, missing $finish, runaway always blocks) terminate cleanly and
+// report a diagnosable failure instead of hanging the harness.
+type SimOptions struct {
+	// MaxTime is the time-unit horizon (default 1_000_000).
+	MaxTime uint64
+	// MaxSteps bounds executed behavioral statements (default 4_000_000).
+	MaxSteps uint64
+	// MaxDeltas bounds delta cycles within one timestep (default 10_000).
+	MaxDeltas int
+	// Seed seeds $random.
+	Seed uint64
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.MaxTime == 0 {
+		o.MaxTime = 1_000_000
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 4_000_000
+	}
+	if o.MaxDeltas == 0 {
+		o.MaxDeltas = 10_000
+	}
+	return o
+}
+
+// SimResult is the outcome of a simulation run.
+type SimResult struct {
+	// Output is everything printed by $display/$write.
+	Output string
+	// Checks and Failures count $check/$check_eq/$error outcomes.
+	Checks   int
+	Failures int
+	// Finished is true when $finish was executed.
+	Finished bool
+	// TimedOut is true when MaxTime or MaxSteps was exhausted first.
+	TimedOut bool
+	// RuntimeErr carries a fatal runtime diagnostic (nil if clean).
+	RuntimeErr error
+	// EndTime is the simulation time when the run stopped.
+	EndTime uint64
+	// Final holds the last value of every scalar signal by name.
+	Final map[string]Value
+}
+
+// Passed reports whether the run finished with all checks passing and at
+// least one check executed.
+func (r *SimResult) Passed() bool {
+	return r.RuntimeErr == nil && r.Checks > 0 && r.Failures == 0
+}
+
+// errKilled unwinds a process goroutine that the scheduler is terminating.
+var errKilled = errors.New("verilog: process killed")
+
+// errFinish unwinds statement execution after $finish.
+var errFinish = errors.New("verilog: finish requested")
+
+// errBudget unwinds statement execution when MaxSteps is exhausted.
+var errBudget = errors.New("verilog: statement budget exhausted")
+
+// yieldKind says why a process returned control to the scheduler.
+type yieldKind int
+
+const (
+	yieldDelay yieldKind = iota + 1
+	yieldEvent           // waiting on sensitivity list
+	yieldEnd             // process body completed (initial) — never reschedule
+	yieldFinish
+	yieldError
+)
+
+// resolvedSens is a sensitivity item bound to a flattened signal.
+type resolvedSens struct {
+	sig  SignalID
+	edge EdgeKind
+}
+
+// yieldReq is the message a process sends when it relinquishes control.
+type yieldReq struct {
+	kind  yieldKind
+	delay uint64
+	sens  []resolvedSens
+	err   error
+}
+
+// procState is the scheduler-side handle of one process goroutine.
+type procState struct {
+	proc    *process
+	resume  chan bool // true = kill
+	req     chan yieldReq
+	done    bool
+	waiting *watchEntry
+}
+
+// watchEntry is one registered sensitivity wait.
+type watchEntry struct {
+	ps    *procState
+	sens  []resolvedSens
+	fired bool
+}
+
+// nbaUpdate is a deferred non-blocking assignment.
+type nbaUpdate struct {
+	sig   SignalID
+	word  int
+	mask  uint64
+	value Value // pre-shifted into position described by mask
+}
+
+// Simulator executes an elaborated design. A Simulator is single-use.
+type Simulator struct {
+	design *Design
+	opts   SimOptions
+
+	vals map[SignalID][]Value // word-indexed storage (len 1 for scalars)
+
+	sigAssigns map[SignalID][]int // cont-assign indices sensitive to signal
+	watchers   map[SignalID][]*watchEntry
+
+	active   []*procState
+	nba      []nbaUpdate
+	timeline map[uint64][]*procState
+	changed  []changeRec
+	flushing bool
+
+	now      uint64
+	steps    uint64
+	rngState uint64
+
+	out      strings.Builder
+	checks   int
+	failures int
+	finished bool
+	timedOut bool
+	rtErr    error
+
+	procs []*procState
+	wg    sync.WaitGroup
+}
+
+// NewSimulator prepares a simulator for one run over the design.
+func NewSimulator(d *Design, opts SimOptions) *Simulator {
+	opts = opts.withDefaults()
+	s := &Simulator{
+		design:     d,
+		opts:       opts,
+		vals:       make(map[SignalID][]Value, len(d.Signals)),
+		sigAssigns: map[SignalID][]int{},
+		watchers:   map[SignalID][]*watchEntry{},
+		timeline:   map[uint64][]*procState{},
+		rngState:   opts.Seed*2862933555777941757 + 3037000493,
+	}
+	for _, sig := range d.Signals {
+		words := make([]Value, sig.Words)
+		for i := range words {
+			words[i] = AllX(sig.Width)
+		}
+		s.vals[sig.ID] = words
+	}
+	for i, ca := range d.assigns {
+		for _, sig := range ca.reads {
+			s.sigAssigns[sig] = append(s.sigAssigns[sig], i)
+		}
+	}
+	return s
+}
+
+// Run executes the simulation to completion and returns the result. The
+// returned error reports harness-level misuse only; candidate defects
+// (runtime errors, timeouts, failed checks) land in the result.
+func (s *Simulator) Run() (*SimResult, error) {
+	// Evaluate every continuous assignment once at t=0.
+	for i := range s.design.assigns {
+		s.evalContAssign(i)
+	}
+
+	// Launch all processes; each waits for its first resume.
+	for _, pr := range s.design.procs {
+		ps := &procState{
+			proc:   pr,
+			resume: make(chan bool),
+			req:    make(chan yieldReq),
+		}
+		s.procs = append(s.procs, ps)
+		s.wg.Add(1)
+		go s.runProcess(ps)
+		s.active = append(s.active, ps)
+	}
+
+	s.mainLoop()
+
+	// Every process goroutine is parked in block() at this point — either
+	// mid-wait or after its final yield — and exits on exactly one kill.
+	for _, ps := range s.procs {
+		ps.resume <- true
+	}
+	s.wg.Wait()
+
+	res := &SimResult{
+		Output:     s.out.String(),
+		Checks:     s.checks,
+		Failures:   s.failures,
+		Finished:   s.finished,
+		TimedOut:   s.timedOut,
+		RuntimeErr: s.rtErr,
+		EndTime:    s.now,
+		Final:      map[string]Value{},
+	}
+	for _, sig := range s.design.Signals {
+		if sig.Words == 1 {
+			res.Final[sig.Name] = s.vals[sig.ID][0]
+		}
+	}
+	return res, nil
+}
+
+// mainLoop drives the event regions until quiescence or a stop condition.
+func (s *Simulator) mainLoop() {
+	for {
+		// Active region: run ready processes to their next yield.
+		for len(s.active) > 0 {
+			if s.stopRequested() {
+				return
+			}
+			ps := s.active[0]
+			s.active = s.active[1:]
+			if ps.done {
+				continue
+			}
+			s.dispatch(ps)
+			if s.stopRequested() {
+				return
+			}
+		}
+		// NBA region.
+		if len(s.nba) > 0 {
+			updates := s.nba
+			s.nba = nil
+			for _, u := range updates {
+				s.commitWrite(u.sig, u.word, u.mask, u.value)
+			}
+			continue
+		}
+		// Advance time.
+		next, ok := s.nextTime()
+		if !ok {
+			return // quiescent: no more events
+		}
+		if next > s.opts.MaxTime {
+			s.timedOut = true
+			return
+		}
+		s.now = next
+		s.active = append(s.active, s.timeline[next]...)
+		delete(s.timeline, next)
+	}
+}
+
+func (s *Simulator) stopRequested() bool {
+	return s.finished || s.rtErr != nil || s.timedOut
+}
+
+func (s *Simulator) nextTime() (uint64, bool) {
+	var best uint64
+	found := false
+	for t := range s.timeline {
+		if !found || t < best {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// dispatch resumes a process and handles its next yield.
+func (s *Simulator) dispatch(ps *procState) {
+	ps.resume <- false
+	req := <-ps.req
+	switch req.kind {
+	case yieldDelay:
+		t := s.now + req.delay
+		s.timeline[t] = append(s.timeline[t], ps)
+	case yieldEvent:
+		we := &watchEntry{ps: ps, sens: req.sens}
+		ps.waiting = we
+		for _, it := range req.sens {
+			s.watchers[it.sig] = append(s.watchers[it.sig], we)
+		}
+	case yieldEnd:
+		ps.done = true
+	case yieldFinish:
+		ps.done = true
+		s.finished = true
+	case yieldError:
+		ps.done = true
+		if errors.Is(req.err, errBudget) {
+			s.timedOut = true
+		} else if s.rtErr == nil {
+			s.rtErr = req.err
+		}
+	}
+}
+
+// runProcess is the goroutine body of one behavioral process.
+func (s *Simulator) runProcess(ps *procState) {
+	defer s.wg.Done()
+	r := &runner{sim: s, ps: ps, scope: ps.proc.scope}
+	defer func() {
+		if v := recover(); v != nil {
+			if err, ok := v.(error); ok && errors.Is(err, errKilled) {
+				return // scheduler shut us down; exit silently
+			}
+			panic(v) // real bug: propagate
+		}
+	}()
+
+	r.block() // wait for first activation
+
+	var err error
+	switch ps.proc.kind {
+	case procInitial:
+		err = r.exec(ps.proc.body)
+	case procAlways:
+		err = r.runAlways()
+	}
+	switch {
+	case err == nil:
+		r.yield(yieldReq{kind: yieldEnd})
+	case errors.Is(err, errFinish):
+		r.yield(yieldReq{kind: yieldFinish})
+	default:
+		r.yield(yieldReq{kind: yieldError, err: err})
+	}
+	// After a final yield the scheduler marks us done and will send one
+	// kill to unblock the goroutine.
+	r.block()
+}
+
+// runner executes statements inside a process goroutine.
+type runner struct {
+	sim   *Simulator
+	ps    *procState
+	scope scope
+}
+
+// block waits for the scheduler's resume; a kill unwinds the goroutine.
+func (r *runner) block() {
+	if kill := <-r.ps.resume; kill {
+		panic(errKilled)
+	}
+}
+
+// yield hands control back to the scheduler with the given request and
+// blocks until resumed.
+func (r *runner) yield(req yieldReq) {
+	r.ps.req <- req
+	r.block()
+}
+
+// runAlways loops the always-block body with its sensitivity semantics.
+func (r *runner) runAlways() error {
+	pr := r.ps.proc
+	switch {
+	case pr.star:
+		// Run once at activation, then wait on the inferred read set.
+		sens := make([]resolvedSens, 0, len(pr.reads))
+		seen := map[SignalID]bool{}
+		for _, sig := range pr.reads {
+			if !seen[sig] {
+				seen[sig] = true
+				sens = append(sens, resolvedSens{sig: sig, edge: EdgeAny})
+			}
+		}
+		for {
+			if err := r.exec(pr.body); err != nil {
+				return err
+			}
+			if len(sens) == 0 {
+				return fmt.Errorf("verilog: always @* block %s reads no signals", pr.name)
+			}
+			r.yield(yieldReq{kind: yieldEvent, sens: sens})
+		}
+	case len(pr.sens) > 0:
+		sens, err := r.resolveSens(pr.sens)
+		if err != nil {
+			return err
+		}
+		for {
+			r.yield(yieldReq{kind: yieldEvent, sens: sens})
+			if err := r.exec(pr.body); err != nil {
+				return err
+			}
+		}
+	default:
+		// always <body> with internal timing control.
+		hasTiming := containsTiming(pr.body)
+		if !hasTiming {
+			return fmt.Errorf("verilog: always block %s has no sensitivity or timing control", pr.name)
+		}
+		for {
+			if err := r.exec(pr.body); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// containsTiming reports whether a statement subtree contains a delay or
+// event control (used to reject zero-delay infinite always loops).
+func containsTiming(st Stmt) bool {
+	switch n := st.(type) {
+	case *DelayStmt, *EventStmt, *WaitStmt:
+		return true
+	case *Block:
+		for _, c := range n.Stmts {
+			if containsTiming(c) {
+				return true
+			}
+		}
+	case *IfStmt:
+		return containsTiming(n.Then) || (n.Else != nil && containsTiming(n.Else))
+	case *CaseStmt:
+		for _, it := range n.Items {
+			if containsTiming(it.Body) {
+				return true
+			}
+		}
+	case *ForStmt:
+		return containsTiming(n.Body)
+	case *WhileStmt:
+		return containsTiming(n.Body)
+	case *RepeatStmt:
+		return containsTiming(n.Body)
+	case *ForeverStmt:
+		return containsTiming(n.Body)
+	}
+	return false
+}
+
+// resolveSens binds sensitivity names to signals.
+func (r *runner) resolveSens(items []SensItem) ([]resolvedSens, error) {
+	out := make([]resolvedSens, 0, len(items))
+	for _, it := range items {
+		ent, ok := r.scope[it.Signal]
+		if !ok || ent.isParam {
+			return nil, fmt.Errorf("verilog: sensitivity references unknown signal %q", it.Signal)
+		}
+		out = append(out, resolvedSens{sig: ent.sig, edge: it.Edge})
+	}
+	return out, nil
+}
+
+// step charges one statement against the budget.
+func (r *runner) step() error {
+	r.sim.steps++
+	if r.sim.steps > r.sim.opts.MaxSteps {
+		return errBudget
+	}
+	return nil
+}
+
+// --- signal storage and propagation ------------------------------------
+
+// trit classifies a bit for edge detection: 0, 1, or unknown.
+func trit(v Value) int {
+	switch {
+	case v.Unknown&1 == 1:
+		return 2
+	case v.Bits&1 == 1:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// edgeMatches reports whether a transition satisfies an edge spec.
+func edgeMatches(edge EdgeKind, oldV, newV Value) bool {
+	switch edge {
+	case EdgePos:
+		o, n := trit(oldV), trit(newV)
+		return (o == 0 && n != 0) || (o == 2 && n == 1)
+	case EdgeNeg:
+		o, n := trit(oldV), trit(newV)
+		return (o == 1 && n != 1) || (o == 2 && n == 0)
+	default:
+		return !oldV.Equal(newV)
+	}
+}
+
+// changeRec is one observed signal transition awaiting propagation.
+type changeRec struct {
+	sig  SignalID
+	oldV Value
+	newV Value
+}
+
+// commitWrite applies a masked write to a signal word and, unless a
+// propagation wave is already running, drains the resulting change queue:
+// waking matching event waiters and re-evaluating dependent continuous
+// assignments. Propagation is iterative and bounded by MaxDeltas so that
+// combinational loops become diagnostics instead of stack overflows.
+func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
+	words := s.vals[sig]
+	if word < 0 || word >= len(words) {
+		return // out-of-range memory write: ignored like real simulators
+	}
+	old := words[word]
+	nw := Value{
+		Bits:    (old.Bits &^ mask) | (v.Bits & mask),
+		Unknown: (old.Unknown &^ mask) | (v.Unknown & mask),
+		Width:   old.Width,
+	}
+	if nw.Equal(old) {
+		return
+	}
+	words[word] = nw
+	if word != 0 {
+		return // memory word writes have no sensitivity in the subset
+	}
+	s.changed = append(s.changed, changeRec{sig: sig, oldV: old, newV: nw})
+	if s.flushing {
+		return // the outer flush loop will pick this up
+	}
+	s.flushing = true
+	defer func() { s.flushing = false }()
+
+	deltas := 0
+	for len(s.changed) > 0 {
+		c := s.changed[0]
+		s.changed = s.changed[1:]
+		s.wakeWatchers(c)
+		for _, idx := range s.sigAssigns[c.sig] {
+			deltas++
+			if deltas > s.opts.MaxDeltas {
+				if s.rtErr == nil {
+					s.rtErr = fmt.Errorf("verilog: combinational loop detected near line %d (delta limit %d)",
+						s.design.assigns[idx].line, s.opts.MaxDeltas)
+				}
+				s.changed = nil
+				return
+			}
+			s.evalContAssign(idx) // may append to s.changed
+		}
+	}
+}
+
+// wakeWatchers moves event-waiting processes whose edge matches onto the
+// active queue.
+func (s *Simulator) wakeWatchers(c changeRec) {
+	entries := s.watchers[c.sig]
+	if len(entries) == 0 {
+		return
+	}
+	kept := entries[:0]
+	for _, we := range entries {
+		if we.fired || we.ps.done {
+			continue
+		}
+		match := false
+		for _, it := range we.sens {
+			if it.sig == c.sig && edgeMatches(it.edge, c.oldV, c.newV) {
+				match = true
+				break
+			}
+		}
+		if match {
+			we.fired = true
+			we.ps.waiting = nil
+			s.active = append(s.active, we.ps)
+			continue
+		}
+		kept = append(kept, we)
+	}
+	s.watchers[c.sig] = kept
+}
+
+// evalContAssign recomputes one continuous assignment and writes its LHS.
+func (s *Simulator) evalContAssign(idx int) {
+	ca := s.design.assigns[idx]
+	ev := &evaluator{sim: s, scope: ca.scope}
+	rhs, err := ev.eval(ca.rhs)
+	if err != nil {
+		if s.rtErr == nil {
+			s.rtErr = fmt.Errorf("continuous assign at line %d: %w", ca.line, err)
+		}
+		return
+	}
+	if err := ev.writeLValue(ca.lhs, rhs, false, nil); err != nil {
+		if s.rtErr == nil {
+			s.rtErr = fmt.Errorf("continuous assign at line %d: %w", ca.line, err)
+		}
+	}
+}
+
+// random returns the next $random value (xorshift64*).
+func (s *Simulator) random() uint64 {
+	s.rngState ^= s.rngState >> 12
+	s.rngState ^= s.rngState << 25
+	s.rngState ^= s.rngState >> 27
+	return s.rngState * 2685821657736338717
+}
+
+// --- convenience entry points ------------------------------------------
+
+// CompileAndRun parses, elaborates and simulates src with the given top
+// module. Parse and elaboration failures come back as errors; everything
+// later is reported inside the SimResult.
+func CompileAndRun(src, top string, opts SimOptions) (*SimResult, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Elaborate(f, top)
+	if err != nil {
+		return nil, err
+	}
+	return NewSimulator(d, opts).Run()
+}
+
+// RunTestbench concatenates a DUT source and a testbench source, then
+// simulates the testbench top. It is the single entry point the framework
+// packages use to score candidates, so its diagnostics are phrased the way
+// an EDA tool would phrase them.
+func RunTestbench(dutSrc, tbSrc, tbTop string, opts SimOptions) (*SimResult, error) {
+	return CompileAndRun(dutSrc+"\n"+tbSrc, tbTop, opts)
+}
+
+// FormatSignals renders a stable listing of final signal values whose
+// names match the given prefix; used by self-consistency clustering.
+func FormatSignals(res *SimResult, prefix string) string {
+	names := make([]string, 0, len(res.Final))
+	for n := range res.Final {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%s\n", n, res.Final[n])
+	}
+	return b.String()
+}

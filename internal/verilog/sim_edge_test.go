@@ -1,0 +1,276 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Additional edge-case coverage for the simulator: casez wildcards,
+// repeat/forever, $random determinism, positional connections, parameter
+// expressions, and scheduler corner cases.
+
+func TestCasezWildcardMatching(t *testing.T) {
+	src := `
+module pri(input [3:0] a, output reg [1:0] y);
+  always @(*) begin
+    casez (a)
+      4'b1zzz: y = 2'd3;
+      4'b01zz: y = 2'd2;
+      4'b001z: y = 2'd1;
+      default: y = 2'd0;
+    endcase
+  end
+endmodule
+module tb;
+  reg [3:0] a;
+  wire [1:0] y;
+  pri dut(.a(a), .y(y));
+  initial begin
+    a = 4'b1010; #1 $check_eq(y, 2'd3);
+    a = 4'b0111; #1 $check_eq(y, 2'd2);
+    a = 4'b0011; #1 $check_eq(y, 2'd1);
+    a = 4'b0001; #1 $check_eq(y, 2'd0);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil {
+		t.Fatalf("CompileAndRun: %v", err)
+	}
+	if !res.Passed() {
+		t.Fatalf("casez: %s", res.Output)
+	}
+}
+
+func TestRepeatStatement(t *testing.T) {
+	src := `
+module tb;
+  reg [7:0] n;
+  initial begin
+    n = 0;
+    repeat (12) n = n + 1;
+    $check_eq(n, 8'd12);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("repeat: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestForeverWithDelay(t *testing.T) {
+	src := `
+module tb;
+  reg clk;
+  reg [7:0] edges;
+  initial begin
+    clk = 0;
+    forever #5 clk = ~clk;
+  end
+  always @(posedge clk) edges <= edges + 1;
+  initial begin
+    edges = 0;
+    #52;
+    $check_eq(edges, 8'd5);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("forever: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	src := `
+module tb;
+  reg [31:0] r;
+  initial begin
+    r = $random;
+    $display("R=%d", r);
+    $finish;
+  end
+endmodule`
+	get := func(seed uint64) string {
+		res, err := CompileAndRun(src, "tb", SimOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("CompileAndRun: %v", err)
+		}
+		return res.Output
+	}
+	if get(1) != get(1) {
+		t.Error("same seed differs")
+	}
+	if get(1) == get(2) {
+		t.Error("different seeds agree")
+	}
+}
+
+func TestPositionalConnectionsAndParams(t *testing.T) {
+	src := `
+module add #(parameter W = 4, parameter BIAS = 0) (input [W-1:0] a, input [W-1:0] b, output [W-1:0] y);
+  assign y = a + b + BIAS;
+endmodule
+module tb;
+  reg [7:0] a, b;
+  wire [7:0] y;
+  add #(8, 3) dut(a, b, y);
+  initial begin
+    a = 10; b = 20;
+    #1 $check_eq(y, 8'd33);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("positional: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestLocalparamExpression(t *testing.T) {
+	src := `
+module tb;
+  localparam N = 4;
+  localparam FULL = (1 << N) - 1;
+  reg [7:0] v;
+  initial begin
+    v = FULL;
+    $check_eq(v, 8'd15);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("localparam: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestDanglingOutputPort(t *testing.T) {
+	// Unconnected outputs are legal and must not crash.
+	src := `
+module m(input a, output y, output z);
+  assign y = a;
+  assign z = ~a;
+endmodule
+module tb;
+  reg a;
+  wire y;
+  m dut(.a(a), .y(y), .z());
+  initial begin
+    a = 1; #1 $check_eq(y, 1'b1);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("dangling: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestZeroDelayRoundsUp(t *testing.T) {
+	src := `
+module tb;
+  reg x;
+  initial begin
+    x = 0;
+    #0 x = 1;
+    $check_eq(x, 1'b1);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("zero delay: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestMultiBitEdgeUsesLSB(t *testing.T) {
+	// Edge detection on multi-bit signals follows the LSB.
+	src := `
+module tb;
+  reg [3:0] bus;
+  reg [7:0] hits;
+  always @(posedge bus) hits <= hits + 1;
+  initial begin
+    hits = 0; bus = 0;
+    #1 bus = 4'b0001;
+    #1 bus = 4'b0010;
+    #1 bus = 4'b0011;
+    #1;
+    $check_eq(hits, 8'd2);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("multibit edge: err=%v out=%s", err, res.Output)
+	}
+}
+
+func TestValueFormatRadix(t *testing.T) {
+	v := NewValue(0xA5, 8)
+	if v.FormatRadix('h') != "a5" || v.FormatRadix('d') != "165" || v.FormatRadix('b') != "10100101" {
+		t.Errorf("format: %s %s %s", v.FormatRadix('h'), v.FormatRadix('d'), v.FormatRadix('b'))
+	}
+	x := AllX(4)
+	if x.FormatRadix('d') != "x" || x.FormatRadix('b') != "xxxx" {
+		t.Errorf("x format: %s %s", x.FormatRadix('d'), x.FormatRadix('b'))
+	}
+}
+
+func TestShiftValuePropertiesQuick(t *testing.T) {
+	// (a << k) >> k recovers the low bits that survived the left shift.
+	prop := func(a uint64, kRaw uint8) bool {
+		const w = 32
+		k := uint64(kRaw % 16)
+		va := NewValue(a, w)
+		vk := NewValue(k, 8)
+		back := Shr(Shl(va, vk, w), vk, w)
+		want := (a << k & maskFor(w)) >> k
+		return back.Uint() == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisplayWriteNoNewline(t *testing.T) {
+	src := `
+module tb;
+  initial begin
+    $write("a");
+    $write("b");
+    $display("c");
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil {
+		t.Fatalf("CompileAndRun: %v", err)
+	}
+	if !strings.Contains(res.Output, "abc\n") {
+		t.Errorf("write/display: %q", res.Output)
+	}
+}
+
+func TestNestedMemoriesAndPartSelectWrite(t *testing.T) {
+	src := `
+module tb;
+  reg [15:0] word;
+  initial begin
+    word = 16'h0000;
+    word[7:0] = 8'hCD;
+    word[15:8] = 8'hAB;
+    $check_eq(word, 16'hABCD);
+    word[3:0] = 4'h7;
+    $check_eq(word, 16'hABC7);
+    $finish;
+  end
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil || !res.Passed() {
+		t.Fatalf("part-select write: err=%v out=%s", err, res.Output)
+	}
+}

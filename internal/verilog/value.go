@@ -1,0 +1,373 @@
+// Package verilog implements the Verilog-subset frontend and event-driven
+// simulator that substitutes for Icarus Verilog in the reproduction: a
+// lexer, a recursive-descent parser, an elaborator that flattens module
+// hierarchies, and a delta-cycle simulator with testbench system tasks
+// ($display, $finish, $error, $check_eq).
+//
+// The subset covers what the paper's case studies exercise: modules with
+// parameters, wire/reg declarations up to 64 bits, continuous assignments,
+// always blocks (edge- and level-sensitive), initial blocks with delays,
+// if/case/for statements, blocking and non-blocking assignment, and the
+// usual expression operators including concatenation, replication,
+// bit/part selects and reductions.
+package verilog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a 4-state-lite Verilog value of up to 64 bits: each bit is
+// either known (0/1 in Bits) or unknown (the corresponding bit of Unknown
+// is set, in which case the Bits bit is ignored). Z is folded into X,
+// which is sufficient for the frameworks built on top (none of the case
+// studies use tristate buses).
+type Value struct {
+	Bits    uint64
+	Unknown uint64
+	Width   int
+}
+
+// maskFor returns a mask with the low w bits set.
+func maskFor(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// NewValue returns a fully-known value of the given width.
+func NewValue(bits uint64, width int) Value {
+	return Value{Bits: bits & maskFor(width), Width: width}
+}
+
+// AllX returns a fully-unknown value of the given width.
+func AllX(width int) Value {
+	return Value{Unknown: maskFor(width), Width: width}
+}
+
+// IsFullyKnown reports whether no bit of v is X.
+func (v Value) IsFullyKnown() bool { return v.Unknown == 0 }
+
+// Uint returns the known bits; callers should check IsFullyKnown first.
+func (v Value) Uint() uint64 { return v.Bits & maskFor(v.Width) }
+
+// Equal reports exact 4-state equality (the === operator).
+func (v Value) Equal(w Value) bool {
+	m := maskFor(max(v.Width, w.Width))
+	if (v.Unknown^w.Unknown)&m != 0 {
+		return false
+	}
+	known := ^v.Unknown & m
+	return (v.Bits^w.Bits)&known == 0
+}
+
+// Resize truncates or zero-extends v to width w.
+func (v Value) Resize(w int) Value {
+	m := maskFor(w)
+	return Value{Bits: v.Bits & m, Unknown: v.Unknown & m, Width: w}
+}
+
+// Bit returns the single-bit value at position i (0 or X).
+func (v Value) Bit(i int) Value {
+	if i < 0 || i >= 64 {
+		return AllX(1)
+	}
+	return Value{Bits: (v.Bits >> uint(i)) & 1, Unknown: (v.Unknown >> uint(i)) & 1, Width: 1}
+}
+
+// IsTrue reports whether the value is known and non-zero (condition truth).
+func (v Value) IsTrue() bool {
+	m := maskFor(v.Width)
+	// A condition is true if any known bit is 1. Unknown-only values are
+	// not true (Verilog: x is neither true nor false; we treat as false).
+	return v.Bits&^v.Unknown&m != 0
+}
+
+// String renders the value in Verilog binary-literal style for logs.
+func (v Value) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d'b", v.Width)
+	for i := v.Width - 1; i >= 0; i-- {
+		switch {
+		case v.Unknown>>uint(i)&1 == 1:
+			b.WriteByte('x')
+		case v.Bits>>uint(i)&1 == 1:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// FormatRadix renders the value for $display verbs: 'd, 'h, 'b.
+func (v Value) FormatRadix(radix byte) string {
+	if !v.IsFullyKnown() {
+		switch radix {
+		case 'b':
+			s := v.String()
+			return s[strings.IndexByte(s, 'b')+1:]
+		default:
+			return "x"
+		}
+	}
+	switch radix {
+	case 'h':
+		return fmt.Sprintf("%x", v.Uint())
+	case 'b':
+		return fmt.Sprintf("%b", v.Uint())
+	default:
+		return fmt.Sprintf("%d", v.Uint())
+	}
+}
+
+// --- arithmetic and logic over values ---------------------------------
+
+// anyX reports whether any operand has an unknown bit inside its width.
+func anyX(vs ...Value) bool {
+	for _, v := range vs {
+		if v.Unknown&maskFor(v.Width) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Add returns a + b at width w.
+func Add(a, b Value, w int) Value {
+	if anyX(a, b) {
+		return AllX(w)
+	}
+	return NewValue(a.Uint()+b.Uint(), w)
+}
+
+// Sub returns a - b at width w.
+func Sub(a, b Value, w int) Value {
+	if anyX(a, b) {
+		return AllX(w)
+	}
+	return NewValue(a.Uint()-b.Uint(), w)
+}
+
+// Mul returns a * b at width w.
+func Mul(a, b Value, w int) Value {
+	if anyX(a, b) {
+		return AllX(w)
+	}
+	return NewValue(a.Uint()*b.Uint(), w)
+}
+
+// Div returns a / b at width w; division by zero yields X as in Verilog.
+func Div(a, b Value, w int) Value {
+	if anyX(a, b) || b.Uint() == 0 {
+		return AllX(w)
+	}
+	return NewValue(a.Uint()/b.Uint(), w)
+}
+
+// Mod returns a % b at width w; modulo by zero yields X.
+func Mod(a, b Value, w int) Value {
+	if anyX(a, b) || b.Uint() == 0 {
+		return AllX(w)
+	}
+	return NewValue(a.Uint()%b.Uint(), w)
+}
+
+// And returns per-bit a & b with per-bit X propagation: 0 & x == 0.
+func And(a, b Value, w int) Value {
+	m := maskFor(w)
+	knownZeroA := ^a.Bits & ^a.Unknown
+	knownZeroB := ^b.Bits & ^b.Unknown
+	unknown := (a.Unknown | b.Unknown) &^ (knownZeroA | knownZeroB) & m
+	bits := a.Bits & b.Bits & m &^ unknown
+	return Value{Bits: bits, Unknown: unknown, Width: w}
+}
+
+// Or returns per-bit a | b with per-bit X propagation: 1 | x == 1.
+func Or(a, b Value, w int) Value {
+	m := maskFor(w)
+	knownOneA := a.Bits & ^a.Unknown
+	knownOneB := b.Bits & ^b.Unknown
+	unknown := (a.Unknown | b.Unknown) &^ (knownOneA | knownOneB) & m
+	bits := (a.Bits | b.Bits) & m &^ unknown
+	return Value{Bits: bits, Unknown: unknown, Width: w}
+}
+
+// Xor returns per-bit a ^ b; any X in, X out for that bit.
+func Xor(a, b Value, w int) Value {
+	m := maskFor(w)
+	unknown := (a.Unknown | b.Unknown) & m
+	bits := (a.Bits ^ b.Bits) & m &^ unknown
+	return Value{Bits: bits, Unknown: unknown, Width: w}
+}
+
+// Not returns per-bit ~a at width w.
+func Not(a Value, w int) Value {
+	m := maskFor(w)
+	unknown := a.Unknown & m
+	bits := ^a.Bits & m &^ unknown
+	return Value{Bits: bits, Unknown: unknown, Width: w}
+}
+
+// Shl returns a << b truncated to width w.
+func Shl(a, b Value, w int) Value {
+	if anyX(b) {
+		return AllX(w)
+	}
+	sh := b.Uint()
+	if sh >= 64 {
+		return NewValue(0, w)
+	}
+	m := maskFor(w)
+	return Value{Bits: (a.Bits << sh) & m &^ (a.Unknown << sh), Unknown: (a.Unknown << sh) & m, Width: w}
+}
+
+// Shr returns logical a >> b at width w.
+func Shr(a, b Value, w int) Value {
+	if anyX(b) {
+		return AllX(w)
+	}
+	sh := b.Uint()
+	if sh >= 64 {
+		return NewValue(0, w)
+	}
+	am := maskFor(a.Width)
+	bits := (a.Bits & am) >> sh
+	unknown := (a.Unknown & am) >> sh
+	m := maskFor(w)
+	return Value{Bits: bits & m &^ unknown, Unknown: unknown & m, Width: w}
+}
+
+// cmpBool builds the 1-bit result of a comparison.
+func cmpBool(ok bool) Value {
+	if ok {
+		return NewValue(1, 1)
+	}
+	return NewValue(0, 1)
+}
+
+// Eq returns the 1-bit logical-equality a == b (X if any operand bit X).
+func Eq(a, b Value) Value {
+	if anyX(a, b) {
+		return AllX(1)
+	}
+	return cmpBool(a.Uint() == b.Uint())
+}
+
+// Lt returns the unsigned 1-bit a < b.
+func Lt(a, b Value) Value {
+	if anyX(a, b) {
+		return AllX(1)
+	}
+	return cmpBool(a.Uint() < b.Uint())
+}
+
+// CaseEq returns the 1-bit 4-state equality a === b.
+func CaseEq(a, b Value) Value {
+	return cmpBool(a.Equal(b))
+}
+
+// LogicalAnd returns the 1-bit a && b.
+func LogicalAnd(a, b Value) Value {
+	at, bt := a.IsTrue(), b.IsTrue()
+	aKnownFalse := a.IsFullyKnown() && !at
+	bKnownFalse := b.IsFullyKnown() && !bt
+	switch {
+	case aKnownFalse || bKnownFalse:
+		return NewValue(0, 1)
+	case anyX(a, b):
+		return AllX(1)
+	default:
+		return cmpBool(at && bt)
+	}
+}
+
+// LogicalOr returns the 1-bit a || b.
+func LogicalOr(a, b Value) Value {
+	switch {
+	case a.IsTrue() || b.IsTrue():
+		return NewValue(1, 1)
+	case anyX(a, b):
+		return AllX(1)
+	default:
+		return NewValue(0, 1)
+	}
+}
+
+// LogicalNot returns the 1-bit !a.
+func LogicalNot(a Value) Value {
+	if anyX(a) && !a.IsTrue() {
+		return AllX(1)
+	}
+	return cmpBool(!a.IsTrue())
+}
+
+// ReduceAnd returns the 1-bit &a.
+func ReduceAnd(a Value) Value {
+	m := maskFor(a.Width)
+	if ^a.Bits & ^a.Unknown & m != 0 {
+		return NewValue(0, 1) // some known-0 bit
+	}
+	if a.Unknown&m != 0 {
+		return AllX(1)
+	}
+	return NewValue(1, 1)
+}
+
+// ReduceOr returns the 1-bit |a.
+func ReduceOr(a Value) Value {
+	m := maskFor(a.Width)
+	if a.Bits & ^a.Unknown & m != 0 {
+		return NewValue(1, 1)
+	}
+	if a.Unknown&m != 0 {
+		return AllX(1)
+	}
+	return NewValue(0, 1)
+}
+
+// ReduceXor returns the 1-bit ^a.
+func ReduceXor(a Value) Value {
+	m := maskFor(a.Width)
+	if a.Unknown&m != 0 {
+		return AllX(1)
+	}
+	x := a.Bits & m
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return NewValue(x&1, 1)
+}
+
+// ConcatValues joins values MSB-first (Verilog {a, b, ...}); the total width must
+// not exceed 64.
+func ConcatValues(parts ...Value) (Value, error) {
+	total := 0
+	for _, p := range parts {
+		total += p.Width
+	}
+	if total > 64 {
+		return Value{}, fmt.Errorf("verilog: concatenation width %d exceeds 64", total)
+	}
+	var out Value
+	out.Width = total
+	shift := total
+	for _, p := range parts {
+		shift -= p.Width
+		m := maskFor(p.Width)
+		out.Bits |= (p.Bits & m) << uint(shift)
+		out.Unknown |= (p.Unknown & m) << uint(shift)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

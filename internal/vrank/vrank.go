@@ -1,0 +1,149 @@
+// Package vrank implements VRank-style self-consistency ranking (paper
+// §II): generate k Verilog candidates, simulate each on oracle-free
+// stimuli, cluster candidates by their output signatures, and pick a
+// representative of the largest cluster. The intuition: correct programs
+// agree with each other; each buggy program fails in its own way.
+package vrank
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/llm"
+	"llm4eda/internal/verilog"
+)
+
+// Options parameterize ranking.
+type Options struct {
+	Model llm.Model
+	// K is the candidate count (default 5).
+	K int
+	// Temperature for sampling diversity (default 0.9).
+	Temperature float64
+	Sim         verilog.SimOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 5
+	}
+	if o.Temperature == 0 {
+		o.Temperature = 0.9
+	}
+	return o
+}
+
+// Result reports one ranking run.
+type Result struct {
+	Sources []string
+	// Signatures are the oracle-free output fingerprints per candidate
+	// ("" for non-compiling candidates).
+	Signatures []string
+	// Clusters lists candidate indices grouped by identical signature,
+	// largest first.
+	Clusters [][]int
+	// Chosen is the selected candidate index (-1 if nothing simulated).
+	Chosen int
+	// ChosenPasses / FirstPasses compare self-consistency selection with
+	// the naive take-the-first-sample baseline on the real testbench.
+	ChosenPasses bool
+	FirstPasses  bool
+	// AnyPasses reports whether an oracle could have found a passing
+	// candidate among the k samples (the pass@k ceiling).
+	AnyPasses bool
+}
+
+// StimulusBench rewrites a self-checking testbench into an oracle-free
+// stimulus bench: every $check_eq(actual, expected) becomes a $display of
+// both values. Because the expected value is a constant, it is identical
+// across candidates and adds no oracle information to the signature.
+func StimulusBench(tb string) string {
+	return strings.ReplaceAll(tb, "$check_eq(", `$display("SIG %b %b", `)
+}
+
+// Signature simulates a candidate on the stimulus bench and returns its
+// output fingerprint ("" when the candidate does not compile).
+func Signature(p *benchset.Problem, source string, sim verilog.SimOptions) string {
+	res, err := verilog.RunTestbench(source, StimulusBench(p.Testbench()), "tb", sim)
+	if err != nil {
+		return ""
+	}
+	sig := res.Output
+	if res.RuntimeErr != nil {
+		sig += "\nRT:" + res.RuntimeErr.Error()
+	}
+	if res.TimedOut {
+		sig += "\nTIMEOUT"
+	}
+	return sig
+}
+
+// Rank runs the full VRank flow on one problem.
+func Rank(p *benchset.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if opts.Model == nil {
+		return nil, fmt.Errorf("vrank: Options.Model is required")
+	}
+	res := &Result{Chosen: -1}
+
+	for k := 0; k < opts.K; k++ {
+		resp, err := opts.Model.Generate(llm.Request{
+			System:      llm.SystemVerilogDesigner,
+			Prompt:      llm.BuildDesignPrompt(p.Spec),
+			Task:        llm.VerilogGen{ProblemID: p.ID, Spec: p.Spec, Reference: p.Reference, Difficulty: p.Difficulty},
+			Temperature: opts.Temperature,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("vrank: generation failed: %w", err)
+		}
+		res.Sources = append(res.Sources, resp.Text)
+		res.Signatures = append(res.Signatures, Signature(p, resp.Text, opts.Sim))
+	}
+
+	// Cluster by identical signature (compiling candidates only).
+	bySig := map[string][]int{}
+	for i, sig := range res.Signatures {
+		if sig == "" {
+			continue
+		}
+		bySig[sig] = append(bySig[sig], i)
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		a, b := bySig[sigs[i]], bySig[sigs[j]]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a[0] < b[0] // deterministic tie-break: earliest candidate
+	})
+	for _, sig := range sigs {
+		res.Clusters = append(res.Clusters, bySig[sig])
+	}
+	if len(res.Clusters) > 0 {
+		res.Chosen = res.Clusters[0][0]
+	}
+
+	// Score against the real (oracle) testbench.
+	passes := func(src string) bool {
+		r, err := verilog.RunTestbench(src, p.Testbench(), "tb", opts.Sim)
+		return err == nil && r.Passed()
+	}
+	if res.Chosen >= 0 {
+		res.ChosenPasses = passes(res.Sources[res.Chosen])
+	}
+	if len(res.Sources) > 0 {
+		res.FirstPasses = passes(res.Sources[0])
+	}
+	for _, src := range res.Sources {
+		if passes(src) {
+			res.AnyPasses = true
+			break
+		}
+	}
+	return res, nil
+}
