@@ -1,0 +1,40 @@
+# Tier-1 verification and the engine-specific gates. `make ci` is what a
+# PR must pass: build, vet, the quick test sweep, and the race-checked
+# batch engine.
+
+GO ?= go
+
+.PHONY: all build vet test test-short test-race bench bench-engine ci
+
+all: build
+
+# Tier-1: everything compiles.
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full test sweep (tier-1 verify is `make build test`).
+test:
+	$(GO) test ./...
+
+# Quick sweep: full-scale experiment/optimization loops are gated behind
+# -short and skipped here; finishes in seconds.
+test-short:
+	$(GO) test -short ./...
+
+# Race-check the concurrent batch-simulation engine and every package
+# whose scoring now runs on worker pools.
+test-race:
+	$(GO) test -race -short ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
+
+# Regenerate every paper artifact at quick scale.
+bench:
+	$(GO) test -run 'xxx' -bench . -benchtime 1x .
+
+# The compile-once/run-many engine comparison (see EXPERIMENTS.md).
+bench-engine:
+	$(GO) test -run 'xxx' -bench 'BenchmarkVRank' -benchtime 5x .
+
+ci: build vet test-short test-race

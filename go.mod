@@ -1,0 +1,3 @@
+module llm4eda
+
+go 1.22

@@ -16,6 +16,7 @@ import (
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/core"
 	"llm4eda/internal/llm"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/synth"
 	"llm4eda/internal/verilog"
 )
@@ -107,9 +108,11 @@ func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
 	}
 	stage(core.StageTestbench, "testbench generation", tbDetail, true, t0)
 
-	// Stage 4: simulation.
+	// Stage 4: simulation. The design was just scored by the AutoChip
+	// stage, so the farm serves the compile (and often the whole run)
+	// from cache.
 	t0 = time.Now()
-	simRes, err := verilog.RunTestbench(design, tb, "tb", cfg.Sim)
+	simRes, err := simfarm.RunTestbench(design, tb, "tb", cfg.Sim)
 	simOK := err == nil && simRes != nil && simRes.Passed()
 	detail := "simulation failed to compile"
 	if err == nil {

@@ -13,6 +13,7 @@ import (
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/core"
 	"llm4eda/internal/llm"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
 )
 
@@ -49,7 +50,10 @@ type Candidate struct {
 	Feedback string
 }
 
-// Result reports one AutoChip run.
+// Result reports one AutoChip run. TotalCandidates and the token counts
+// cover every generated candidate, including the full breadth of a round
+// that solves early — rounds generate their whole batch before scoring
+// (see Run), so these are per-round costs, not cost-to-first-pass.
 type Result struct {
 	Solved          bool
 	Rounds          int
@@ -61,10 +65,34 @@ type Result struct {
 
 // Evaluate compiles and simulates a candidate against the problem's
 // testbench, producing the verdict and the raw tool feedback the next
-// round sees.
+// round sees. The bench and the candidate compile through the shared
+// simfarm cache, so re-evaluating a known design is free.
 func Evaluate(p *benchset.Problem, source string, sim verilog.SimOptions) Candidate {
+	return EvaluateBatch(p, []string{source}, sim)[0]
+}
+
+// EvaluateBatch scores one round's candidate batch against the problem's
+// testbench through the simfarm engine: one bench compile, duplicate
+// candidates simulated once, independent candidates in parallel. Output
+// order matches the input and equals a serial Evaluate loop bit for bit.
+func EvaluateBatch(p *benchset.Problem, sources []string, sim verilog.SimOptions) []Candidate {
+	tb := p.Testbench()
+	jobs := make([]simfarm.Job, len(sources))
+	for i, src := range sources {
+		jobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: sim}
+	}
+	results := simfarm.RunMany(jobs, 0)
+	cands := make([]Candidate, len(sources))
+	for i, r := range results {
+		cands[i] = toCandidate(sources[i], r.Res, r.Err)
+	}
+	return cands
+}
+
+// toCandidate folds one simulation outcome into the candidate verdict and
+// the tool feedback the next round sees.
+func toCandidate(source string, res *verilog.SimResult, err error) Candidate {
 	c := Candidate{Source: source}
-	res, err := verilog.RunTestbench(source, p.Testbench(), "tb", sim)
 	if err != nil {
 		c.Verdict = core.Verdict{Compiled: false, Log: err.Error()}
 		c.Feedback = err.Error()
@@ -118,7 +146,10 @@ func min(a, b int) int {
 
 // Run executes the tree-search loop on one problem: Depth rounds of K
 // candidates; each round ranks candidates by pass fraction and feeds the
-// best one's tool output back.
+// best one's tool output back. Each round generates its full breadth of K
+// candidates before any is scored (the paper's tree-search shape); token
+// and candidate counts therefore cover the whole final round even when an
+// early candidate in it passes.
 func Run(p *benchset.Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Model == nil {
@@ -129,7 +160,10 @@ func Run(p *benchset.Problem, opts Options) (*Result, error) {
 
 	for round := 0; round < opts.Depth; round++ {
 		res.Rounds = round + 1
-		var best *Candidate
+		// Generate the round's full candidate batch first (model calls are
+		// inherently sequential), then score the batch in one simfarm pass:
+		// the testbench compiles once per problem, not once per candidate.
+		sources := make([]string, 0, opts.K)
 		for k := 0; k < opts.K; k++ {
 			task := llm.VerilogGen{
 				ProblemID: p.ID, Spec: p.Spec, Reference: p.Reference, Difficulty: p.Difficulty,
@@ -152,10 +186,14 @@ func Run(p *benchset.Problem, opts Options) (*Result, error) {
 			res.TokensIn += resp.TokensIn
 			res.TokensOut += resp.TokensOut
 			res.TotalCandidates++
-			cand := Evaluate(p, resp.Text, opts.Sim)
+			sources = append(sources, resp.Text)
+		}
+		cands := EvaluateBatch(p, sources, opts.Sim)
+		var best *Candidate
+		for i := range cands {
+			cand := cands[i]
 			if best == nil || rankScore(cand) > rankScore(*best) {
-				c := cand
-				best = &c
+				best = &cands[i]
 			}
 			if cand.Verdict.Pass() {
 				res.Solved = true
@@ -215,7 +253,9 @@ func StructuredFlow(p *benchset.Problem, model llm.Model, maxRounds int, sim ver
 
 	evalOwn := func(src string) Candidate {
 		c := Candidate{Source: src}
-		res, err := verilog.RunTestbench(src, ownTB, "tb", sim)
+		// The model's own bench is fixed for the whole loop: simfarm
+		// compiles it once and only the candidate half changes per round.
+		res, err := simfarm.RunTestbench(src, ownTB, "tb", sim)
 		if err != nil {
 			c.Verdict = core.Verdict{Compiled: false, Log: err.Error()}
 			c.Feedback = err.Error()

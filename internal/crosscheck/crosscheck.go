@@ -20,6 +20,7 @@ import (
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/chdl"
 	"llm4eda/internal/llm"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
 )
 
@@ -67,9 +68,22 @@ func GenerateModel(model llm.Model, p *benchset.Problem) (string, error) {
 	return resp.Text, nil
 }
 
-// Validate cross-checks an RTL candidate against a C behavioral model on
-// deterministic stimulus vectors. nVectors bounds the stimuli (default 32).
-func Validate(candidate string, p *benchset.Problem, cModel string, nVectors int) (*Result, error) {
+// refHarness is the candidate-independent half of a validation: the
+// parsed C model's expected outputs on every stimulus vector, plus the
+// generated bench all candidates share. Building it once and fanning
+// candidates out over it is the compile-once/run-many shape — the
+// high-level reference is "solved" a single time per problem.
+type refHarness struct {
+	inputs, outputs []benchset.Port
+	vectors         []map[string]uint64
+	bench           string
+	// want[vi][oi] is the C model's masked expected value.
+	want [][]int64
+}
+
+// buildHarness parses the C model, generates stimuli and precomputes the
+// expected output table.
+func buildHarness(p *benchset.Problem, cModel string, nVectors int) (*refHarness, error) {
 	if len(p.Ports) == 0 {
 		return nil, fmt.Errorf("crosscheck: problem %q is not combinational", p.ID)
 	}
@@ -81,44 +95,30 @@ func Validate(candidate string, p *benchset.Problem, cModel string, nVectors int
 		return nil, fmt.Errorf("crosscheck: C model does not parse: %w", err)
 	}
 
-	var inputs, outputs []benchset.Port
+	h := &refHarness{}
 	for _, port := range p.Ports {
 		if port.IsInput {
-			inputs = append(inputs, port)
+			h.inputs = append(h.inputs, port)
 		} else {
-			outputs = append(outputs, port)
+			h.outputs = append(h.outputs, port)
 		}
 	}
-	for _, out := range outputs {
+	for _, out := range h.outputs {
 		if prog.FindFunc(out.Name) == nil {
 			return nil, fmt.Errorf("crosscheck: C model lacks a function for output %q", out.Name)
 		}
 	}
 
-	vectors := stimuli(inputs, nVectors)
-	res := &Result{Vectors: len(vectors), CModel: cModel}
-
-	// One simulation run: the bench drives every vector and prints each
-	// output value in a fixed format the checker parses back.
-	bench := buildBench(p.TopModule, inputs, outputs, vectors)
-	sim, err := verilog.RunTestbench(candidate, bench, "xtb", verilog.SimOptions{})
-	if err != nil {
-		return nil, fmt.Errorf("crosscheck: candidate does not compile: %w", err)
-	}
-	if sim.RuntimeErr != nil {
-		return nil, fmt.Errorf("crosscheck: candidate simulation failed: %w", sim.RuntimeErr)
-	}
-	rtlVals, err := parseBenchOutput(sim.Output, len(vectors), outputs)
-	if err != nil {
-		return nil, err
-	}
-
-	for vi, vec := range vectors {
-		args := make([]int64, len(inputs))
-		for i, in := range inputs {
+	h.vectors = stimuli(h.inputs, nVectors)
+	h.bench = buildBench(p.TopModule, h.inputs, h.outputs, h.vectors)
+	h.want = make([][]int64, len(h.vectors))
+	for vi, vec := range h.vectors {
+		args := make([]int64, len(h.inputs))
+		for i, in := range h.inputs {
 			args[i] = int64(vec[in.Name])
 		}
-		for oi, out := range outputs {
+		h.want[vi] = make([]int64, len(h.outputs))
+		for oi, out := range h.outputs {
 			interp, err := chdl.NewInterp(prog, chdl.InterpOptions{})
 			if err != nil {
 				return nil, err
@@ -127,20 +127,83 @@ func Validate(candidate string, p *benchset.Problem, cModel string, nVectors int
 			if err != nil {
 				return nil, fmt.Errorf("crosscheck: C model failed on %v: %w", args, err)
 			}
+			h.want[vi][oi] = want & int64(maskBits(out.Width))
+		}
+	}
+	return h, nil
+}
+
+// check compares one candidate's simulation outcome against the expected
+// table.
+func (h *refHarness) check(cModel string, sim *verilog.SimResult, simErr error) (*Result, error) {
+	if simErr != nil {
+		return nil, fmt.Errorf("crosscheck: candidate does not compile: %w", simErr)
+	}
+	if sim.RuntimeErr != nil {
+		return nil, fmt.Errorf("crosscheck: candidate simulation failed: %w", sim.RuntimeErr)
+	}
+	rtlVals, err := parseBenchOutput(sim.Output, len(h.vectors), h.outputs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Vectors: len(h.vectors), CModel: cModel}
+	for vi, vec := range h.vectors {
+		for oi, out := range h.outputs {
 			got := rtlVals[vi][oi]
 			known := got.IsFullyKnown()
-			if !known || int64(got.Uint()) != want&int64(maskBits(out.Width)) {
+			if !known || int64(got.Uint()) != h.want[vi][oi] {
 				res.Mismatches = append(res.Mismatches, Mismatch{
 					Inputs:   vec,
 					Port:     out.Name,
 					RTL:      got.Uint(),
 					RTLKnown: known,
-					HighLvl:  want & int64(maskBits(out.Width)),
+					HighLvl:  h.want[vi][oi],
 				})
 			}
 		}
 	}
 	return res, nil
+}
+
+// Validate cross-checks an RTL candidate against a C behavioral model on
+// deterministic stimulus vectors. nVectors bounds the stimuli (default 32).
+func Validate(candidate string, p *benchset.Problem, cModel string, nVectors int) (*Result, error) {
+	batch, err := ValidateBatch([]string{candidate}, p, cModel, nVectors, 1)
+	if err != nil {
+		return nil, err
+	}
+	return batch[0].Res, batch[0].Err
+}
+
+// BatchItem is one candidate's outcome within a ValidateBatch call.
+type BatchItem struct {
+	Res *Result
+	// Err carries per-candidate failures (compile error, simulation
+	// fault); harness-level failures abort the whole batch instead.
+	Err error
+}
+
+// ValidateBatch cross-checks many RTL candidates against one C behavioral
+// model. The model's expected-output table is computed once, the shared
+// stimulus bench is compiled once, and the candidates simulate through
+// simfarm.RunMany (workers <= 0 selects GOMAXPROCS). Results are in
+// candidate order and match serial Validate calls, with one ordering
+// caveat: C-model failures are harness-level and surface before any
+// candidate is compiled.
+func ValidateBatch(candidates []string, p *benchset.Problem, cModel string, nVectors, workers int) ([]BatchItem, error) {
+	h, err := buildHarness(p, cModel, nVectors)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]simfarm.Job, len(candidates))
+	for i, cand := range candidates {
+		jobs[i] = simfarm.Job{DUT: cand, TB: h.bench, Top: "xtb", Opts: verilog.SimOptions{}}
+	}
+	items := make([]BatchItem, len(candidates))
+	for i, r := range simfarm.RunMany(jobs, workers) {
+		items[i].Res, items[i].Err = h.check(cModel, r.Res, r.Err)
+	}
+	return items, nil
 }
 
 // stimuli produces deterministic corner-plus-random vectors.

@@ -16,6 +16,7 @@ import (
 	"llm4eda/internal/boom"
 	"llm4eda/internal/chdl"
 	"llm4eda/internal/isa"
+	"llm4eda/internal/simfarm"
 )
 
 // geneKind enumerates loop-body statement genes.
@@ -176,11 +177,18 @@ func Run(cfg Config) *Result {
 	r := newRNG(cfg.Seed)
 	res := &Result{}
 
+	// Draw the whole initial population from the RNG first (scoring never
+	// touches the RNG), then evaluate it as one parallel batch and fold
+	// the trajectory sequentially — bit-identical to the serial loop.
 	pop := make([]genome, cfg.Population)
 	fit := make([]float64, cfg.Population)
 	for i := range pop {
 		pop[i] = randomGenome(r)
+	}
+	simfarm.Map(len(pop), 0, func(i int) {
 		fit[i] = score(pop[i], cfg.Boom)
+	})
+	for i := range pop {
 		res.Evals++
 		if fit[i] > res.Best.Score {
 			res.Best = Individual{Source: pop[i].render(), Score: fit[i]}

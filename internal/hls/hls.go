@@ -19,6 +19,7 @@ import (
 
 	"llm4eda/internal/chdl"
 	"llm4eda/internal/core"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
 )
 
@@ -414,11 +415,26 @@ func CoSimulate(d *Design, prog *chdl.Program, fn string, vectors [][]int64) ([]
 	if len(d.Params) != len(target.Params) {
 		return nil, fmt.Errorf("hls: design/function parameter mismatch")
 	}
-	out := make([]CoSimResult, 0, len(vectors))
 	for _, vec := range vectors {
 		if len(vec) != len(d.Params) {
 			return nil, fmt.Errorf("hls: vector has %d values, kernel takes %d", len(vec), len(d.Params))
 		}
+	}
+
+	// The generated RTL is fixed across vectors; only the one-vector
+	// testbench changes. Batch the RTL runs through simfarm so the DUT
+	// parses once and the vectors simulate in parallel.
+	jobs := make([]simfarm.Job, len(vectors))
+	for i, vec := range vectors {
+		jobs[i] = simfarm.Job{
+			DUT: d.Verilog, TB: buildCoSimTB(d, vec), Top: "cosim_tb",
+			Opts: verilog.SimOptions{MaxTime: 4_000_000, MaxSteps: 8_000_000},
+		}
+	}
+	rtlRuns := simfarm.RunMany(jobs, 0)
+
+	out := make([]CoSimResult, 0, len(vectors))
+	for i, vec := range vectors {
 		r := CoSimResult{Inputs: append([]int64(nil), vec...)}
 
 		in, err := chdl.NewInterp(prog, chdl.InterpOptions{})
@@ -432,9 +448,7 @@ func CoSimulate(d *Design, prog *chdl.Program, fn string, vectors [][]int64) ([]
 			r.CPU = cpu
 		}
 
-		tb := buildCoSimTB(d, vec)
-		res, err := verilog.RunTestbench(d.Verilog, tb, "cosim_tb", verilog.SimOptions{MaxTime: 4_000_000, MaxSteps: 8_000_000})
-		if err == nil && res.RuntimeErr == nil && res.Finished {
+		if res := rtlRuns[i].Res; rtlRuns[i].Err == nil && res.RuntimeErr == nil && res.Finished {
 			r.RTLValid = true
 			if v, ok := res.Final["cosim_tb.captured"]; ok && v.IsFullyKnown() {
 				r.RTL = signExtend(v.Uint(), d.opts.WidthBits)

@@ -1,0 +1,89 @@
+package simfarm
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of one cache's traffic counters.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	Len                     int
+}
+
+// lru is a mutex-guarded, capacity-bounded LRU map. Values are immutable
+// artifacts (parsed files, compiled designs, simulation results), so a hit
+// hands back the shared pointer; eviction only drops the cache's own
+// reference. Concurrent misses on the same key may compute the value
+// twice — both computations are deterministic and identical, so the race
+// costs duplicated work, never correctness.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	ll    *list.List // front = most recently used
+	stats Stats
+}
+
+// entry is one cached key/value pair.
+type entry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lru {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, m: make(map[string]*list.Element), ll: list.New()}
+}
+
+// get returns the cached value and marks it most recently used.
+func (c *lru) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// add inserts (or refreshes) a value, evicting the least recently used
+// entry when the cache is over capacity.
+func (c *lru) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+}
+
+// snapshot returns the current counters.
+func (c *lru) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Len = c.ll.Len()
+	return s
+}
+
+// purge drops every entry but keeps the counters.
+func (c *lru) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*list.Element)
+	c.ll.Init()
+}

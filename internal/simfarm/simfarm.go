@@ -1,0 +1,295 @@
+// Package simfarm is the compile-once/run-many simulation engine behind
+// every candidate-scoring framework in the suite (AutoChip, VRank,
+// crosscheck, the agent, HLS cosim). It layers three content-addressed,
+// mutex-guarded LRU caches over the verilog front end —
+//
+//	parse:   source text            -> parsed module list
+//	design:  (sources, top)         -> elaborated CompiledDesign
+//	result:  (design, sim options)  -> SimResult
+//
+// — plus a bounded worker pool (RunMany) that simulates independent
+// candidates concurrently. Every cached artifact is immutable and every
+// simulation is deterministic in its seed, so cached and parallel batches
+// are bit-identical to the serial, cache-cold path.
+//
+// Importing the package installs the default farm as the compile cache
+// behind verilog.RunTestbench, so legacy call sites stop re-parsing
+// sources the farm has already seen.
+package simfarm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"llm4eda/internal/verilog"
+)
+
+// Options bound the default cache capacities. Zero values select
+// defaults sized for the benchmark suites (hundreds of candidates ×
+// a handful of benches).
+type Options struct {
+	// ParseCap bounds cached parsed sources (default 512).
+	ParseCap int
+	// DesignCap bounds cached elaborated designs (default 512).
+	DesignCap int
+	// ResultCap bounds cached simulation results (default 2048).
+	ResultCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ParseCap == 0 {
+		o.ParseCap = 512
+	}
+	if o.DesignCap == 0 {
+		o.DesignCap = 512
+	}
+	if o.ResultCap == 0 {
+		o.ResultCap = 2048
+	}
+	return o
+}
+
+// Farm owns the cache hierarchy. A single Farm is safe for concurrent use
+// from any number of goroutines.
+type Farm struct {
+	parses  *lru
+	designs *lru
+	results *lru
+}
+
+// New builds a farm with the given capacities.
+func New(opts Options) *Farm {
+	opts = opts.withDefaults()
+	return &Farm{
+		parses:  newLRU(opts.ParseCap),
+		designs: newLRU(opts.DesignCap),
+		results: newLRU(opts.ResultCap),
+	}
+}
+
+var (
+	defaultFarm     *Farm
+	defaultFarmOnce sync.Once
+)
+
+// Default returns the process-wide farm shared by every framework package
+// and by the legacy verilog.RunTestbench entry point.
+func Default() *Farm {
+	defaultFarmOnce.Do(func() { defaultFarm = New(Options{}) })
+	return defaultFarm
+}
+
+func init() {
+	// Route the legacy entry point through the shared cache: any package
+	// that links simfarm makes verilog.RunTestbench compile-once too.
+	verilog.SetTestbenchCompiler(Default().CompileTestbench)
+}
+
+// FarmStats reports per-layer cache traffic.
+type FarmStats struct {
+	Parses, Designs, Results Stats
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() FarmStats {
+	return FarmStats{
+		Parses:  f.parses.snapshot(),
+		Designs: f.designs.snapshot(),
+		Results: f.results.snapshot(),
+	}
+}
+
+// Purge empties every cache layer (counters are kept). Benchmarks use it
+// to measure cache-cold behavior.
+func (f *Farm) Purge() {
+	f.parses.purge()
+	f.designs.purge()
+	f.results.purge()
+}
+
+// parseResult caches a parse outcome; parse errors are cached too, so a
+// non-compiling candidate is diagnosed once no matter how many benches it
+// is scored against.
+type parseResult struct {
+	file *verilog.SourceFile
+	err  error
+}
+
+// designResult caches an elaboration outcome.
+type designResult struct {
+	cd  *verilog.CompiledDesign
+	err error
+}
+
+// simResult caches one deterministic simulation outcome.
+type simResult struct {
+	res *verilog.SimResult
+	err error
+}
+
+// Parse returns the cached parse of src, parsing on miss.
+func (f *Farm) Parse(src string) (*verilog.SourceFile, error) {
+	key := verilog.HashSources("", src)
+	if v, ok := f.parses.get(key); ok {
+		pr := v.(*parseResult)
+		return pr.file, pr.err
+	}
+	file, err := verilog.Parse(src)
+	f.parses.add(key, &parseResult{file: file, err: err})
+	return file, err
+}
+
+// Compile returns the cached elaboration of the given sources under top,
+// parsing each source through the parse cache and elaborating on miss.
+func (f *Farm) Compile(top string, srcs ...string) (*verilog.CompiledDesign, error) {
+	key := verilog.HashSources(top, srcs...)
+	if v, ok := f.designs.get(key); ok {
+		dr := v.(*designResult)
+		return dr.cd, dr.err
+	}
+	files := make([]*verilog.SourceFile, len(srcs))
+	for i, src := range srcs {
+		file, err := f.Parse(src)
+		if err != nil {
+			f.designs.add(key, &designResult{err: err})
+			return nil, err
+		}
+		files[i] = file
+	}
+	cd, err := verilog.ElaborateParsed(top, key, verilog.MergeSources(files...))
+	f.designs.add(key, &designResult{cd: cd, err: err})
+	return cd, err
+}
+
+// CompileTestbench pairs a DUT compile with a testbench compile under the
+// bench's top module. This is the TestbenchCompiler installed behind
+// verilog.RunTestbench.
+func (f *Farm) CompileTestbench(dutSrc, tbSrc, tbTop string) (*verilog.CompiledDesign, error) {
+	return f.Compile(tbTop, dutSrc, tbSrc)
+}
+
+// resultKey identifies one deterministic run: the design identity plus
+// every option that can change observable behavior, normalized so that
+// zero-valued and explicitly-default options share one cache entry.
+func resultKey(hash string, opts verilog.SimOptions) string {
+	opts = opts.Normalized()
+	return fmt.Sprintf("%s|%d|%d|%d|%d", hash, opts.MaxTime, opts.MaxSteps, opts.MaxDeltas, opts.Seed)
+}
+
+// Run simulates a compiled design under the given options, returning the
+// memoized result when this exact (design, options) pair has run before.
+// The simulator is fully deterministic, so the cached result is
+// bit-identical to a fresh run. Returned results are shared: callers must
+// treat them as read-only.
+func (f *Farm) Run(cd *verilog.CompiledDesign, opts verilog.SimOptions) (*verilog.SimResult, error) {
+	key := resultKey(cd.Hash, opts)
+	if v, ok := f.results.get(key); ok {
+		sr := v.(*simResult)
+		return sr.res, sr.err
+	}
+	res, err := cd.Run(opts)
+	f.results.add(key, &simResult{res: res, err: err})
+	return res, err
+}
+
+// RunTestbench is the cached equivalent of verilog.RunTestbench: compile
+// DUT+bench once, then memoize the run itself.
+func (f *Farm) RunTestbench(dutSrc, tbSrc, tbTop string, opts verilog.SimOptions) (*verilog.SimResult, error) {
+	cd, err := f.CompileTestbench(dutSrc, tbSrc, tbTop)
+	if err != nil {
+		return nil, err
+	}
+	return f.Run(cd, opts)
+}
+
+// RunTestbench runs one DUT+bench pair through the default farm.
+func RunTestbench(dutSrc, tbSrc, tbTop string, opts verilog.SimOptions) (*verilog.SimResult, error) {
+	return Default().RunTestbench(dutSrc, tbSrc, tbTop, opts)
+}
+
+// Job is one independent simulation: a candidate DUT paired with a bench.
+type Job struct {
+	DUT, TB string
+	// Top is the bench's top module.
+	Top string
+	// Opts bound the run; Opts.Seed makes the job's $random stream
+	// deterministic regardless of scheduling.
+	Opts verilog.SimOptions
+}
+
+// Result is the outcome of one Job. Err carries front-end (parse or
+// elaboration) failures; simulation-level defects land inside Res exactly
+// as in the serial path.
+type Result struct {
+	Res *verilog.SimResult
+	Err error
+}
+
+// Passed reports whether the job compiled and its run passed.
+func (r Result) Passed() bool {
+	return r.Err == nil && r.Res != nil && r.Res.Passed()
+}
+
+// RunMany simulates independent jobs on a bounded worker pool and returns
+// results in job order. workers <= 0 selects GOMAXPROCS. Each job has its
+// own Simulator and its own seed, so the output slice is bit-identical to
+// running the same jobs serially in a loop — scheduling affects only
+// wall-clock time. Shared substructure (a bench reused across candidates,
+// duplicate candidate sources) is served from the farm's caches; there is
+// no in-flight coalescing, so duplicates that land on workers in the same
+// scheduling window may each recompute before the first result is cached —
+// a wasted-work worst case, never a correctness one.
+func (f *Farm) RunMany(jobs []Job, workers int) []Result {
+	results := make([]Result, len(jobs))
+	Map(len(jobs), workers, func(i int) {
+		job := jobs[i]
+		res, err := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
+		results[i] = Result{Res: res, Err: err}
+	})
+	return results
+}
+
+// RunMany runs a batch through the default farm.
+func RunMany(jobs []Job, workers int) []Result {
+	return Default().RunMany(jobs, workers)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines
+// (GOMAXPROCS when workers <= 0) and returns when all calls finish. It is
+// the generic batch-evaluation primitive for non-Verilog scoring loops
+// (the SLT and GP population evaluations): fn writes its result into a
+// caller-owned slot at index i, so output order is deterministic.
+func Map(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

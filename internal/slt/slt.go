@@ -17,6 +17,7 @@ import (
 	"llm4eda/internal/isa"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/rag"
+	"llm4eda/internal/simfarm"
 )
 
 // Config parameterizes one optimization run.
@@ -96,6 +97,18 @@ func Score(source string, opts boom.RunOptions) (float64, *boom.Result) {
 		return 0, res
 	}
 	return res.PowerW, res
+}
+
+// ScoreBatch evaluates a candidate batch on the processor model through
+// the simfarm worker pool (workers <= 0 selects GOMAXPROCS). Each snippet
+// compiles and runs independently, so the returned scores are in input
+// order and identical to a serial Score loop.
+func ScoreBatch(sources []string, opts boom.RunOptions, workers int) []float64 {
+	scores := make([]float64, len(sources))
+	simfarm.Map(len(sources), workers, func(i int) {
+		scores[i], _ = Score(sources[i], opts)
+	})
+	return scores
 }
 
 // SeedExamples returns the handwritten starter programs the paper's loop
@@ -183,12 +196,13 @@ func Run(cfg Config) (*Result, error) {
 	r := newRNG(cfg.Seed)
 	res := &Result{}
 
-	// Seed the pool with the handwritten examples.
-	for _, src := range SeedExamples() {
-		score, _ := Score(src, cfg.Boom)
-		res.Pool = append(res.Pool, Snippet{Source: src, Score: score})
+	// Seed the pool with the handwritten examples, scored as one batch on
+	// the processor model; the fold below keeps the serial ordering.
+	seeds := SeedExamples()
+	for i, score := range ScoreBatch(seeds, cfg.Boom, 0) {
+		res.Pool = append(res.Pool, Snippet{Source: seeds[i], Score: score})
 		if score > res.Best.Score {
-			res.Best = Snippet{Source: src, Score: score}
+			res.Best = Snippet{Source: seeds[i], Score: score}
 		}
 	}
 

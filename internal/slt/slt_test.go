@@ -42,6 +42,9 @@ int main() { return tiny[1000000000]; }`
 }
 
 func TestRunImprovesOverSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale optimization loop")
+	}
 	cfg := Config{
 		Model:             llm.NewSimModel(llm.TierLarge, 11),
 		UseSCoT:           true,
@@ -100,6 +103,9 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestSCoTReducesCompileFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale A/B loop comparison")
+	}
 	fails := func(scot bool) int {
 		cfg := Config{
 			Model:    llm.NewSimModel(llm.TierSmall, 17),

@@ -23,6 +23,12 @@ type SimOptions struct {
 	Seed uint64
 }
 
+// Normalized returns the options with every zero value replaced by its
+// default — the form NewSimulator actually runs under. Cache layers key
+// results on this so that zero-valued and explicitly-default options
+// share one identity.
+func (o SimOptions) Normalized() SimOptions { return o.withDefaults() }
+
 func (o SimOptions) withDefaults() SimOptions {
 	if o.MaxTime == 0 {
 		o.MaxTime = 1_000_000
@@ -617,23 +623,25 @@ func (s *Simulator) random() uint64 {
 // module. Parse and elaboration failures come back as errors; everything
 // later is reported inside the SimResult.
 func CompileAndRun(src, top string, opts SimOptions) (*SimResult, error) {
-	f, err := Parse(src)
+	cd, err := Compile(src, top)
 	if err != nil {
 		return nil, err
 	}
-	d, err := Elaborate(f, top)
-	if err != nil {
-		return nil, err
-	}
-	return NewSimulator(d, opts).Run()
+	return cd.Run(opts)
 }
 
-// RunTestbench concatenates a DUT source and a testbench source, then
-// simulates the testbench top. It is the single entry point the framework
-// packages use to score candidates, so its diagnostics are phrased the way
-// an EDA tool would phrase them.
+// RunTestbench pairs a DUT source with a testbench source and simulates
+// the testbench top. It is the compatibility entry point the framework
+// packages historically scored candidates through; it now routes through
+// the shared compile cache (see SetTestbenchCompiler), so a DUT or bench
+// the farm has already compiled is never re-parsed. Its diagnostics are
+// phrased the way an EDA tool would phrase them.
 func RunTestbench(dutSrc, tbSrc, tbTop string, opts SimOptions) (*SimResult, error) {
-	return CompileAndRun(dutSrc+"\n"+tbSrc, tbTop, opts)
+	cd, err := compileTestbench(dutSrc, tbSrc, tbTop)
+	if err != nil {
+		return nil, err
+	}
+	return cd.Run(opts)
 }
 
 // FormatSignals renders a stable listing of final signal values whose

@@ -12,6 +12,7 @@ import (
 
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/llm"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
 )
 
@@ -66,18 +67,35 @@ func StimulusBench(tb string) string {
 // Signature simulates a candidate on the stimulus bench and returns its
 // output fingerprint ("" when the candidate does not compile).
 func Signature(p *benchset.Problem, source string, sim verilog.SimOptions) string {
-	res, err := verilog.RunTestbench(source, StimulusBench(p.Testbench()), "tb", sim)
-	if err != nil {
-		return ""
+	return Signatures(p, []string{source}, sim)[0]
+}
+
+// Signatures fingerprints a whole candidate batch against the shared
+// stimulus bench through the simfarm engine: the bench is compiled once,
+// duplicate candidates are simulated once, and independent candidates run
+// concurrently. Output order matches the input and is bit-identical to
+// calling Signature in a serial loop.
+func Signatures(p *benchset.Problem, sources []string, sim verilog.SimOptions) []string {
+	sb := StimulusBench(p.Testbench())
+	jobs := make([]simfarm.Job, len(sources))
+	for i, src := range sources {
+		jobs[i] = simfarm.Job{DUT: src, TB: sb, Top: "tb", Opts: sim}
 	}
-	sig := res.Output
-	if res.RuntimeErr != nil {
-		sig += "\nRT:" + res.RuntimeErr.Error()
+	out := make([]string, len(sources))
+	for i, r := range simfarm.RunMany(jobs, 0) {
+		if r.Err != nil {
+			continue
+		}
+		sig := r.Res.Output
+		if r.Res.RuntimeErr != nil {
+			sig += "\nRT:" + r.Res.RuntimeErr.Error()
+		}
+		if r.Res.TimedOut {
+			sig += "\nTIMEOUT"
+		}
+		out[i] = sig
 	}
-	if res.TimedOut {
-		sig += "\nTIMEOUT"
-	}
-	return sig
+	return out
 }
 
 // Rank runs the full VRank flow on one problem.
@@ -99,8 +117,9 @@ func Rank(p *benchset.Problem, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("vrank: generation failed: %w", err)
 		}
 		res.Sources = append(res.Sources, resp.Text)
-		res.Signatures = append(res.Signatures, Signature(p, resp.Text, opts.Sim))
 	}
+	// One stimulus-bench compile, k candidate signatures in parallel.
+	res.Signatures = Signatures(p, res.Sources, opts.Sim)
 
 	// Cluster by identical signature (compiling candidates only).
 	bySig := map[string][]int{}
@@ -128,19 +147,24 @@ func Rank(p *benchset.Problem, opts Options) (*Result, error) {
 		res.Chosen = res.Clusters[0][0]
 	}
 
-	// Score against the real (oracle) testbench.
-	passes := func(src string) bool {
-		r, err := verilog.RunTestbench(src, p.Testbench(), "tb", opts.Sim)
-		return err == nil && r.Passed()
+	// Score every candidate against the real (oracle) testbench in one
+	// batch: the bench compiles once and duplicate candidates simulate
+	// once, where the serial path re-ran the chosen and first candidates
+	// from scratch.
+	tb := p.Testbench()
+	oracleJobs := make([]simfarm.Job, len(res.Sources))
+	for i, src := range res.Sources {
+		oracleJobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: opts.Sim}
 	}
+	oracle := simfarm.RunMany(oracleJobs, 0)
 	if res.Chosen >= 0 {
-		res.ChosenPasses = passes(res.Sources[res.Chosen])
+		res.ChosenPasses = oracle[res.Chosen].Passed()
 	}
-	if len(res.Sources) > 0 {
-		res.FirstPasses = passes(res.Sources[0])
+	if len(oracle) > 0 {
+		res.FirstPasses = oracle[0].Passed()
 	}
-	for _, src := range res.Sources {
-		if passes(src) {
+	for _, r := range oracle {
+		if r.Passed() {
 			res.AnyPasses = true
 			break
 		}
