@@ -1,10 +1,12 @@
 # Tier-1 verification and the engine-specific gates. `make ci` is what a
-# PR must pass: build, vet, the quick test sweep, and the race-checked
-# batch engine.
+# PR must pass: build, vet, gofmt cleanliness, the quick test sweep, and
+# the race-checked batch engine (.github/workflows/ci.yml runs exactly
+# this target).
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test test-short test-race bench bench-engine ci
+.PHONY: all build vet fmt-check test test-short test-race bench bench-engine ci
 
 all: build
 
@@ -15,6 +17,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Fail when any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out="$$($(GOFMT) -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Full test sweep (tier-1 verify is `make build test`).
 test:
 	$(GO) test ./...
@@ -24,10 +31,11 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-check the concurrent batch-simulation engine and every package
-# whose scoring now runs on worker pools.
+# Race-check the concurrent batch-simulation engine, every package whose
+# scoring runs on worker pools, and the front-door API (its event sinks
+# receive from worker goroutines).
 test-race:
-	$(GO) test -race -short ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -37,4 +45,4 @@ bench:
 bench-engine:
 	$(GO) test -run 'xxx' -bench 'BenchmarkVRank' -benchtime 5x .
 
-ci: build vet test-short test-race
+ci: build vet fmt-check test-short test-race

@@ -7,6 +7,7 @@ package llm4eda
 // full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"testing"
 
 	"llm4eda/internal/benchset"
@@ -23,7 +24,7 @@ func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	r := experiments.Runner{Scale: experiments.ScaleQuick, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		exp, err := r.ByID(id)
+		exp, err := r.ByID(context.Background(), id)
 		if err != nil {
 			b.Fatalf("experiment %s: %v", id, err)
 		}
@@ -169,7 +170,7 @@ func BenchmarkVRankBatch(b *testing.B) {
 		for pi, p := range problems {
 			tb := p.Testbench()
 			for _, batch := range cands[pi] {
-				sigs := vrank.Signatures(p, batch, sim)
+				sigs, _ := vrank.Signatures(context.Background(), p, batch, sim, 0)
 				jobs := make([]simfarm.Job, len(batch))
 				for j, src := range batch {
 					jobs[j] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: sim}

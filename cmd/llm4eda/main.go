@@ -1,32 +1,33 @@
-// Command llm4eda is the CLI for the reproduction: it runs the paper's
-// experiments, drives individual frameworks (repair, autochip, slt,
-// agent), and lists the benchmark suites.
+// Command llm4eda is the CLI for the reproduction. Every framework runs
+// through the unified eda front door — the dispatch table is generated
+// from the eda registry, so a newly registered pipeline becomes a
+// subcommand without CLI changes — plus the experiment regenerator and
+// the benchmark listing.
 //
 // Usage:
 //
-//	llm4eda exp <E1..E10|all> [-full] [-seed N]   regenerate paper artifacts
-//	llm4eda repair [-tier T] [-no-rag]            run the Fig. 2 repair suite
-//	llm4eda autochip [-tier T] [-k N] [-depth N]  run AutoChip on the suite
-//	llm4eda slt [-evals N] [-gp]                  run the §V power loop
-//	llm4eda agent [-tier T] <problem-id>...       drive designs end to end
-//	llm4eda list                                  list benchmark problems
+//	llm4eda <framework> [-tier T] [-seed N] [-workers N] [-timeout D]
+//	        [-p k=v ...] [-v] [problem-id]     run one framework (see list)
+//	llm4eda exp [-full] [-seed N] [-timeout D] [-v] <E1..E10|all>
+//	llm4eda list                               frameworks, problems, kernels
+//
+// tiers: small | medium | large | frontier
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
-	"llm4eda/internal/agent"
-	"llm4eda/internal/autochip"
+	"llm4eda/eda"
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/experiments"
-	"llm4eda/internal/gp"
-	"llm4eda/internal/llm"
-	"llm4eda/internal/rag"
 	"llm4eda/internal/repair"
-	"llm4eda/internal/slt"
+	"llm4eda/internal/simfarm"
 )
 
 func main() {
@@ -36,64 +37,128 @@ func main() {
 	}
 }
 
+// command is one dispatch-table entry.
+type command struct {
+	name    string
+	summary string
+	run     func(args []string) error
+}
+
+// commandTable builds the full dispatch table: one generated entry per
+// registered eda pipeline, plus the experiment and listing commands.
+func commandTable() []command {
+	var cmds []command
+	for _, name := range eda.Frameworks() {
+		p, _ := eda.DefaultRegistry().Lookup(name)
+		fw := name // capture
+		cmds = append(cmds, command{
+			name:    fw,
+			summary: p.Doc,
+			run:     func(args []string) error { return runFramework(fw, args) },
+		})
+	}
+	cmds = append(cmds,
+		command{name: "exp", summary: "regenerate paper artifacts (E1..E10|all)", run: cmdExp},
+		command{name: "list", summary: "list frameworks, benchmark problems and repair kernels", run: func([]string) error { return cmdList() }},
+	)
+	sort.Slice(cmds, func(i, j int) bool { return cmds[i].name < cmds[j].name })
+	return cmds
+}
+
 func run(args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("a subcommand is required")
 	}
 	switch args[0] {
-	case "exp":
-		return cmdExp(args[1:])
-	case "repair":
-		return cmdRepair(args[1:])
-	case "autochip":
-		return cmdAutochip(args[1:])
-	case "slt":
-		return cmdSLT(args[1:])
-	case "agent":
-		return cmdAgent(args[1:])
-	case "list":
-		return cmdList()
 	case "help", "-h", "--help":
 		usage()
 		return nil
-	default:
-		usage()
-		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+	for _, c := range commandTable() {
+		if c.name == args[0] {
+			return c.run(args[1:])
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown subcommand %q", args[0])
 }
 
 func usage() {
-	fmt.Fprint(os.Stderr, `usage:
-  llm4eda exp <E1..E10|all> [-full] [-seed N]   regenerate paper artifacts
-  llm4eda repair [-tier T] [-no-rag]            run the Fig. 2 repair suite
-  llm4eda autochip [-tier T] [-k N] [-depth N]  run AutoChip on the suite
-  llm4eda slt [-evals N] [-gp]                  run the §V power loop
-  llm4eda agent [-tier T] <problem-id>...       drive designs end to end
-  llm4eda list                                  list benchmark problems
+	fmt.Fprintln(os.Stderr, "usage: llm4eda <command> [flags] [args]")
+	fmt.Fprintln(os.Stderr, "\ncommands:")
+	for _, c := range commandTable() {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.name, c.summary)
+	}
+	fmt.Fprint(os.Stderr, `
+framework flags: [-tier T] [-seed N] [-workers N] [-timeout D] [-p k=v ...] [-v] [problem-id]
 tiers: small | medium | large | frontier
 `)
 }
 
-func parseTier(name string) (llm.Tier, error) {
-	switch strings.ToLower(name) {
-	case "small":
-		return llm.TierSmall, nil
-	case "medium":
-		return llm.TierMedium, nil
-	case "large":
-		return llm.TierLarge, nil
-	case "frontier":
-		return llm.TierFrontier, nil
-	default:
-		return 0, fmt.Errorf("unknown tier %q (small|medium|large|frontier)", name)
+// paramFlags collects repeated -p name=value framework knobs.
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]float64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("param must be name=value, got %q", s)
 	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("param %q: %v", name, err)
+	}
+	p[name] = f
+	return nil
+}
+
+// runFramework drives one registered pipeline through eda.Run with the
+// shared flag set.
+func runFramework(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	tier := fs.String("tier", "", "model tier (small|medium|large|frontier)")
+	seed := fs.Uint64("seed", 0, "run seed (0 selects the default)")
+	workers := fs.Int("workers", 0, "batch-evaluation workers (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
+	verbose := fs.Bool("v", false, "stream per-candidate and per-LLM-call events")
+	quiet := fs.Bool("q", false, "suppress the event stream entirely")
+	params := paramFlags{}
+	fs.Var(params, "p", "framework knob as name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := eda.Spec{
+		Framework: name,
+		Run: eda.RunSpec{
+			Seed: *seed, Tier: *tier, Workers: *workers, Deadline: *timeout,
+		},
+		Params: params,
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("%s takes at most one problem id, got %d", name, fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		spec.Problem = fs.Arg(0)
+	}
+	opts := []eda.Option{}
+	if !*quiet {
+		opts = append(opts, eda.WithSink(eda.ProgressPrinter(os.Stdout, *verbose)))
+	}
+	report, err := eda.Run(context.Background(), spec, opts...)
+	if report != nil {
+		fmt.Print(report.Render())
+	}
+	return err
 }
 
 func cmdExp(args []string) error {
 	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run at full scale (slow; used for EXPERIMENTS.md)")
 	seed := fs.Uint64("seed", 1, "experiment seed")
+	timeout := fs.Duration("timeout", 0, "wall-clock bound for the run (0 = none)")
+	verbose := fs.Bool("v", false, "print simfarm cache counters after each experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -104,163 +169,54 @@ func cmdExp(args []string) error {
 	if *full {
 		scale = experiments.ScaleFull
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	r := experiments.Runner{Scale: scale, Seed: *seed}
+	ids := []string{fs.Arg(0)}
 	if fs.Arg(0) == "all" {
-		for _, exp := range r.All() {
-			fmt.Println(exp.Render())
-		}
-		return nil
-	}
-	exp, err := r.ByID(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	fmt.Println(exp.Render())
-	return nil
-}
-
-func cmdRepair(args []string) error {
-	fs := flag.NewFlagSet("repair", flag.ContinueOnError)
-	tierName := fs.String("tier", "frontier", "model tier")
-	noRAG := fs.Bool("no-rag", false, "disable retrieval-augmented repair")
-	seed := fs.Uint64("seed", 1, "model seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	tier, err := parseTier(*tierName)
-	if err != nil {
-		return err
-	}
-	cfg := repair.Config{Model: llm.NewSimModel(tier, *seed)}
-	if !*noRAG {
-		cfg.Library = rag.DefaultCorrectionLibrary()
-	}
-	fw := repair.New(cfg)
-	succ := 0
-	kernels := repair.BenchKernels()
-	for _, k := range kernels {
-		out, err := fw.Repair(k.Source, k.Kernel, k.Vectors)
-		if err != nil {
-			return fmt.Errorf("%s: %w", k.ID, err)
-		}
-		status := "FAIL"
-		if out.Success {
-			status = "ok"
-			succ++
-		}
-		fmt.Printf("%-20s %-5s iters=%d equivalence=%d/%d",
-			k.ID, status, out.Iterations,
-			out.EquivalenceVectors-out.Mismatches, out.EquivalenceVectors)
-		if out.Optimized {
-			fmt.Printf(" ppa: latency %d -> %d cycles",
-				out.PPABefore.LatencyCyc, out.PPAAfter.LatencyCyc)
-		}
-		fmt.Println()
-	}
-	fmt.Printf("repaired %d/%d kernels (tier=%s rag=%v)\n", succ, len(kernels), tier, !*noRAG)
-	return nil
-}
-
-func cmdAutochip(args []string) error {
-	fs := flag.NewFlagSet("autochip", flag.ContinueOnError)
-	tierName := fs.String("tier", "frontier", "model tier")
-	k := fs.Int("k", 3, "candidates per round")
-	depth := fs.Int("depth", 3, "feedback rounds")
-	seed := fs.Uint64("seed", 1, "model seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	tier, err := parseTier(*tierName)
-	if err != nil {
-		return err
-	}
-	solved := 0
-	suite := benchset.Suite()
-	for _, p := range suite {
-		res, err := autochip.Run(p, autochip.Options{
-			Model: llm.NewSimModel(tier, *seed), K: *k, Depth: *depth,
-		})
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.ID, err)
-		}
-		status := "FAIL"
-		if res.Solved {
-			status = "ok"
-			solved++
-		}
-		fmt.Printf("%-12s d%d %-5s rounds=%d candidates=%d best=%s\n",
-			p.ID, p.Difficulty, status, res.Rounds, res.TotalCandidates, res.Best.Verdict)
-	}
-	fmt.Printf("solved %d/%d problems (tier=%s k=%d depth=%d)\n", solved, len(suite), tier, *k, *depth)
-	return nil
-}
-
-func cmdSLT(args []string) error {
-	fs := flag.NewFlagSet("slt", flag.ContinueOnError)
-	evals := fs.Int("evals", 150, "snippet evaluations")
-	runGP := fs.Bool("gp", false, "also run the genetic-programming baseline at 13/8 budget")
-	seed := fs.Uint64("seed", 1, "seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	res, err := slt.Run(slt.Config{
-		Model:             llm.NewSimModel(llm.TierLarge, *seed),
-		UseSCoT:           true,
-		AdaptiveTemp:      true,
-		DiversityPressure: true,
-		MaxEvals:          *evals,
-		Seed:              *seed,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("LLM loop: %d snippets, %d compile failures, best %.3f W (final temp %.2f)\n",
-		res.Evals, res.CompileFails, res.Best.Score, res.FinalTemp)
-	if *runGP {
-		gpRes := gp.Run(gp.Config{MaxEvals: *evals * 13 / 8, Seed: *seed})
-		fmt.Printf("GP baseline: %d evaluations, best %.3f W (gap %+.3f W)\n",
-			gpRes.Evals, gpRes.Best.Score, gpRes.Best.Score-res.Best.Score)
-	}
-	fmt.Println("\nbest snippet:")
-	fmt.Println(res.Best.Source)
-	return nil
-}
-
-func cmdAgent(args []string) error {
-	fs := flag.NewFlagSet("agent", flag.ContinueOnError)
-	tierName := fs.String("tier", "frontier", "model tier")
-	seed := fs.Uint64("seed", 1, "model seed")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	tier, err := parseTier(*tierName)
-	if err != nil {
-		return err
-	}
-	ids := fs.Args()
-	if len(ids) == 0 {
-		ids = []string{"adder4"}
-	}
-	a, err := agent.New(agent.Config{Model: llm.NewSimModel(tier, *seed)})
-	if err != nil {
-		return err
+		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		p := benchset.ByID(id)
-		if p == nil {
-			return fmt.Errorf("unknown problem %q (try: llm4eda list)", id)
-		}
-		report, err := a.RunProblem(p)
+		before := simfarm.Default().Stats()
+		exp, err := r.ByID(ctx, id)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return err
 		}
-		fmt.Println(report.Render())
+		fmt.Println(exp.Render())
+		if *verbose {
+			printCacheStats(simfarm.Default().Stats().Delta(before))
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// printCacheStats renders one experiment's simfarm traffic via the
+// shared event vocabulary (the same counters eda.Run streams as
+// EventCache events).
+func printCacheStats(stats simfarm.FarmStats) {
+	sink := eda.ProgressPrinter(os.Stdout, true)
+	simfarm.EmitStats(sink, stats)
+	fmt.Println()
 }
 
 func cmdList() error {
-	fmt.Println("benchmark problems (VerilogEval-style suite):")
+	fmt.Println("frameworks (run with: llm4eda <framework> [flags] [problem-id]):")
+	for _, name := range eda.Frameworks() {
+		p, _ := eda.DefaultRegistry().Lookup(name)
+		knobs := ""
+		if len(p.Params) > 0 {
+			knobs = " (knobs: " + strings.Join(p.Params, ", ") + ")"
+		}
+		fmt.Printf("  %-12s %s%s\n", name, p.Doc, knobs)
+	}
+	fmt.Println("\nbenchmark problems (VerilogEval-style suite):")
 	for _, p := range benchset.Suite() {
 		fmt.Printf("  %-12s d%d checks=%-4d %s\n", p.ID, p.Difficulty, p.Checks(), firstSentence(p.Spec))
 	}

@@ -1,26 +1,11 @@
 package main
 
 import (
+	"strings"
 	"testing"
 
-	"llm4eda/internal/llm"
+	"llm4eda/eda"
 )
-
-func TestParseTier(t *testing.T) {
-	cases := map[string]llm.Tier{
-		"small": llm.TierSmall, "MEDIUM": llm.TierMedium,
-		"large": llm.TierLarge, "Frontier": llm.TierFrontier,
-	}
-	for name, want := range cases {
-		got, err := parseTier(name)
-		if err != nil || got != want {
-			t.Errorf("parseTier(%q) = %v, %v", name, got, err)
-		}
-	}
-	if _, err := parseTier("gpt9"); err == nil {
-		t.Error("expected error for unknown tier")
-	}
-}
 
 func TestRunDispatch(t *testing.T) {
 	if err := run([]string{"list"}); err != nil {
@@ -44,16 +29,60 @@ func TestRunDispatch(t *testing.T) {
 	if err := run([]string{"agent", "no-such-problem"}); err == nil {
 		t.Error("expected error for unknown problem")
 	}
+	if err := run([]string{"agent", "-tier", "gpt9"}); err == nil {
+		t.Error("expected error for unknown tier")
+	}
+	if err := run([]string{"slt", "-p", "bogus=1"}); err == nil {
+		t.Error("expected error for unknown framework param")
+	}
+	if err := run([]string{"agent", "adder4", "mux2"}); err == nil {
+		t.Error("expected error for more than one problem id")
+	}
+}
+
+// TestTableCoversRegistry pins the redesign's contract: every registered
+// pipeline is reachable as a subcommand without CLI changes.
+func TestTableCoversRegistry(t *testing.T) {
+	have := map[string]bool{}
+	for _, c := range commandTable() {
+		have[c.name] = true
+	}
+	for _, fw := range eda.Frameworks() {
+		if !have[fw] {
+			t.Errorf("framework %q has no subcommand", fw)
+		}
+	}
+	for _, extra := range []string{"exp", "list"} {
+		if !have[extra] {
+			t.Errorf("missing %q command", extra)
+		}
+	}
+}
+
+func TestParamFlags(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("k=4"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := p.Set("temperature=0.8"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if p["k"] != 4 || p["temperature"] != 0.8 {
+		t.Errorf("params = %v", p)
+	}
+	if err := p.Set("bad"); err == nil {
+		t.Error("expected error for missing =")
+	}
+	if err := p.Set("x=notanumber"); err == nil {
+		t.Error("expected error for non-numeric value")
+	}
 }
 
 func TestFirstSentence(t *testing.T) {
 	if got := firstSentence("A 4-bit adder: does things"); got != "A 4-bit adder" {
 		t.Errorf("firstSentence = %q", got)
 	}
-	long := "x"
-	for i := 0; i < 7; i++ {
-		long += long
-	}
+	long := strings.Repeat("x", 128)
 	if got := firstSentence(long); len(got) > 64 {
 		t.Errorf("long spec not truncated: %d", len(got))
 	}

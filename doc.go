@@ -12,8 +12,25 @@
 // backend, a BOOM-class out-of-order processor power model, a
 // deterministic simulated-LLM substrate and a retrieval library.
 //
+// Every framework is invocable through one front door, the eda package:
+// describe the run as an eda.Spec (framework name, problem/kernel
+// payload, shared seed/tier/workers/deadline envelope) and call
+//
+//	report, err := eda.Run(ctx, eda.Spec{
+//		Framework: "autochip",
+//		Problem:   "and4",
+//		Run:       eda.RunSpec{Tier: "frontier", Seed: 2},
+//		Params:    map[string]float64{"k": 2, "depth": 2},
+//	}, eda.WithSink(eda.ProgressPrinter(os.Stdout, false)))
+//
+// Progress (phases, scored candidates, LLM calls, simulation-cache
+// traffic) streams to the sink as events; cancelling ctx aborts the run
+// within one simulation job. See the runnable ExampleRun in the eda
+// package and examples/quickstart for the canonical demo.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
 // bench_test.go regenerates every figure and in-text result; the same
-// experiments run standalone via cmd/llm4eda.
+// experiments run standalone via cmd/llm4eda, whose subcommand table is
+// generated from the eda registry.
 package llm4eda

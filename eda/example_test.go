@@ -1,0 +1,30 @@
+package eda_test
+
+import (
+	"context"
+	"fmt"
+
+	"llm4eda/eda"
+)
+
+// ExampleRun drives the AutoChip framework on one benchmark problem
+// through the unified front door: a Spec in, a uniform Report out. The
+// same call shape reaches all eight frameworks — swap Framework and the
+// knobs in Params.
+func ExampleRun() {
+	report, err := eda.Run(context.Background(), eda.Spec{
+		Framework: "autochip",
+		Problem:   "and4",
+		Run:       eda.RunSpec{Tier: "frontier", Seed: 2},
+		Params:    map[string]float64{"k": 2, "depth": 2},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(report.Summary)
+	fmt.Printf("solved=%v problems=%v\n", report.OK, report.Metrics["total"])
+	// Output:
+	// solved 1/1 problems with 2 candidates
+	// solved=true problems=1
+}

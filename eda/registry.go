@@ -1,0 +1,103 @@
+package eda
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pipeline is one named framework behind the front door: how to validate
+// a spec for it and how to run it.
+type Pipeline struct {
+	// Name is the registry key ("autochip", "slt", ...).
+	Name string
+	// Doc is a one-line description for CLI listings.
+	Doc string
+	// Params lists the numeric knobs the pipeline accepts in Spec.Params;
+	// Validate rejects unknown keys so typos fail fast.
+	Params []string
+	// DefaultTier overrides the global tier default ("frontier") when the
+	// spec leaves Run.Tier empty — the slt loop, for example, is the
+	// paper's GPT-4-class (large) setup.
+	DefaultTier string
+	// Check validates the pipeline-specific payload (problem exists,
+	// kernel named, ...). Nil means no extra checks.
+	Check func(Spec) error
+	// Run executes the spec. The context carries the event sink and the
+	// deadline; implementations must propagate it into the framework.
+	Run func(ctx context.Context, spec Spec) (*Report, error)
+}
+
+// Registry maps framework names to pipelines. The zero value is unusable;
+// use NewRegistry. A Registry is safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Pipeline
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]*Pipeline{}}
+}
+
+// Register adds a pipeline, rejecting duplicates and incomplete entries.
+func (r *Registry) Register(p Pipeline) error {
+	if p.Name == "" {
+		return fmt.Errorf("eda: pipeline name must not be empty")
+	}
+	if p.Run == nil {
+		return fmt.Errorf("eda: pipeline %q has no Run func", p.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[p.Name]; dup {
+		return fmt.Errorf("eda: pipeline %q already registered", p.Name)
+	}
+	r.m[p.Name] = &p
+	return nil
+}
+
+// Lookup resolves a pipeline by name.
+func (r *Registry) Lookup(name string) (*Pipeline, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.m[name]
+	return p, ok
+}
+
+// Names lists the registered pipelines in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var (
+	defaultRegistry     *Registry
+	defaultRegistryOnce sync.Once
+)
+
+// DefaultRegistry returns the process-wide registry holding the eight
+// built-in framework pipelines.
+func DefaultRegistry() *Registry {
+	defaultRegistryOnce.Do(func() {
+		defaultRegistry = NewRegistry()
+		for _, p := range builtinPipelines() {
+			if err := defaultRegistry.Register(p); err != nil {
+				panic(err) // built-ins are statically consistent
+			}
+		}
+	})
+	return defaultRegistry
+}
+
+// Frameworks lists the built-in framework names, sorted.
+func Frameworks() []string {
+	return DefaultRegistry().Names()
+}

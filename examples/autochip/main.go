@@ -1,15 +1,18 @@
-// autochip: the paper's Fig. 4 framework on a hard benchmark problem —
-// tree search over candidate designs with EDA-tool feedback, showing the
-// per-round candidates, their testbench verdicts, and the tool output that
-// flows back into the next prompt.
+// autochip: the paper's Fig. 4 framework on a hard benchmark problem,
+// driven through the eda front door — tree search over candidate designs
+// with EDA-tool feedback. The verbose event stream shows every round,
+// every model call and every scored candidate as the search runs; the
+// structured conversational flow of [10] is contrasted at the end.
 //
 // Run with: go run ./examples/autochip
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"llm4eda/eda"
 	"llm4eda/internal/autochip"
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/llm"
@@ -30,18 +33,23 @@ func run() error {
 	fmt.Println()
 
 	// A GPT-4-class model with tree search: 3 candidates per round, up to
-	// 4 feedback rounds.
-	res, err := autochip.Run(problem, autochip.Options{
-		Model:       llm.NewSimModel(llm.TierLarge, 99),
-		K:           3,
-		Depth:       4,
-		Temperature: 0.8,
-	})
+	// 4 feedback rounds. Framework knobs travel as Spec params.
+	spec := eda.Spec{
+		Framework: "autochip",
+		Problem:   problem.ID,
+		Run:       eda.RunSpec{Tier: "large", Seed: 99},
+		Params:    map[string]float64{"k": 3, "depth": 4, "temperature": 0.8},
+	}
+	report, err := eda.Run(context.Background(), spec,
+		eda.WithSink(eda.ProgressPrinter(os.Stdout, true)))
 	if err != nil {
 		return err
 	}
+	fmt.Println()
+	fmt.Print(report.Render())
 
-	fmt.Printf("solved=%v after %d rounds, %d candidates, %d tokens in / %d out\n",
+	res := report.Detail.([]*autochip.Result)[0]
+	fmt.Printf("\nsolved=%v after %d rounds, %d candidates, %d tokens in / %d out\n",
 		res.Solved, res.Rounds, res.TotalCandidates, res.TokensIn, res.TokensOut)
 	fmt.Println("final verdict:", res.Best.Verdict)
 	if res.Best.Feedback != "" {
@@ -53,7 +61,8 @@ func run() error {
 
 	// Contrast with the earlier structured conversational flow [10]:
 	// the model also writes its own (coverage-lossy) testbench.
-	flow, err := autochip.StructuredFlow(problem, llm.NewSimModel(llm.TierLarge, 99), 8, verilog.SimOptions{})
+	flow, err := autochip.StructuredFlow(context.Background(), problem,
+		llm.NewSimModel(llm.TierLarge, 99), 8, verilog.SimOptions{})
 	if err != nil {
 		return err
 	}

@@ -1,19 +1,23 @@
 // crosscheck: the paper's §VI "High-Level Guided RTL Debugging" direction
-// as a working loop — the LLM writes an untimed C behavioral model (its
-// strong suit), and RTL candidates are validated by cross-level comparison
-// on shared stimuli, with no hand-written testbench involved.
+// through the eda front door — the LLM writes an untimed C behavioral
+// model (its strong suit), and RTL candidates are validated by
+// cross-level comparison on shared stimuli, no hand-written testbench
+// involved. The front-door run validates the reference design; a buggy
+// mutant is then checked directly to show the localized evidence the
+// debugging loop feeds back.
 //
 // Run with: go run ./examples/crosscheck
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
 
+	"llm4eda/eda"
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/crosscheck"
-	"llm4eda/internal/llm"
 )
 
 func main() {
@@ -25,32 +29,39 @@ func main() {
 
 func run() error {
 	p := benchset.ByID("alu8")
-	model := llm.NewSimModel(llm.TierLarge, 31)
-
 	fmt.Println("spec:", p.Spec)
-	cm, err := crosscheck.GenerateModel(model, p)
-	if err != nil {
-		return err
-	}
-	fmt.Println("\nLLM-generated untimed C model:")
-	fmt.Println(cm)
+	fmt.Println()
 
-	// A correct design passes the cross-level check...
-	res, err := crosscheck.Validate(p.Reference, p, cm, 32)
+	// Front door: generate the C model and cross-check the reference
+	// design, with the event stream showing each candidate verdict.
+	spec := eda.Spec{
+		Framework: "crosscheck",
+		Problem:   p.ID,
+		Run:       eda.RunSpec{Tier: "large", Seed: 31},
+		Params:    map[string]float64{"vectors": 32},
+	}
+	report, err := eda.Run(context.Background(), spec,
+		eda.WithSink(eda.ProgressPrinter(os.Stdout, true)))
 	if err != nil {
 		return err
 	}
+	fmt.Println()
+	fmt.Print(report.Render())
+
+	res := report.Detail.([]*crosscheck.Result)[0]
+	fmt.Println("\nLLM-generated untimed C model:")
+	fmt.Println(res.CModel)
 	fmt.Printf("reference design: %d vectors, clean=%v\n", res.Vectors, res.Clean())
 
-	// ...a buggy one is flagged with localized evidence.
+	// A buggy mutant is flagged with localized evidence.
 	buggy := strings.Replace(p.Reference, "a + b", "a - b", 1)
-	res, err = crosscheck.Validate(buggy, p, cm, 32)
+	bad, err := crosscheck.Validate(context.Background(), buggy, p, res.CModel, 32)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nbuggy design (op 0 subtracts): clean=%v, %d mismatches\n",
-		res.Clean(), len(res.Mismatches))
-	for i, m := range res.Mismatches {
+		bad.Clean(), len(bad.Mismatches))
+	for i, m := range bad.Mismatches {
 		if i >= 3 {
 			fmt.Println("  ...")
 			break

@@ -1,17 +1,18 @@
-// hlsrepair: the paper's Fig. 2 case study end to end on one kernel — a
-// malloc-using C program is diagnosed, repaired with retrieval-augmented
+// hlsrepair: the paper's Fig. 2 case study end to end on one kernel,
+// through the eda front door — a malloc-using C program travels as the
+// Spec's Source payload, is diagnosed, repaired with retrieval-augmented
 // prompting, proven equivalent by C-RTL co-simulation, and PPA-optimized
-// with pragmas.
+// with pragmas, with each repair stage streaming as an event.
 //
 // Run with: go run ./examples/hlsrepair
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"llm4eda/internal/llm"
-	"llm4eda/internal/rag"
+	"llm4eda/eda"
 	"llm4eda/internal/repair"
 )
 
@@ -42,27 +43,26 @@ func main() {
 }
 
 func run() error {
-	fw := repair.New(repair.Config{
-		Model:   llm.NewSimModel(llm.TierFrontier, 7),
-		Library: rag.DefaultCorrectionLibrary(),
-	})
-
 	fmt.Println("original kernel (dynamic memory + unbounded loop):")
 	fmt.Println(brokenKernel)
+	fmt.Println()
 
-	out, err := fw.Repair(brokenKernel, "moving_sum", [][]int64{{5}, {100}, {12345}, {1}})
+	spec := eda.Spec{
+		Framework: "repair",
+		Source:    brokenKernel,
+		Kernel:    "moving_sum",
+		Vectors:   [][]int64{{5}, {100}, {12345}, {1}},
+		Run:       eda.RunSpec{Tier: "frontier", Seed: 7},
+	}
+	report, err := eda.Run(context.Background(), spec,
+		eda.WithSink(eda.ProgressPrinter(os.Stdout, false)))
 	if err != nil {
 		return err
 	}
+	fmt.Println()
+	fmt.Print(report.Render())
 
-	fmt.Println("\nstage log:")
-	for _, s := range out.Stages {
-		status := "ok"
-		if !s.OK {
-			status = "FAIL"
-		}
-		fmt.Printf("  %-18s %-5s %s\n", s.Stage, status, s.Detail)
-	}
+	out := report.Detail.([]*repair.Outcome)[0]
 	fmt.Println("\nactual errors (HLS frontend):")
 	for _, e := range out.ActualErrors {
 		fmt.Println("  -", e)

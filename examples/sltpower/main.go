@@ -1,18 +1,19 @@
-// sltpower: the paper's §V case study — an LLM optimization loop
-// generating C programs that maximize the power draw of a BOOM-class
-// out-of-order RISC-V core, compared against the genetic-programming
-// baseline at a longer budget (the paper's 24 h vs 39 h).
+// sltpower: the paper's §V case study through the eda front door — an
+// LLM optimization loop generating C programs that maximize the power
+// draw of a BOOM-class out-of-order RISC-V core, compared against the
+// genetic-programming baseline at a longer budget (the paper's 24 h vs
+// 39 h). Both arms run through the same eda.Run call; only the Spec
+// changes.
 //
 // Run with: go run ./examples/sltpower
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
-	"llm4eda/internal/boom"
-	"llm4eda/internal/gp"
-	"llm4eda/internal/llm"
+	"llm4eda/eda"
 	"llm4eda/internal/slt"
 )
 
@@ -24,34 +25,40 @@ func main() {
 }
 
 func run() error {
-	bopts := boom.RunOptions{MaxInsts: 400_000}
+	ctx := context.Background()
+	sink := eda.ProgressPrinter(os.Stdout, false)
 
 	fmt.Println("running the LLM optimization loop (SCoT prompts, adaptive")
 	fmt.Println("temperature, Levenshtein diversity pressure)...")
-	llmRes, err := slt.Run(slt.Config{
-		Model:             llm.NewSimModel(llm.TierLarge, 24),
-		UseSCoT:           true,
-		AdaptiveTemp:      true,
-		DiversityPressure: true,
-		MaxEvals:          150,
-		Boom:              bopts,
-		Seed:              24,
-	})
+	llmReport, err := eda.Run(ctx, eda.Spec{
+		Framework: "slt",
+		Run:       eda.RunSpec{Tier: "large", Seed: 24},
+		Params:    map[string]float64{"evals": 150},
+	}, eda.WithSink(sink))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  %d snippets, %d compile failures, best %.3f W\n\n",
-		llmRes.Evals, llmRes.CompileFails, llmRes.Best.Score)
+	fmt.Print(llmReport.Render())
+	fmt.Println()
 
 	fmt.Println("running the genetic-programming baseline at 13/8 the budget...")
-	gpRes := gp.Run(gp.Config{MaxEvals: 150 * 13 / 8, Boom: bopts, Seed: 24})
-	fmt.Printf("  %d evaluations, best %.3f W\n\n", gpRes.Evals, gpRes.Best.Score)
+	gpReport, err := eda.Run(ctx, eda.Spec{
+		Framework: "gp",
+		Run:       eda.RunSpec{Seed: 24},
+		Params:    map[string]float64{"evals": 150 * 13 / 8},
+	}, eda.WithSink(sink))
+	if err != nil {
+		return err
+	}
+	fmt.Print(gpReport.Render())
+	fmt.Println()
 
-	fmt.Printf("gap: GP beats the LLM loop by %.3f W (paper: 0.640 W with the\n",
-		gpRes.Best.Score-llmRes.Best.Score)
+	gap := gpReport.Metrics["best_watts"] - llmReport.Metrics["best_watts"]
+	fmt.Printf("gap: GP beats the LLM loop by %.3f W (paper: 0.640 W with the\n", gap)
 	fmt.Println("same ordering; the LLM loop saturates first)")
 
+	best := llmReport.Detail.(*slt.Result).Best
 	fmt.Println("\nbest LLM snippet:")
-	fmt.Println(llmRes.Best.Source)
+	fmt.Println(best.Source)
 	return nil
 }

@@ -8,6 +8,7 @@
 package agent
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -23,6 +24,9 @@ import (
 
 // Config parameterizes the agent.
 type Config struct {
+	// RunSpec carries the shared execution envelope; Workers bounds the
+	// embedded AutoChip stage's candidate batches.
+	core.RunSpec
 	Model llm.Model
 	// MaxDebugRounds bounds the simulate-debug loop (default 5).
 	MaxDebugRounds int
@@ -56,15 +60,22 @@ func New(cfg Config) (*Agent, error) {
 }
 
 // RunProblem drives one benchmark problem through the full flow and
-// returns the unified report.
-func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
+// returns the unified report. ctx is checked between flow stages (and
+// inside the embedded AutoChip loop); every completed stage streams to
+// the context's event sink.
+func (a *Agent) RunProblem(ctx context.Context, p *benchset.Problem) (*core.Report, error) {
 	cfg := a.cfg
+	sink := core.SinkOf(ctx)
 	report := &core.Report{
 		Design: core.Design{Name: p.ID, Language: core.LangNaturalLanguage, Source: p.Spec},
 	}
 	stage := func(s core.Stage, task, detail string, ok bool, start time.Time) {
 		report.Append(core.StageRecord{
 			Stage: s, Task: task, Detail: detail, OK: ok, Duration: time.Since(start),
+		})
+		sink.Emit(core.Event{
+			Kind: core.EventPhaseEnd, Framework: "agent", Phase: s.String(),
+			Seq: len(report.Stages), OK: ok, Detail: task + " — " + detail,
 		})
 	}
 
@@ -75,8 +86,8 @@ func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
 
 	// Stage 2: HDL generation with EDA feedback (AutoChip engine).
 	t0 = time.Now()
-	genRes, err := autochip.Run(p, autochip.Options{
-		Model: cfg.Model, K: 2, Depth: cfg.MaxDebugRounds, Sim: cfg.Sim,
+	genRes, err := autochip.Run(ctx, p, autochip.Options{
+		RunSpec: cfg.RunSpec, Model: cfg.Model, K: 2, Depth: cfg.MaxDebugRounds, Sim: cfg.Sim,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("agent: generation failed: %w", err)
@@ -122,6 +133,9 @@ func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
 
 	// Stage 5: debugging (only when needed): one more feedback round
 	// against the reference bench.
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
 	if !simOK {
 		t0 = time.Now()
 		fixed := autochip.Evaluate(p, design, cfg.Sim)
@@ -153,6 +167,9 @@ func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
 	report.Verdict = final.Verdict
 
 	// Stage 6: logic synthesis.
+	if err := ctx.Err(); err != nil {
+		return report, err
+	}
 	t0 = time.Now()
 	sr, err := synth.SynthesizeRTL(design, p.TopModule, cfg.SynthOptions)
 	if err != nil {
@@ -186,15 +203,23 @@ func (a *Agent) RunProblem(p *benchset.Problem) (*core.Report, error) {
 	return report, nil
 }
 
-// RunSuite drives a set of problems and returns per-problem reports.
-func (a *Agent) RunSuite(problems []*benchset.Problem) ([]*core.Report, error) {
+// RunSuite drives a set of problems and returns per-problem reports. ctx
+// cancellation stops between problems (and mid-flow inside each).
+func (a *Agent) RunSuite(ctx context.Context, problems []*benchset.Problem) ([]*core.Report, error) {
 	reports := make([]*core.Report, 0, len(problems))
 	for _, p := range problems {
-		r, err := a.RunProblem(p)
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
+		r, err := a.RunProblem(ctx, p)
+		if r != nil {
+			// A cancelled flow still returns its completed stages; keep
+			// the partial report with the error.
+			reports = append(reports, r)
+		}
 		if err != nil {
 			return reports, fmt.Errorf("agent: %s: %w", p.ID, err)
 		}
-		reports = append(reports, r)
 	}
 	return reports, nil
 }

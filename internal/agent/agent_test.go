@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestAgentFullFlowOnEasyProblem(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	report, err := a.RunProblem(benchset.ByID("adder4"))
+	report, err := a.RunProblem(context.Background(), benchset.ByID("adder4"))
 	if err != nil {
 		t.Fatalf("RunProblem: %v", err)
 	}
@@ -49,7 +50,7 @@ func TestAgentModelTestbenchMode(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	report, err := a.RunProblem(benchset.ByID("mux2"))
+	report, err := a.RunProblem(context.Background(), benchset.ByID("mux2"))
 	if err != nil {
 		t.Fatalf("RunProblem: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestAgentRunSuite(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	problems := []*benchset.Problem{benchset.ByID("not1"), benchset.ByID("and4"), benchset.ByID("gray4")}
-	reports, err := a.RunSuite(problems)
+	reports, err := a.RunSuite(context.Background(), problems)
 	if err != nil {
 		t.Fatalf("RunSuite: %v", err)
 	}

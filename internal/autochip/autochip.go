@@ -7,6 +7,7 @@
 package autochip
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -19,6 +20,9 @@ import (
 
 // Options parameterize a run.
 type Options struct {
+	// RunSpec carries the shared execution envelope (seed, tier, workers,
+	// deadline); Workers bounds the per-round candidate simulations.
+	core.RunSpec
 	Model llm.Model
 	// K is the number of candidate responses per round (tree breadth).
 	K int
@@ -68,25 +72,29 @@ type Result struct {
 // round sees. The bench and the candidate compile through the shared
 // simfarm cache, so re-evaluating a known design is free.
 func Evaluate(p *benchset.Problem, source string, sim verilog.SimOptions) Candidate {
-	return EvaluateBatch(p, []string{source}, sim)[0]
+	cands, _ := EvaluateBatch(context.Background(), p, []string{source}, sim, 1)
+	return cands[0]
 }
 
 // EvaluateBatch scores one round's candidate batch against the problem's
 // testbench through the simfarm engine: one bench compile, duplicate
-// candidates simulated once, independent candidates in parallel. Output
-// order matches the input and equals a serial Evaluate loop bit for bit.
-func EvaluateBatch(p *benchset.Problem, sources []string, sim verilog.SimOptions) []Candidate {
+// candidates simulated once, independent candidates in parallel (workers
+// <= 0 selects GOMAXPROCS). Output order matches the input and equals a
+// serial Evaluate loop bit for bit. A cancelled ctx aborts the batch
+// within one job and returns ctx.Err(); candidates that never simulated
+// carry the cancellation error as their compile log.
+func EvaluateBatch(ctx context.Context, p *benchset.Problem, sources []string, sim verilog.SimOptions, workers int) ([]Candidate, error) {
 	tb := p.Testbench()
 	jobs := make([]simfarm.Job, len(sources))
 	for i, src := range sources {
 		jobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: sim}
 	}
-	results := simfarm.RunMany(jobs, 0)
+	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	cands := make([]Candidate, len(sources))
 	for i, r := range results {
 		cands[i] = toCandidate(sources[i], r.Res, r.Err)
 	}
-	return cands
+	return cands, err
 }
 
 // toCandidate folds one simulation outcome into the candidate verdict and
@@ -150,16 +158,28 @@ func min(a, b int) int {
 // candidates before any is scored (the paper's tree-search shape); token
 // and candidate counts therefore cover the whole final round even when an
 // early candidate in it passes.
-func Run(p *benchset.Problem, opts Options) (*Result, error) {
+//
+// The loop checks ctx between rounds and aborts candidate batches within
+// one simulation; progress streams to the context's event sink (round
+// phases, model calls, scored candidates).
+func Run(ctx context.Context, p *benchset.Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Model == nil {
 		return nil, fmt.Errorf("autochip: Options.Model is required")
 	}
+	sink := core.SinkOf(ctx)
 	res := &Result{}
 	var prev *Candidate
 
 	for round := 0; round < opts.Depth; round++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Rounds = round + 1
+		sink.Emit(core.Event{
+			Kind: core.EventPhaseStart, Framework: "autochip", Phase: "round",
+			Seq: round + 1, Total: opts.Depth, Detail: p.ID,
+		})
 		// Generate the round's full candidate batch first (model calls are
 		// inherently sequential), then score the batch in one simfarm pass:
 		// the testbench compiles once per problem, not once per candidate.
@@ -187,8 +207,24 @@ func Run(p *benchset.Problem, opts Options) (*Result, error) {
 			res.TokensOut += resp.TokensOut
 			res.TotalCandidates++
 			sources = append(sources, resp.Text)
+			sink.Emit(core.Event{
+				Kind: core.EventLLMCall, Framework: "autochip", Phase: "code generation",
+				Seq: res.TotalCandidates, TokensIn: resp.TokensIn, TokensOut: resp.TokensOut,
+			})
 		}
-		cands := EvaluateBatch(p, sources, opts.Sim)
+		cands, err := EvaluateBatch(ctx, p, sources, opts.Sim, opts.Workers)
+		if err != nil {
+			return res, err
+		}
+		// Every candidate in the batch was scored (EvaluateBatch runs the
+		// whole round), so each gets its event before selection.
+		for i := range cands {
+			sink.Emit(core.Event{
+				Kind: core.EventCandidate, Framework: "autochip", Phase: p.ID,
+				Seq: i + 1, Total: len(cands), Score: cands[i].Verdict.PassFraction(),
+				OK: cands[i].Verdict.Pass(), Detail: cands[i].Verdict.String(),
+			})
+		}
 		var best *Candidate
 		for i := range cands {
 			cand := cands[i]
@@ -198,11 +234,19 @@ func Run(p *benchset.Problem, opts Options) (*Result, error) {
 			if cand.Verdict.Pass() {
 				res.Solved = true
 				res.Best = cand
+				sink.Emit(core.Event{
+					Kind: core.EventPhaseEnd, Framework: "autochip", Phase: "round",
+					Seq: round + 1, Total: opts.Depth, OK: true, Detail: p.ID,
+				})
 				return res, nil
 			}
 		}
 		res.Best = *best
 		prev = best
+		sink.Emit(core.Event{
+			Kind: core.EventPhaseEnd, Framework: "autochip", Phase: "round",
+			Seq: round + 1, Total: opts.Depth, OK: false, Detail: p.ID,
+		})
 	}
 	return res, nil
 }
@@ -229,8 +273,9 @@ type FlowResult struct {
 // StructuredFlow reproduces the earlier study's loop: the model writes the
 // design AND its own testbench; tool feedback iterates against the model's
 // testbench; a human intervenes (with the reference bench's output) only
-// after the loop stalls. maxRounds bounds total iterations.
-func StructuredFlow(p *benchset.Problem, model llm.Model, maxRounds int, sim verilog.SimOptions) (*FlowResult, error) {
+// after the loop stalls. maxRounds bounds total iterations; ctx is checked
+// between rounds.
+func StructuredFlow(ctx context.Context, p *benchset.Problem, model llm.Model, maxRounds int, sim verilog.SimOptions) (*FlowResult, error) {
 	if maxRounds == 0 {
 		maxRounds = 8
 	}
@@ -277,6 +322,9 @@ func StructuredFlow(p *benchset.Problem, model llm.Model, maxRounds int, sim ver
 	var prev *Candidate
 	stall := 0
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out.Rounds = round + 1
 		task := llm.VerilogGen{ProblemID: p.ID, Spec: p.Spec, Reference: p.Reference, Difficulty: p.Difficulty}
 		if prev != nil {

@@ -1,6 +1,7 @@
 package autochip
 
 import (
+	"context"
 	"testing"
 
 	"llm4eda/internal/benchset"
@@ -45,7 +46,7 @@ func TestEvaluateSyntaxError(t *testing.T) {
 
 func TestRunSolvesEasyProblem(t *testing.T) {
 	p := benchset.ByID("and4")
-	res, err := Run(p, Options{
+	res, err := Run(context.Background(), p, Options{
 		Model: llm.NewSimModel(llm.TierFrontier, 2),
 		K:     3,
 		Depth: 3,
@@ -73,7 +74,7 @@ func TestFeedbackHelpsFrontierMoreThanSmall(t *testing.T) {
 				continue // feedback dynamics show on the harder problems
 			}
 			for s := 0; s < seeds; s++ {
-				res, err := Run(p, Options{
+				res, err := Run(context.Background(), p, Options{
 					Model: llm.NewSimModel(tier, uint64(s)*1000+7),
 					K:     k,
 					Depth: depth,
@@ -101,7 +102,7 @@ func TestFeedbackHelpsFrontierMoreThanSmall(t *testing.T) {
 func TestStructuredFlow(t *testing.T) {
 	solvedNoHuman := 0
 	for _, p := range benchset.EightDesignSet() {
-		res, err := StructuredFlow(p, llm.NewSimModel(llm.TierLarge, 13), 8, verilog.SimOptions{})
+		res, err := StructuredFlow(context.Background(), p, llm.NewSimModel(llm.TierLarge, 13), 8, verilog.SimOptions{})
 		if err != nil {
 			t.Fatalf("StructuredFlow(%s): %v", p.ID, err)
 		}

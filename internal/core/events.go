@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// EventKind classifies run events.
+type EventKind int
+
+// Event kinds emitted by the frameworks and the engine.
+const (
+	// EventRunStart/EventRunEnd bracket one front-door run.
+	EventRunStart EventKind = iota + 1
+	EventRunEnd
+	// EventPhaseStart/EventPhaseEnd bracket a framework phase (a repair
+	// stage, an autochip round, an agent flow stage, ...).
+	EventPhaseStart
+	EventPhaseEnd
+	// EventCandidate reports one scored candidate (design, snippet,
+	// kernel, input vector).
+	EventCandidate
+	// EventLLMCall reports one model invocation with its token counts.
+	EventLLMCall
+	// EventCache reports one cache layer's traffic counters.
+	EventCache
+	// EventNote carries free-form progress text.
+	EventNote
+)
+
+// String names the kind for progress printers.
+func (k EventKind) String() string {
+	switch k {
+	case EventRunStart:
+		return "run-start"
+	case EventRunEnd:
+		return "run-end"
+	case EventPhaseStart:
+		return "phase-start"
+	case EventPhaseEnd:
+		return "phase-end"
+	case EventCandidate:
+		return "candidate"
+	case EventLLMCall:
+		return "llm-call"
+	case EventCache:
+		return "cache"
+	case EventNote:
+		return "note"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one progress report flowing from a run to its Sink. Fields
+// beyond Kind/Framework are kind-specific; unused ones are zero.
+type Event struct {
+	Kind      EventKind
+	Framework string
+	// Phase names the framework phase (EventPhase*), the cache layer
+	// (EventCache) or the model task (EventLLMCall).
+	Phase string
+	// Seq/Total position the event within its loop (candidate i of n,
+	// round r of d); Total may be 0 when open-ended.
+	Seq   int
+	Total int
+	// Score is the candidate's scalar quality (pass fraction, watts, ...).
+	Score float64
+	// OK marks phase/candidate success.
+	OK bool
+	// Detail carries free-form context (verdicts, tool feedback heads).
+	Detail string
+	// TokensIn/TokensOut report model usage (EventLLMCall).
+	TokensIn, TokensOut int
+	// Hits/Misses/Evictions are cache counters (EventCache).
+	Hits, Misses, Evictions uint64
+}
+
+// Sink receives run events. Implementations must be safe for concurrent
+// use: batch evaluation emits from worker goroutines.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit calls f.
+func (f SinkFunc) Emit(ev Event) { f(ev) }
+
+// nopSink drops events; SinkOf returns it when the context carries none,
+// so emit sites never branch.
+type nopSink struct{}
+
+func (nopSink) Emit(Event) {}
+
+type sinkKey struct{}
+
+// WithSink returns a context that carries sink; every framework run under
+// that context streams its events there.
+func WithSink(ctx context.Context, sink Sink) context.Context {
+	if sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, sinkKey{}, sink)
+}
+
+// SinkOf returns the context's sink, or a no-op sink when none is set.
+func SinkOf(ctx context.Context) Sink {
+	if s, ok := ctx.Value(sinkKey{}).(Sink); ok && s != nil {
+		return s
+	}
+	return nopSink{}
+}
+
+// Emit sends one event to the context's sink (a no-op without one).
+func Emit(ctx context.Context, ev Event) {
+	SinkOf(ctx).Emit(ev)
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Tier names accepted by RunSpec.Validate. The llm package maps them onto
+// its simulated model families; core only fixes the vocabulary so that
+// every framework validates tiers identically.
+const (
+	TierNameSmall    = "small"
+	TierNameMedium   = "medium"
+	TierNameLarge    = "large"
+	TierNameFrontier = "frontier"
+)
+
+// TierNames lists the accepted tier names, weakest first.
+func TierNames() []string {
+	return []string{TierNameSmall, TierNameMedium, TierNameLarge, TierNameFrontier}
+}
+
+// RunSpec is the execution envelope shared by every framework's
+// Options/Config struct: who the model is (Tier), how randomness is fixed
+// (Seed), how wide batch evaluation fans out (Workers) and how long the
+// run may take (Deadline). Frameworks embed it so defaults and validation
+// live in one place instead of eight.
+type RunSpec struct {
+	// Seed fixes every pseudo-random stream of the run (default 1).
+	Seed uint64
+	// Tier names the model capability class ("small", "medium", "large",
+	// "frontier"); empty selects the framework's default.
+	Tier string
+	// Workers bounds batch-evaluation concurrency; 0 selects GOMAXPROCS.
+	Workers int
+	// Deadline bounds the whole run's wall clock; 0 means no limit. The
+	// eda layer derives a context timeout from it.
+	Deadline time.Duration
+}
+
+// WithDefaults fills zero values with the shared defaults and normalizes
+// the tier name (tiers are case-insensitive, as the CLI always was).
+func (s RunSpec) WithDefaults() RunSpec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	s.Tier = strings.ToLower(s.Tier)
+	if s.Tier == "" {
+		s.Tier = TierNameFrontier
+	}
+	return s
+}
+
+// Validate rejects specs no framework can execute.
+func (s RunSpec) Validate() error {
+	if s.Workers < 0 {
+		return fmt.Errorf("core: RunSpec.Workers must be >= 0, got %d", s.Workers)
+	}
+	if s.Deadline < 0 {
+		return fmt.Errorf("core: RunSpec.Deadline must be >= 0, got %v", s.Deadline)
+	}
+	if s.Tier != "" {
+		ok := false
+		for _, n := range TierNames() {
+			if strings.EqualFold(s.Tier, n) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("core: unknown tier %q (small|medium|large|frontier)", s.Tier)
+		}
+	}
+	return nil
+}

@@ -14,11 +14,13 @@
 package crosscheck
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
@@ -167,8 +169,8 @@ func (h *refHarness) check(cModel string, sim *verilog.SimResult, simErr error) 
 
 // Validate cross-checks an RTL candidate against a C behavioral model on
 // deterministic stimulus vectors. nVectors bounds the stimuli (default 32).
-func Validate(candidate string, p *benchset.Problem, cModel string, nVectors int) (*Result, error) {
-	batch, err := ValidateBatch([]string{candidate}, p, cModel, nVectors, 1)
+func Validate(ctx context.Context, candidate string, p *benchset.Problem, cModel string, nVectors int) (*Result, error) {
+	batch, err := ValidateBatch(ctx, []string{candidate}, p, cModel, nVectors, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -186,22 +188,41 @@ type BatchItem struct {
 // ValidateBatch cross-checks many RTL candidates against one C behavioral
 // model. The model's expected-output table is computed once, the shared
 // stimulus bench is compiled once, and the candidates simulate through
-// simfarm.RunMany (workers <= 0 selects GOMAXPROCS). Results are in
+// simfarm.RunManyCtx (workers <= 0 selects GOMAXPROCS). Results are in
 // candidate order and match serial Validate calls, with one ordering
 // caveat: C-model failures are harness-level and surface before any
-// candidate is compiled.
-func ValidateBatch(candidates []string, p *benchset.Problem, cModel string, nVectors, workers int) ([]BatchItem, error) {
+// candidate is compiled. A cancelled ctx aborts the batch within one
+// simulation and returns ctx.Err(); per-candidate verdicts stream to the
+// context's event sink.
+func ValidateBatch(ctx context.Context, candidates []string, p *benchset.Problem, cModel string, nVectors, workers int) ([]BatchItem, error) {
 	h, err := buildHarness(p, cModel, nVectors)
 	if err != nil {
 		return nil, err
 	}
+	sink := core.SinkOf(ctx)
 	jobs := make([]simfarm.Job, len(candidates))
 	for i, cand := range candidates {
 		jobs[i] = simfarm.Job{DUT: cand, TB: h.bench, Top: "xtb", Opts: verilog.SimOptions{}}
 	}
+	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
+	if err != nil {
+		return nil, err
+	}
 	items := make([]BatchItem, len(candidates))
-	for i, r := range simfarm.RunMany(jobs, workers) {
+	for i, r := range results {
 		items[i].Res, items[i].Err = h.check(cModel, r.Res, r.Err)
+		ev := core.Event{
+			Kind: core.EventCandidate, Framework: "crosscheck", Phase: p.ID,
+			Seq: i + 1, Total: len(candidates),
+		}
+		if items[i].Err != nil {
+			ev.Detail = items[i].Err.Error()
+		} else {
+			ev.OK = items[i].Res.Clean()
+			ev.Detail = fmt.Sprintf("%d mismatches over %d vectors",
+				len(items[i].Res.Mismatches), items[i].Res.Vectors)
+		}
+		sink.Emit(ev)
 	}
 	return items, nil
 }

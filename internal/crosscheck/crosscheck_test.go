@@ -1,6 +1,7 @@
 package crosscheck
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestValidateCleanReference(t *testing.T) {
 		if p.CModel == "" {
 			t.Fatalf("%s has no C model", id)
 		}
-		res, err := Validate(p.Reference, p, p.CModel, 24)
+		res, err := Validate(context.Background(), p.Reference, p, p.CModel, 24)
 		if err != nil {
 			t.Fatalf("%s: Validate: %v", id, err)
 		}
@@ -30,7 +31,7 @@ func TestValidateCleanReference(t *testing.T) {
 func TestValidateCatchesInjectedBug(t *testing.T) {
 	p := benchset.ByID("adder4")
 	broken := strings.Replace(p.Reference, "a + b + cin", "a - b + cin", 1)
-	res, err := Validate(broken, p, p.CModel, 24)
+	res, err := Validate(context.Background(), broken, p, p.CModel, 24)
 	if err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
@@ -56,7 +57,7 @@ func TestValidateCatchesXOutput(t *testing.T) {
     endcase
   end
 endmodule`
-	res, err := Validate(broken, p, p.CModel, 24)
+	res, err := Validate(context.Background(), broken, p, p.CModel, 24)
 	if err != nil {
 		// An always@(*) block with a path that assigns nothing may also
 		// surface as a simulation diagnostic; both outcomes are a catch.
@@ -76,7 +77,7 @@ func TestGenerateModelReliable(t *testing.T) {
 		if err != nil {
 			t.Fatalf("GenerateModel: %v", err)
 		}
-		res, err := Validate(p.Reference, p, cm, 16)
+		res, err := Validate(context.Background(), p.Reference, p, cm, 16)
 		if err == nil && res.Clean() {
 			clean++
 		}
@@ -108,7 +109,7 @@ func TestDebugLoopWithoutTestbench(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Generate: %v", err)
 		}
-		res, err := Validate(resp.Text, p, cm, 24)
+		res, err := Validate(context.Background(), resp.Text, p, cm, 24)
 		if err != nil || res.Clean() {
 			continue // need a flagged candidate to exercise the loop
 		}
@@ -132,7 +133,7 @@ func TestDebugLoopWithoutTestbench(t *testing.T) {
 		if err != nil {
 			t.Fatalf("repair: %v", err)
 		}
-		res2, err := Validate(fixed.Text, p, cm, 24)
+		res2, err := Validate(context.Background(), fixed.Text, p, cm, 24)
 		if err == nil && res2.Clean() {
 			solvedViaCrossCheck = true
 		}
@@ -144,17 +145,17 @@ func TestDebugLoopWithoutTestbench(t *testing.T) {
 
 func TestValidateRejectsSequential(t *testing.T) {
 	p := benchset.ByID("counter8")
-	if _, err := Validate(p.Reference, p, "int q(int clk) { return 0; }", 8); err == nil {
+	if _, err := Validate(context.Background(), p.Reference, p, "int q(int clk) { return 0; }", 8); err == nil {
 		t.Error("expected rejection for sequential problem")
 	}
 }
 
 func TestValidateRejectsBadModel(t *testing.T) {
 	p := benchset.ByID("adder4")
-	if _, err := Validate(p.Reference, p, "not c", 8); err == nil {
+	if _, err := Validate(context.Background(), p.Reference, p, "not c", 8); err == nil {
 		t.Error("expected parse error")
 	}
-	if _, err := Validate(p.Reference, p, "int wrongname(int a) { return a; }", 8); err == nil {
+	if _, err := Validate(context.Background(), p.Reference, p, "int wrongname(int a) { return a; }", 8); err == nil {
 		t.Error("expected missing-function error")
 	}
 }

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"llm4eda/internal/agent"
@@ -48,45 +49,48 @@ func (r Runner) pick(quick, full int) int {
 	return quick
 }
 
-// All runs every experiment in order.
-func (r Runner) All() []*core.Experiment {
-	return []*core.Experiment{
-		r.E1Fig1FullFlow(),
-		r.E2Fig2HLSRepair(),
-		r.E3Fig3Discrepancy(),
-		r.E4Fig4AutoChip(),
-		r.E5Sec4StructuredFlow(),
-		r.E6Fig5SLTvsGP(),
-		r.E7Fig6Agent(),
-		r.E8Sec5Ablations(),
-		r.E9Sec2VRank(),
-		r.E10Sec2LLSM(),
+// IDs lists every experiment identifier in run order.
+func IDs() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+}
+
+// All runs every experiment in order. A cancelled ctx stops between
+// experiments (and inside the framework loops each one drives).
+func (r Runner) All(ctx context.Context) []*core.Experiment {
+	var out []*core.Experiment
+	for _, id := range IDs() {
+		if ctx.Err() != nil {
+			return out
+		}
+		exp, _ := r.ByID(ctx, id)
+		out = append(out, exp)
 	}
+	return out
 }
 
 // ByID runs a single experiment ("E1".."E10").
-func (r Runner) ByID(id string) (*core.Experiment, error) {
+func (r Runner) ByID(ctx context.Context, id string) (*core.Experiment, error) {
 	switch id {
 	case "E1":
-		return r.E1Fig1FullFlow(), nil
+		return r.E1Fig1FullFlow(ctx), nil
 	case "E2":
-		return r.E2Fig2HLSRepair(), nil
+		return r.E2Fig2HLSRepair(ctx), nil
 	case "E3":
-		return r.E3Fig3Discrepancy(), nil
+		return r.E3Fig3Discrepancy(ctx), nil
 	case "E4":
-		return r.E4Fig4AutoChip(), nil
+		return r.E4Fig4AutoChip(ctx), nil
 	case "E5":
-		return r.E5Sec4StructuredFlow(), nil
+		return r.E5Sec4StructuredFlow(ctx), nil
 	case "E6":
-		return r.E6Fig5SLTvsGP(), nil
+		return r.E6Fig5SLTvsGP(ctx), nil
 	case "E7":
-		return r.E7Fig6Agent(), nil
+		return r.E7Fig6Agent(ctx), nil
 	case "E8":
-		return r.E8Sec5Ablations(), nil
+		return r.E8Sec5Ablations(ctx), nil
 	case "E9":
-		return r.E9Sec2VRank(), nil
+		return r.E9Sec2VRank(ctx), nil
 	case "E10":
-		return r.E10Sec2LLSM(), nil
+		return r.E10Sec2LLSM(ctx), nil
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (E1..E10)", id)
 	}
@@ -94,14 +98,14 @@ func (r Runner) ByID(id string) (*core.Experiment, error) {
 
 // E1Fig1FullFlow walks one design through every Fig. 1 stage and reports
 // the flow trace (stage -> LLM task -> outcome).
-func (r Runner) E1Fig1FullFlow() *core.Experiment {
+func (r Runner) E1Fig1FullFlow(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E1", Artifact: "Fig. 1 — chip design flow with LLM touchpoints"}
 	a, err := agent.New(agent.Config{Model: llm.NewSimModel(llm.TierFrontier, r.Seed)})
 	if err != nil {
 		exp.AddFinding("setup failed: %v", err)
 		return exp
 	}
-	report, err := a.RunProblem(benchset.ByID("adder4"))
+	report, err := a.RunProblem(ctx, benchset.ByID("adder4"))
 	if err != nil {
 		exp.AddFinding("flow failed: %v", err)
 		return exp
@@ -120,7 +124,7 @@ func (r Runner) E1Fig1FullFlow() *core.Experiment {
 // E2Fig2HLSRepair reproduces the Fig. 2 flow over the repair suite:
 // success rate per model tier with and without RAG, plus the stage-4 PPA
 // movement.
-func (r Runner) E2Fig2HLSRepair() *core.Experiment {
+func (r Runner) E2Fig2HLSRepair(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E2", Artifact: "Fig. 2 — automated C/C++ repair for HLS"}
 	seeds := r.pick(2, 6)
 	kernels := repair.BenchKernels()
@@ -137,7 +141,7 @@ func (r Runner) E2Fig2HLSRepair() *core.Experiment {
 				}
 				fw := repair.New(cfg)
 				for _, k := range kernels {
-					out, err := fw.Repair(k.Source, k.Kernel, k.Vectors)
+					out, err := fw.Repair(ctx, k.Source, k.Kernel, k.Vectors)
 					total++
 					if err == nil && out.Success {
 						succ++
@@ -164,7 +168,7 @@ func (r Runner) E2Fig2HLSRepair() *core.Experiment {
 
 // E3Fig3Discrepancy reproduces the Fig. 3 tester: guided vs blind input
 // generation at equal hardware-simulation budgets.
-func (r Runner) E3Fig3Discrepancy() *core.Experiment {
+func (r Runner) E3Fig3Discrepancy(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E3", Artifact: "Fig. 3 — behavioral discrepancy testing for HLS"}
 	kernel := `
 int scale(int a, int b) {
@@ -179,17 +183,17 @@ int scale(int a, int b) {
 		var disc, sims, skipped int
 		for s := 0; s < seeds; s++ {
 			cfg := hlstest.Config{
+				RunSpec:      core.RunSpec{Seed: r.Seed + uint64(s)*17},
 				WidthBits:    16,
 				SimBudget:    20,
 				UseSpectra:   guided,
 				UseFilter:    guided,
 				UseReasoning: guided,
-				Seed:         r.Seed + uint64(s)*17,
 			}
 			if guided {
 				cfg.Model = llm.NewSimModel(llm.TierLarge, r.Seed+uint64(s)*17)
 			}
-			res, err := hlstest.Run(kernel, "", "scale", [][]int64{{1, 1}, {2, 3}}, cfg)
+			res, err := hlstest.Run(ctx, kernel, "", "scale", [][]int64{{1, 1}, {2, 3}}, cfg)
 			if err != nil {
 				exp.AddFinding("run failed: %v", err)
 				return exp
@@ -211,7 +215,7 @@ int scale(int a, int b) {
 
 // E4Fig4AutoChip reproduces the AutoChip evaluation: pass rate per model
 // tier under feedback-depth vs candidate-breadth at equal budget.
-func (r Runner) E4Fig4AutoChip() *core.Experiment {
+func (r Runner) E4Fig4AutoChip(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E4", Artifact: "Fig. 4 + §IV — AutoChip tree search vs feedback"}
 	seeds := r.pick(1, 3)
 	var problems []*benchset.Problem
@@ -233,7 +237,7 @@ func (r Runner) E4Fig4AutoChip() *core.Experiment {
 			solved, total := 0, 0
 			for s := 0; s < seeds; s++ {
 				for _, p := range problems {
-					res, err := autochip.Run(p, autochip.Options{
+					res, err := autochip.Run(ctx, p, autochip.Options{
 						Model: llm.NewSimModel(tier, r.Seed+uint64(s)*271+7),
 						K:     cfg.k, Depth: cfg.depth,
 					})
@@ -258,7 +262,7 @@ func (r Runner) E4Fig4AutoChip() *core.Experiment {
 
 // E5Sec4StructuredFlow reproduces the 8-design structured conversational
 // flow study: fraction of designs needing no human feedback.
-func (r Runner) E5Sec4StructuredFlow() *core.Experiment {
+func (r Runner) E5Sec4StructuredFlow(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E5", Artifact: "§IV [10] — structured flow, 8 designs, human feedback"}
 	seeds := r.pick(2, 5)
 	for _, tier := range []llm.Tier{llm.TierMedium, llm.TierLarge} {
@@ -266,7 +270,7 @@ func (r Runner) E5Sec4StructuredFlow() *core.Experiment {
 		for s := 0; s < seeds; s++ {
 			model := llm.NewSimModel(tier, r.Seed+uint64(s)*53)
 			for _, p := range benchset.EightDesignSet() {
-				res, err := autochip.StructuredFlow(p, model, 8, verilog.SimOptions{})
+				res, err := autochip.StructuredFlow(ctx, p, model, 8, verilog.SimOptions{})
 				if err != nil {
 					exp.AddFinding("run failed: %v", err)
 					return exp
@@ -290,26 +294,26 @@ func (r Runner) E5Sec4StructuredFlow() *core.Experiment {
 // E6Fig5SLTvsGP reproduces the §V headline numbers: the LLM loop (24 h ->
 // 2021 snippets, best 5.042 W) vs GP (39 h, best 5.682 W, Δ0.640 W),
 // rescaled to evaluation budgets.
-func (r Runner) E6Fig5SLTvsGP() *core.Experiment {
+func (r Runner) E6Fig5SLTvsGP(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E6", Artifact: "Fig. 5 + §V — SLT power maximization: LLM loop vs GP"}
 	llmEvals := r.pick(120, 400)
 	gpEvals := llmEvals * 13 / 8 // 39 h / 24 h budget ratio
 	bopts := boom.RunOptions{MaxInsts: 400_000}
 
-	llmRes, err := slt.Run(slt.Config{
+	llmRes, err := slt.Run(ctx, slt.Config{
 		Model:             llm.NewSimModel(llm.TierLarge, r.Seed+11),
 		UseSCoT:           true,
 		AdaptiveTemp:      true,
 		DiversityPressure: true,
 		MaxEvals:          llmEvals,
 		Boom:              bopts,
-		Seed:              r.Seed + 11,
+		RunSpec:           core.RunSpec{Seed: r.Seed + 11},
 	})
 	if err != nil {
 		exp.AddFinding("llm run failed: %v", err)
 		return exp
 	}
-	gpRes := gp.Run(gp.Config{MaxEvals: gpEvals, Boom: bopts, Seed: r.Seed + 11})
+	gpRes, _ := gp.Run(ctx, gp.Config{RunSpec: core.RunSpec{Seed: r.Seed + 11}, MaxEvals: gpEvals, Boom: bopts})
 
 	sample := func(tr []float64, series string) {
 		step := len(tr) / 10
@@ -332,7 +336,7 @@ func (r Runner) E6Fig5SLTvsGP() *core.Experiment {
 
 // E7Fig6Agent reproduces the Fig. 6 vision as a working session: the agent
 // drives a mixed suite end to end.
-func (r Runner) E7Fig6Agent() *core.Experiment {
+func (r Runner) E7Fig6Agent(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E7", Artifact: "Fig. 6 — intelligent EDA agent, unified full flow"}
 	a, err := agent.New(agent.Config{Model: llm.NewSimModel(llm.TierFrontier, r.Seed+23)})
 	if err != nil {
@@ -342,7 +346,7 @@ func (r Runner) E7Fig6Agent() *core.Experiment {
 	ids := []string{"adder4", "mux4", "counter8", "det101", "lfsr8"}
 	pass := 0
 	for i, id := range ids {
-		report, err := a.RunProblem(benchset.ByID(id))
+		report, err := a.RunProblem(ctx, benchset.ByID(id))
 		if err != nil {
 			exp.AddFinding("%s failed: %v", id, err)
 			continue
@@ -364,7 +368,7 @@ func (r Runner) E7Fig6Agent() *core.Experiment {
 // saturation (the mechanisms are about convergence, not the space
 // ceiling); each arm reports mean best watts plus the mean evaluations
 // needed to cross a fixed quality threshold.
-func (r Runner) E8Sec5Ablations() *core.Experiment {
+func (r Runner) E8Sec5Ablations(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E8", Artifact: "§V design choices — temperature adaptation and pool diversity"}
 	evals := r.pick(40, 60)
 	const threshold = 5.35 // watts: near the LLM space's ceiling
@@ -384,14 +388,14 @@ func (r Runner) E8Sec5Ablations() *core.Experiment {
 		var best float64
 		var toThreshold, reached int
 		for s := 0; s < seeds; s++ {
-			res, err := slt.Run(slt.Config{
+			res, err := slt.Run(ctx, slt.Config{
 				Model:             llm.NewSimModel(llm.TierLarge, r.Seed+uint64(s)*97+3),
 				UseSCoT:           true,
 				AdaptiveTemp:      arm.adaptive,
 				DiversityPressure: arm.diversity,
 				MaxEvals:          evals,
 				Boom:              bopts,
-				Seed:              r.Seed + uint64(s)*97 + 3,
+				RunSpec:           core.RunSpec{Seed: r.Seed + uint64(s)*97 + 3},
 			})
 			if err != nil {
 				exp.AddFinding("arm %s failed: %v", arm.name, err)
@@ -418,7 +422,7 @@ func (r Runner) E8Sec5Ablations() *core.Experiment {
 }
 
 // E9Sec2VRank reproduces VRank-style self-consistency selection.
-func (r Runner) E9Sec2VRank() *core.Experiment {
+func (r Runner) E9Sec2VRank(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E9", Artifact: "§II VRank — self-consistency candidate selection"}
 	ids := []string{"alu8", "mux4", "enc8to3", "barrel8", "satadd8", "popcount8"}
 	seeds := r.pick(3, 8)
@@ -426,7 +430,7 @@ func (r Runner) E9Sec2VRank() *core.Experiment {
 	for _, id := range ids {
 		p := benchset.ByID(id)
 		for s := 0; s < seeds; s++ {
-			res, err := vrank.Rank(p, vrank.Options{
+			res, err := vrank.Rank(ctx, p, vrank.Options{
 				Model: llm.NewSimModel(llm.TierMedium, r.Seed+uint64(s)*31+1), K: 7,
 			})
 			if err != nil {
@@ -469,7 +473,7 @@ endmodule`},
 
 // E10Sec2LLSM reproduces the LLSM-style synthesis assist: QoR with vs
 // without LLM-suggested rewrites.
-func (r Runner) E10Sec2LLSM() *core.Experiment {
+func (r Runner) E10Sec2LLSM(ctx context.Context) *core.Experiment {
 	exp := &core.Experiment{ID: "E10", Artifact: "§II LLSM — LLM-assisted logic synthesis QoR"}
 	model := llm.NewSimModel(llm.TierFrontier, r.Seed+41)
 	var baseTotal, llmTotal float64

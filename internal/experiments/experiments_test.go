@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestEveryExperimentProducesRows(t *testing.T) {
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			exp, err := r.ByID(id)
+			exp, err := r.ByID(context.Background(), id)
 			if err != nil {
 				t.Fatalf("ByID: %v", err)
 			}
@@ -35,7 +36,7 @@ func TestEveryExperimentProducesRows(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	r := Runner{Scale: ScaleQuick, Seed: 1}
-	if _, err := r.ByID("E99"); err == nil {
+	if _, err := r.ByID(context.Background(), "E99"); err == nil {
 		t.Error("expected error for unknown id")
 	}
 }
@@ -49,7 +50,7 @@ func TestHeadlineShapes(t *testing.T) {
 	r := Runner{Scale: ScaleQuick, Seed: 7}
 
 	// E6: GP's final best must exceed the LLM loop's final best.
-	e6, err := r.ByID("E6")
+	e6, err := r.ByID(context.Background(), "E6")
 	if err != nil {
 		t.Fatalf("E6: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestHeadlineShapes(t *testing.T) {
 	}
 
 	// E9: self-consistency >= first sample.
-	e9, err := r.ByID("E9")
+	e9, err := r.ByID(context.Background(), "E9")
 	if err != nil {
 		t.Fatalf("E9: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestHeadlineShapes(t *testing.T) {
 	}
 
 	// E10: LLM rewrites shrink area.
-	e10, err := r.ByID("E10")
+	e10, err := r.ByID(context.Background(), "E10")
 	if err != nil {
 		t.Fatalf("E10: %v", err)
 	}

@@ -10,11 +10,13 @@
 package gp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"llm4eda/internal/boom"
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/isa"
 	"llm4eda/internal/simfarm"
 )
@@ -110,6 +112,9 @@ func (g genome) render() string {
 
 // Config parameterizes a GP run.
 type Config struct {
+	// RunSpec carries the shared execution envelope; Seed fixes the
+	// evolutionary stream and Workers bounds the initial-population batch.
+	core.RunSpec
 	// Population size (default 24).
 	Population int
 	// MaxEvals bounds fitness evaluations (the runtime stand-in; the
@@ -120,7 +125,6 @@ type Config struct {
 	// MutationRate per gene (default 0.25).
 	MutationRate float64
 	Boom         boom.RunOptions
-	Seed         uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -171,9 +175,13 @@ func score(g genome, opts boom.RunOptions) float64 {
 	return res.PowerW
 }
 
-// Run executes the GP loop.
-func Run(cfg Config) *Result {
+// Run executes the GP loop. ctx is checked between fitness evaluations:
+// a cancelled context stops the evolution promptly and returns the
+// best-so-far result alongside ctx.Err(). Scored individuals stream to
+// the context's event sink.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	sink := core.SinkOf(ctx)
 	r := newRNG(cfg.Seed)
 	res := &Result{}
 
@@ -185,9 +193,11 @@ func Run(cfg Config) *Result {
 	for i := range pop {
 		pop[i] = randomGenome(r)
 	}
-	simfarm.Map(len(pop), 0, func(i int) {
+	if err := simfarm.MapCtx(ctx, len(pop), cfg.Workers, func(i int) {
 		fit[i] = score(pop[i], cfg.Boom)
-	})
+	}); err != nil {
+		return res, err // cancelled during the initial population
+	}
 	for i := range pop {
 		res.Evals++
 		if fit[i] > res.Best.Score {
@@ -195,8 +205,15 @@ func Run(cfg Config) *Result {
 		}
 		res.Trajectory = append(res.Trajectory, res.Best.Score)
 	}
+	sink.Emit(core.Event{
+		Kind: core.EventPhaseEnd, Framework: "gp", Phase: "initial population",
+		Total: cfg.Population, OK: true, Score: res.Best.Score,
+	})
 
 	for res.Evals < cfg.MaxEvals {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		a := tournament(r, fit, cfg.TournamentK)
 		b := tournament(r, fit, cfg.TournamentK)
 		child := crossover(r, pop[a], pop[b])
@@ -207,6 +224,11 @@ func Run(cfg Config) *Result {
 			res.Best = Individual{Source: child.render(), Score: f}
 		}
 		res.Trajectory = append(res.Trajectory, res.Best.Score)
+		sink.Emit(core.Event{
+			Kind: core.EventCandidate, Framework: "gp", Phase: "fitness",
+			Seq: res.Evals, Total: cfg.MaxEvals, Score: f, OK: f > 0,
+			Detail: fmt.Sprintf("best so far %.3f W", res.Best.Score),
+		})
 		// Steady-state replacement: evict the worst of a small sample.
 		victim := 0
 		worst := fit[0]
@@ -218,7 +240,7 @@ func Run(cfg Config) *Result {
 		}
 		pop[victim], fit[victim] = child, f
 	}
-	return res
+	return res, nil
 }
 
 func randomGenome(r *rngT) genome {

@@ -1,11 +1,13 @@
 package gp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"llm4eda/internal/boom"
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/isa"
 )
 
@@ -36,7 +38,10 @@ func TestRandomGenomesCompileAndRun(t *testing.T) {
 }
 
 func TestGPImproves(t *testing.T) {
-	res := Run(Config{MaxEvals: 80, Boom: fastBoom(), Seed: 3})
+	res, err := Run(context.Background(), Config{RunSpec: core.RunSpec{Seed: 3}, MaxEvals: 80, Boom: fastBoom()})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if res.Best.Score < 4.2 {
 		t.Errorf("GP best %.3f W implausibly low", res.Best.Score)
 	}
@@ -46,8 +51,8 @@ func TestGPImproves(t *testing.T) {
 }
 
 func TestGPDeterministic(t *testing.T) {
-	a := Run(Config{MaxEvals: 40, Boom: fastBoom(), Seed: 7})
-	b := Run(Config{MaxEvals: 40, Boom: fastBoom(), Seed: 7})
+	a, _ := Run(context.Background(), Config{RunSpec: core.RunSpec{Seed: 7}, MaxEvals: 40, Boom: fastBoom()})
+	b, _ := Run(context.Background(), Config{RunSpec: core.RunSpec{Seed: 7}, MaxEvals: 40, Boom: fastBoom()})
 	if a.Best.Score != b.Best.Score {
 		t.Errorf("nondeterministic GP: %.4f vs %.4f", a.Best.Score, b.Best.Score)
 	}

@@ -15,17 +15,22 @@
 package hlstest
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/hls"
 	"llm4eda/internal/llm"
 )
 
 // Config parameterizes a testing campaign.
 type Config struct {
+	// RunSpec carries the shared execution envelope; Seed fixes the
+	// mutation stream.
+	core.RunSpec
 	Model llm.Model
 	// WidthBits is the RTL datapath width; narrow widths are the paper's
 	// "customized bit widths in FPGA deployment" discrepancy source.
@@ -41,7 +46,6 @@ type Config struct {
 	UseFilter bool
 	// UseReasoning enables the LLM boundary-value reasoning chain.
 	UseReasoning bool
-	Seed         uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -75,9 +79,12 @@ type Result struct {
 }
 
 // Run executes the campaign on one kernel. tbSource is the original C
-// testbench (may be empty); seeds are the initial input vectors.
-func Run(source, tbSource, kernel string, seeds [][]int64, cfg Config) (*Result, error) {
+// testbench (may be empty); seeds are the initial input vectors. ctx is
+// checked between inputs; confirmed discrepancies stream to the context's
+// event sink.
+func Run(ctx context.Context, source, tbSource, kernel string, seeds [][]int64, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	sink := core.SinkOf(ctx)
 	res := &Result{}
 
 	// Stage 1: testbench adaptation.
@@ -127,6 +134,9 @@ func Run(source, tbSource, kernel string, seeds [][]int64, cfg Config) (*Result,
 	tried := map[string]bool{}
 
 	for len(queue) > 0 && res.SimsRun < cfg.SimBudget && res.InputsGenerated < cfg.MaxInputs {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		vec := queue[0]
 		queue = queue[1:]
 		key := vecKey(vec)
@@ -154,6 +164,11 @@ func Run(source, tbSource, kernel string, seeds [][]int64, cfg Config) (*Result,
 				if sims[0].RTL != cpu {
 					res.Discrepancies = append(res.Discrepancies, Discrepancy{
 						Inputs: append([]int64(nil), vec...), CPU: cpu, RTL: sims[0].RTL,
+					})
+					sink.Emit(core.Event{
+						Kind: core.EventCandidate, Framework: "hlstest", Phase: "discrepancy",
+						Seq: len(res.Discrepancies), OK: true,
+						Detail: fmt.Sprintf("inputs=%v cpu=%d rtl=%d", vec, cpu, sims[0].RTL),
 					})
 				}
 			}

@@ -1,10 +1,12 @@
 package hlstest
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/llm"
 )
 
@@ -70,15 +72,15 @@ int f(int a, int b, int c) {
 
 func TestFindsOverflowDiscrepancy(t *testing.T) {
 	cfg := Config{
+		RunSpec:      core.RunSpec{Seed: 5},
 		Model:        llm.NewSimModel(llm.TierLarge, 5),
 		WidthBits:    16,
 		SimBudget:    30,
 		UseSpectra:   true,
 		UseFilter:    true,
 		UseReasoning: true,
-		Seed:         5,
 	}
-	res, err := Run(overflowKernel, cTestbench, "scale", [][]int64{{1, 2}, {3, 4}}, cfg)
+	res, err := Run(context.Background(), overflowKernel, cTestbench, "scale", [][]int64{{1, 2}, {3, 4}}, cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -98,13 +100,13 @@ func TestFindsOverflowDiscrepancy(t *testing.T) {
 
 func TestFilterSkipsRedundantSims(t *testing.T) {
 	cfg := Config{
+		RunSpec:    core.RunSpec{Seed: 9},
 		WidthBits:  16,
 		SimBudget:  25,
 		UseSpectra: false, // expand everything so duplicates arise
 		UseFilter:  true,
-		Seed:       9,
 	}
-	res, err := Run(overflowKernel, "", "scale", [][]int64{{1, 2}}, cfg)
+	res, err := Run(context.Background(), overflowKernel, "", "scale", [][]int64{{1, 2}}, cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -120,17 +122,17 @@ func TestGuidedMoreEfficientPerSimulation(t *testing.T) {
 	// that ratio, while spending far fewer simulations.
 	run := func(guided bool) (found, sims int) {
 		cfg := Config{
+			RunSpec:      core.RunSpec{Seed: 31},
 			WidthBits:    16,
 			SimBudget:    20,
 			UseSpectra:   guided,
 			UseFilter:    guided,
 			UseReasoning: guided,
-			Seed:         31,
 		}
 		if guided {
 			cfg.Model = llm.NewSimModel(llm.TierLarge, 31)
 		}
-		res, err := Run(overflowKernel, "", "scale", [][]int64{{1, 1}, {2, 3}}, cfg)
+		res, err := Run(context.Background(), overflowKernel, "", "scale", [][]int64{{1, 1}, {2, 3}}, cfg)
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -159,7 +161,7 @@ int f(int n) {
     free(p);
     return n;
 }`
-	if _, err := Run(src, "", "f", nil, Config{}); err == nil {
+	if _, err := Run(context.Background(), src, "", "f", nil, Config{}); err == nil {
 		t.Error("expected synthesizability error")
 	}
 }

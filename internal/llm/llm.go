@@ -57,6 +57,24 @@ func AllTiers() []Tier {
 	return []Tier{TierSmall, TierMedium, TierLarge, TierFrontier}
 }
 
+// ParseTier maps a capability-class name ("small", "medium", "large",
+// "frontier", case-insensitive — the core.RunSpec tier vocabulary) onto
+// its simulated model tier.
+func ParseTier(name string) (Tier, error) {
+	switch strings.ToLower(name) {
+	case "small":
+		return TierSmall, nil
+	case "medium":
+		return TierMedium, nil
+	case "large":
+		return TierLarge, nil
+	case "frontier":
+		return TierFrontier, nil
+	default:
+		return 0, fmt.Errorf("llm: unknown tier %q (small|medium|large|frontier)", name)
+	}
+}
+
 // profile holds a tier's behavioral parameters.
 type profile struct {
 	// faultRate is the expected functional faults injected per difficulty

@@ -15,6 +15,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,6 +28,9 @@ import (
 
 // Config parameterizes the framework.
 type Config struct {
+	// RunSpec carries the shared execution envelope (seed, tier, workers,
+	// deadline).
+	core.RunSpec
 	Model llm.Model
 	// Library is the correction-template library; nil disables RAG (the
 	// ablation arm of experiment E2).
@@ -90,12 +94,19 @@ func New(cfg Config) *Framework {
 
 // Repair runs the full flow on one kernel source. kernel names the
 // function to synthesize; vectors are the equivalence-check inputs
-// (one slice per invocation, arguments in order).
-func (f *Framework) Repair(source, kernel string, vectors [][]int64) (*Outcome, error) {
+// (one slice per invocation, arguments in order). ctx is checked between
+// repair iterations and stages; stage outcomes stream to the context's
+// event sink.
+func (f *Framework) Repair(ctx context.Context, source, kernel string, vectors [][]int64) (*Outcome, error) {
 	cfg := f.cfg
+	sink := core.SinkOf(ctx)
 	out := &Outcome{RepairedSource: source}
 	log := func(stage, detail string, ok bool) {
 		out.Stages = append(out.Stages, StageLog{Stage: stage, Detail: detail, OK: ok})
+		sink.Emit(core.Event{
+			Kind: core.EventPhaseEnd, Framework: "repair", Phase: stage,
+			OK: ok, Detail: detail,
+		})
 	}
 
 	// Reference ("CPU") results for the original program, computed once.
@@ -140,6 +151,9 @@ func (f *Framework) Repair(source, kernel string, vectors [][]int64) (*Outcome, 
 	var design *hls.Design
 	var repairedProg *chdl.Program
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		prog, err := chdl.ParseC(current)
 		if err == nil {
 			design, err = hls.Synthesize(prog, kernel, cfg.HLSOptions)

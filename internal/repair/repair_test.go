@@ -1,6 +1,7 @@
 package repair
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestSuiteKernelsAreBrokenButRunnable(t *testing.T) {
 
 func TestRepairMallocSum(t *testing.T) {
 	k := BenchKernels()[0]
-	out, err := frontierFramework(1).Repair(k.Source, k.Kernel, k.Vectors)
+	out, err := frontierFramework(1).Repair(context.Background(), k.Source, k.Kernel, k.Vectors)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestRepairFullSuiteWithRAG(t *testing.T) {
 	fw := frontierFramework(7)
 	succ := 0
 	for _, k := range BenchKernels() {
-		out, err := fw.Repair(k.Source, k.Kernel, k.Vectors)
+		out, err := fw.Repair(context.Background(), k.Source, k.Kernel, k.Vectors)
 		if err != nil {
 			t.Errorf("%s: %v", k.ID, err)
 			continue
@@ -88,7 +89,7 @@ func TestRAGAblationHelpsWeakModels(t *testing.T) {
 			}
 			fw := New(cfg)
 			for _, k := range BenchKernels() {
-				out, err := fw.Repair(k.Source, k.Kernel, k.Vectors)
+				out, err := fw.Repair(context.Background(), k.Source, k.Kernel, k.Vectors)
 				if err == nil && out.Success {
 					total++
 				}
@@ -108,7 +109,7 @@ func TestRAGAblationHelpsWeakModels(t *testing.T) {
 
 func TestStageLogsComplete(t *testing.T) {
 	k := BenchKernels()[1] // while_collatz
-	out, err := frontierFramework(3).Repair(k.Source, k.Kernel, k.Vectors)
+	out, err := frontierFramework(3).Repair(context.Background(), k.Source, k.Kernel, k.Vectors)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}
@@ -129,7 +130,7 @@ func TestStageLogsComplete(t *testing.T) {
 
 func TestPPAOptimizationRuns(t *testing.T) {
 	k := BenchKernels()[0]
-	out, err := frontierFramework(5).Repair(k.Source, k.Kernel, k.Vectors)
+	out, err := frontierFramework(5).Repair(context.Background(), k.Source, k.Kernel, k.Vectors)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}

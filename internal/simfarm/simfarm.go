@@ -18,10 +18,12 @@
 package simfarm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"llm4eda/internal/core"
 	"llm4eda/internal/verilog"
 )
 
@@ -106,6 +108,51 @@ func (f *Farm) Purge() {
 	f.parses.purge()
 	f.designs.purge()
 	f.results.purge()
+}
+
+// Delta returns the per-layer traffic between an earlier snapshot and s.
+func (s FarmStats) Delta(earlier FarmStats) FarmStats {
+	return FarmStats{
+		Parses:  s.Parses.delta(earlier.Parses),
+		Designs: s.Designs.delta(earlier.Designs),
+		Results: s.Results.delta(earlier.Results),
+	}
+}
+
+func (s Stats) delta(earlier Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - earlier.Hits,
+		Misses:    s.Misses - earlier.Misses,
+		Evictions: s.Evictions - earlier.Evictions,
+		Len:       s.Len,
+	}
+}
+
+// EmitStats streams the farm's per-cache counters as core cache events —
+// one per layer (parse, design, result) — to the given sink. Callers
+// wanting per-run traffic pass the delta of two snapshots.
+func EmitStats(sink core.Sink, stats FarmStats) {
+	if sink == nil {
+		return
+	}
+	for _, layer := range []struct {
+		name string
+		s    Stats
+	}{
+		{"parse", stats.Parses},
+		{"design", stats.Designs},
+		{"result", stats.Results},
+	} {
+		sink.Emit(core.Event{
+			Kind:      core.EventCache,
+			Framework: "simfarm",
+			Phase:     layer.name,
+			Detail:    fmt.Sprintf("entries=%d", layer.s.Len),
+			Hits:      layer.s.Hits,
+			Misses:    layer.s.Misses,
+			Evictions: layer.s.Evictions,
+		})
+	}
 }
 
 // parseResult caches a parse outcome; parse errors are cached too, so a
@@ -241,18 +288,42 @@ func (r Result) Passed() bool {
 // scheduling window may each recompute before the first result is cached —
 // a wasted-work worst case, never a correctness one.
 func (f *Farm) RunMany(jobs []Job, workers int) []Result {
-	results := make([]Result, len(jobs))
-	Map(len(jobs), workers, func(i int) {
-		job := jobs[i]
-		res, err := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
-		results[i] = Result{Res: res, Err: err}
-	})
+	results, _ := f.RunManyCtx(context.Background(), jobs, workers)
 	return results
+}
+
+// RunManyCtx is RunMany under a context: when ctx is cancelled mid-batch,
+// dispatch stops, in-flight jobs finish, every job that never started is
+// marked with ctx.Err(), and the call returns ctx.Err() promptly (within
+// one job's runtime). Completed slots are identical to the uncancelled
+// run.
+func (f *Farm) RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	started := make([]bool, len(jobs))
+	err := MapCtx(ctx, len(jobs), workers, func(i int) {
+		started[i] = true
+		job := jobs[i]
+		res, jerr := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
+		results[i] = Result{Res: res, Err: jerr}
+	})
+	if err != nil {
+		for i := range results {
+			if !started[i] {
+				results[i] = Result{Err: err}
+			}
+		}
+	}
+	return results, err
 }
 
 // RunMany runs a batch through the default farm.
 func RunMany(jobs []Job, workers int) []Result {
 	return Default().RunMany(jobs, workers)
+}
+
+// RunManyCtx runs a cancellable batch through the default farm.
+func RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
+	return Default().RunManyCtx(ctx, jobs, workers)
 }
 
 // Map runs fn(i) for every i in [0, n) on up to workers goroutines
@@ -261,8 +332,21 @@ func RunMany(jobs []Job, workers int) []Result {
 // (the SLT and GP population evaluations): fn writes its result into a
 // caller-owned slot at index i, so output order is deterministic.
 func Map(n, workers int, fn func(i int)) {
+	_ = MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map under a context. Cancellation stops new dispatch
+// immediately: indices already handed to a worker run to completion
+// (fn is never interrupted mid-call), no further fn calls start, every
+// worker goroutine exits, and MapCtx returns ctx.Err(). With an
+// uncancelled context the call visits every index and returns nil —
+// bit-identical to Map.
+func MapCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err // dead on arrival: no worker starts, no fn runs
+	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -272,9 +356,12 @@ func Map(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -287,9 +374,22 @@ func Map(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		// Check first so a cancelled context never wins the select race
+		// against a ready worker.
+		if err = ctx.Err(); err != nil {
+			break dispatch
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return err
 }

@@ -10,10 +10,12 @@
 package slt
 
 import (
+	"context"
 	"fmt"
 
 	"llm4eda/internal/boom"
 	"llm4eda/internal/chdl"
+	"llm4eda/internal/core"
 	"llm4eda/internal/isa"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/rag"
@@ -22,6 +24,9 @@ import (
 
 // Config parameterizes one optimization run.
 type Config struct {
+	// RunSpec carries the shared execution envelope; Seed fixes the pool
+	// sampling stream and Workers bounds the seed-scoring batch.
+	core.RunSpec
 	Model llm.Model
 	// UseSCoT selects structured chain-of-thought prompting.
 	UseSCoT bool
@@ -40,7 +45,6 @@ type Config struct {
 	MaxEvals int
 	// Boom configures the processor model.
 	Boom boom.RunOptions
-	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -104,11 +108,19 @@ func Score(source string, opts boom.RunOptions) (float64, *boom.Result) {
 // compiles and runs independently, so the returned scores are in input
 // order and identical to a serial Score loop.
 func ScoreBatch(sources []string, opts boom.RunOptions, workers int) []float64 {
+	scores, _ := ScoreBatchCtx(context.Background(), sources, opts, workers)
+	return scores
+}
+
+// ScoreBatchCtx is ScoreBatch under a context: cancellation stops new
+// snippet evaluations within one in-flight run and returns ctx.Err();
+// unevaluated slots stay zero.
+func ScoreBatchCtx(ctx context.Context, sources []string, opts boom.RunOptions, workers int) ([]float64, error) {
 	scores := make([]float64, len(sources))
-	simfarm.Map(len(sources), workers, func(i int) {
+	err := simfarm.MapCtx(ctx, len(sources), workers, func(i int) {
 		scores[i], _ = Score(sources[i], opts)
 	})
-	return scores
+	return scores, err
 }
 
 // SeedExamples returns the handwritten starter programs the paper's loop
@@ -187,19 +199,26 @@ int main() {
 	}
 }
 
-// Run executes the optimization loop.
-func Run(cfg Config) (*Result, error) {
+// Run executes the optimization loop. ctx is checked between snippet
+// evaluations (the loop's natural round boundary); each scored snippet
+// and model call streams to the context's event sink.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Model == nil {
 		return nil, fmt.Errorf("slt: Config.Model is required")
 	}
+	sink := core.SinkOf(ctx)
 	r := newRNG(cfg.Seed)
 	res := &Result{}
 
 	// Seed the pool with the handwritten examples, scored as one batch on
 	// the processor model; the fold below keeps the serial ordering.
 	seeds := SeedExamples()
-	for i, score := range ScoreBatch(seeds, cfg.Boom, 0) {
+	seedScores, err := ScoreBatchCtx(ctx, seeds, cfg.Boom, cfg.Workers)
+	if err != nil {
+		return res, err // cancelled while scoring the seed pool
+	}
+	for i, score := range seedScores {
 		res.Pool = append(res.Pool, Snippet{Source: seeds[i], Score: score})
 		if score > res.Best.Score {
 			res.Best = Snippet{Source: seeds[i], Score: score}
@@ -210,6 +229,10 @@ func Run(cfg Config) (*Result, error) {
 	const tempMin, tempMax = 0.1, 1.3
 
 	for eval := 0; eval < cfg.MaxEvals; eval++ {
+		if err := ctx.Err(); err != nil {
+			res.FinalTemp = temp
+			return res, err
+		}
 		// Prompt generation: n randomly picked examples from the pool.
 		n := cfg.ExamplesPerPrompt
 		if n > len(res.Pool) {
@@ -230,6 +253,10 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("slt: generation failed: %w", err)
 		}
+		sink.Emit(core.Event{
+			Kind: core.EventLLMCall, Framework: "slt", Phase: "snippet generation",
+			Seq: eval + 1, Total: cfg.MaxEvals, TokensIn: resp.TokensIn, TokensOut: resp.TokensOut,
+		})
 		score, _ := Score(resp.Text, cfg.Boom)
 		res.Evals++
 		if score == 0 {
@@ -239,6 +266,11 @@ func Run(cfg Config) (*Result, error) {
 			res.Best = Snippet{Source: resp.Text, Score: score}
 		}
 		res.Trajectory = append(res.Trajectory, res.Best.Score)
+		sink.Emit(core.Event{
+			Kind: core.EventCandidate, Framework: "slt", Phase: "power scoring",
+			Seq: eval + 1, Total: cfg.MaxEvals, Score: score, OK: score > 0,
+			Detail: fmt.Sprintf("best so far %.3f W", res.Best.Score),
+		})
 
 		// Pool update with diversity pressure.
 		minDist := 1.0

@@ -1,9 +1,11 @@
 package slt
 
 import (
+	"context"
 	"testing"
 
 	"llm4eda/internal/boom"
+	"llm4eda/internal/core"
 	"llm4eda/internal/gp"
 	"llm4eda/internal/llm"
 )
@@ -52,9 +54,9 @@ func TestRunImprovesOverSeeds(t *testing.T) {
 		DiversityPressure: true,
 		MaxEvals:          60,
 		Boom:              fastBoom(),
-		Seed:              5,
+		RunSpec:           core.RunSpec{Seed: 5},
 	}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -85,14 +87,14 @@ func TestDeterministicRuns(t *testing.T) {
 		AdaptiveTemp: true,
 		MaxEvals:     20,
 		Boom:         fastBoom(),
-		Seed:         9,
+		RunSpec:      core.RunSpec{Seed: 9},
 	}
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	cfg.Model = llm.NewSimModel(llm.TierLarge, 3) // fresh model, same seed
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -112,9 +114,9 @@ func TestSCoTReducesCompileFailures(t *testing.T) {
 			UseSCoT:  scot,
 			MaxEvals: 60,
 			Boom:     boom.RunOptions{MaxInsts: 50_000},
-			Seed:     17,
+			RunSpec:  core.RunSpec{Seed: 17},
 		}
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}
@@ -135,19 +137,19 @@ func TestGPBeatsLLMWithLongerBudget(t *testing.T) {
 		t.Skip("long comparison")
 	}
 	bopts := fastBoom()
-	llmRes, err := Run(Config{
+	llmRes, err := Run(context.Background(), Config{
 		Model:             llm.NewSimModel(llm.TierLarge, 42),
 		UseSCoT:           true,
 		AdaptiveTemp:      true,
 		DiversityPressure: true,
 		MaxEvals:          120,
 		Boom:              bopts,
-		Seed:              42,
+		RunSpec:           core.RunSpec{Seed: 42},
 	})
 	if err != nil {
 		t.Fatalf("llm run: %v", err)
 	}
-	gpRes := gp.Run(gp.Config{MaxEvals: 200, Boom: bopts, Seed: 42})
+	gpRes, _ := gp.Run(context.Background(), gp.Config{RunSpec: core.RunSpec{Seed: 42}, MaxEvals: 200, Boom: bopts})
 	if gpRes.Best.Score <= llmRes.Best.Score {
 		t.Errorf("GP best %.3f W <= LLM best %.3f W; paper's §V ordering lost",
 			gpRes.Best.Score, llmRes.Best.Score)

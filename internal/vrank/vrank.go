@@ -6,11 +6,13 @@
 package vrank
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"llm4eda/internal/benchset"
+	"llm4eda/internal/core"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/simfarm"
 	"llm4eda/internal/verilog"
@@ -18,6 +20,9 @@ import (
 
 // Options parameterize ranking.
 type Options struct {
+	// RunSpec carries the shared execution envelope; Workers bounds the
+	// signature and oracle batch simulations.
+	core.RunSpec
 	Model llm.Model
 	// K is the candidate count (default 5).
 	K int
@@ -67,22 +72,25 @@ func StimulusBench(tb string) string {
 // Signature simulates a candidate on the stimulus bench and returns its
 // output fingerprint ("" when the candidate does not compile).
 func Signature(p *benchset.Problem, source string, sim verilog.SimOptions) string {
-	return Signatures(p, []string{source}, sim)[0]
+	sigs, _ := Signatures(context.Background(), p, []string{source}, sim, 1)
+	return sigs[0]
 }
 
 // Signatures fingerprints a whole candidate batch against the shared
 // stimulus bench through the simfarm engine: the bench is compiled once,
 // duplicate candidates are simulated once, and independent candidates run
-// concurrently. Output order matches the input and is bit-identical to
-// calling Signature in a serial loop.
-func Signatures(p *benchset.Problem, sources []string, sim verilog.SimOptions) []string {
+// concurrently (workers <= 0 selects GOMAXPROCS). Output order matches
+// the input and is bit-identical to calling Signature in a serial loop.
+// A cancelled ctx aborts the batch within one job and returns ctx.Err().
+func Signatures(ctx context.Context, p *benchset.Problem, sources []string, sim verilog.SimOptions, workers int) ([]string, error) {
 	sb := StimulusBench(p.Testbench())
 	jobs := make([]simfarm.Job, len(sources))
 	for i, src := range sources {
 		jobs[i] = simfarm.Job{DUT: src, TB: sb, Top: "tb", Opts: sim}
 	}
+	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	out := make([]string, len(sources))
-	for i, r := range simfarm.RunMany(jobs, 0) {
+	for i, r := range results {
 		if r.Err != nil {
 			continue
 		}
@@ -95,18 +103,26 @@ func Signatures(p *benchset.Problem, sources []string, sim verilog.SimOptions) [
 		}
 		out[i] = sig
 	}
-	return out
+	return out, err
 }
 
-// Rank runs the full VRank flow on one problem.
-func Rank(p *benchset.Problem, opts Options) (*Result, error) {
+// Rank runs the full VRank flow on one problem. ctx is checked between
+// model calls and cancels the signature/oracle batches within one
+// simulation; sampled candidates and cluster picks stream to the
+// context's event sink.
+func Rank(ctx context.Context, p *benchset.Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.Model == nil {
 		return nil, fmt.Errorf("vrank: Options.Model is required")
 	}
+	sink := core.SinkOf(ctx)
 	res := &Result{Chosen: -1}
 
+	sink.Emit(core.Event{Kind: core.EventPhaseStart, Framework: "vrank", Phase: "sampling", Total: opts.K, Detail: p.ID})
 	for k := 0; k < opts.K; k++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		resp, err := opts.Model.Generate(llm.Request{
 			System:      llm.SystemVerilogDesigner,
 			Prompt:      llm.BuildDesignPrompt(p.Spec),
@@ -117,9 +133,19 @@ func Rank(p *benchset.Problem, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("vrank: generation failed: %w", err)
 		}
 		res.Sources = append(res.Sources, resp.Text)
+		sink.Emit(core.Event{
+			Kind: core.EventLLMCall, Framework: "vrank", Phase: "code generation",
+			Seq: k + 1, Total: opts.K, TokensIn: resp.TokensIn, TokensOut: resp.TokensOut,
+		})
 	}
+	sink.Emit(core.Event{Kind: core.EventPhaseEnd, Framework: "vrank", Phase: "sampling", Total: opts.K, OK: true, Detail: p.ID})
+
 	// One stimulus-bench compile, k candidate signatures in parallel.
-	res.Signatures = Signatures(p, res.Sources, opts.Sim)
+	var err error
+	res.Signatures, err = Signatures(ctx, p, res.Sources, opts.Sim, opts.Workers)
+	if err != nil {
+		return res, err
+	}
 
 	// Cluster by identical signature (compiling candidates only).
 	bySig := map[string][]int{}
@@ -156,7 +182,10 @@ func Rank(p *benchset.Problem, opts Options) (*Result, error) {
 	for i, src := range res.Sources {
 		oracleJobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: opts.Sim}
 	}
-	oracle := simfarm.RunMany(oracleJobs, 0)
+	oracle, err := simfarm.RunManyCtx(ctx, oracleJobs, opts.Workers)
+	if err != nil {
+		return res, err
+	}
 	if res.Chosen >= 0 {
 		res.ChosenPasses = oracle[res.Chosen].Passed()
 	}
@@ -169,5 +198,10 @@ func Rank(p *benchset.Problem, opts Options) (*Result, error) {
 			break
 		}
 	}
+	sink.Emit(core.Event{
+		Kind: core.EventCandidate, Framework: "vrank", Phase: "selection",
+		Seq: res.Chosen + 1, Total: len(res.Sources), OK: res.ChosenPasses,
+		Detail: fmt.Sprintf("%d clusters; chosen candidate passes=%v", len(res.Clusters), res.ChosenPasses),
+	})
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package vrank
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -42,7 +43,7 @@ func TestSignatureSeparatesGoodFromBad(t *testing.T) {
 
 func TestRankPicksMajorityCluster(t *testing.T) {
 	p := benchset.ByID("alu8")
-	res, err := Rank(p, Options{Model: llm.NewSimModel(llm.TierLarge, 4), K: 7})
+	res, err := Rank(context.Background(), p, Options{Model: llm.NewSimModel(llm.TierLarge, 4), K: 7})
 	if err != nil {
 		t.Fatalf("Rank: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestSelfConsistencyBeatsFirstSample(t *testing.T) {
 	for _, pid := range []string{"alu8", "mux4", "enc8to3", "barrel8", "satadd8"} {
 		p := benchset.ByID(pid)
 		for seed := uint64(0); seed < 4; seed++ {
-			res, err := Rank(p, Options{Model: llm.NewSimModel(llm.TierMedium, seed*31+1), K: 7})
+			res, err := Rank(context.Background(), p, Options{Model: llm.NewSimModel(llm.TierMedium, seed*31+1), K: 7})
 			if err != nil {
 				t.Fatalf("Rank: %v", err)
 			}
