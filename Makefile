@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check test test-short test-race bench bench-engine ci
+.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json ci
 
 all: build
 
@@ -32,10 +32,11 @@ test-short:
 	$(GO) test -short ./...
 
 # Race-check the concurrent batch-simulation engine, every package whose
-# scoring runs on worker pools, and the front-door API (its event sinks
-# receive from worker goroutines).
+# scoring runs on worker pools, the front-door API (its event sinks
+# receive from worker goroutines), and the simulator kernel (its bound-
+# body memo and compiled designs are shared across concurrent runs).
 test-race:
-	$(GO) test -race -short ./eda ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -44,5 +45,19 @@ bench:
 # The compile-once/run-many engine comparison (see EXPERIMENTS.md).
 bench-engine:
 	$(GO) test -run 'xxx' -bench 'BenchmarkVRank' -benchtime 5x .
+
+# Record the benchmark trajectory point: the engine comparison plus the
+# kernel micro-benchmarks, emitted as BENCH_<date>.json in the repo root.
+# Each PR that touches the engine commits the file it produces; the
+# sequence of BENCH_*.json files is the performance history.
+bench-json:
+	@set -e; out=$$(mktemp); \
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkVRank' -benchtime 5x . > "$$out" \
+	  || { cat "$$out"; rm -f "$$out"; echo "bench-json: benchmark run failed" >&2; exit 1; }; \
+	awk -v date="$$(date +%F)" 'BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [", date; n=0 } \
+	  /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
+	    if (n++) printf ","; printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, $$3 } \
+	  END { printf "\n  ]\n}\n" }' "$$out" > BENCH_$$(date +%F).json; \
+	rm -f "$$out"; cat BENCH_$$(date +%F).json
 
 ci: build vet fmt-check test-short test-race

@@ -129,14 +129,7 @@ func BenchmarkVRankSerial(b *testing.B) {
 					// Same fingerprint rule as vrank.Signatures, so both
 					// benchmarks cluster — and therefore simulate —
 					// identically.
-					sig := res.Output
-					if res.RuntimeErr != nil {
-						sig += "\nRT:" + res.RuntimeErr.Error()
-					}
-					if res.TimedOut {
-						sig += "\nTIMEOUT"
-					}
-					sigs = append(sigs, sig)
+					sigs = append(sigs, vrank.Fingerprint(res))
 				}
 				tb := p.Testbench()
 				passes := func(src string) bool {
@@ -189,6 +182,115 @@ func BenchmarkVRankBatch(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- simulator kernel micro-benchmarks ---------------------------------
+//
+// Per-run cost of the heap-scheduled, coroutine-free kernel, isolated
+// from the front end: each bench compiles once outside the timer and
+// measures cd.Run only. SeqClock is dispatch-bound (every timestep
+// resumes processes through the event heap), CombSweep is
+// propagation-bound (continuous-assign fanout per input change), and
+// ProcessChurn is wake-ordering-bound (many event-waiting processes per
+// edge). Together they cover the three regions the kernel overhaul
+// rearchitected; `make bench-json` records them into the BENCH_*.json
+// trajectory.
+
+func compileKernelBench(b *testing.B, src string) *verilog.CompiledDesign {
+	b.Helper()
+	cd, err := verilog.Compile(src, "tb")
+	if err != nil {
+		b.Fatalf("compile: %v", err)
+	}
+	return cd
+}
+
+func runKernelBench(b *testing.B, src string) {
+	cd := compileKernelBench(b, src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cd.Run(verilog.SimOptions{})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if res.RuntimeErr != nil || !res.Finished {
+			b.Fatalf("bad run: %+v", res)
+		}
+	}
+}
+
+func BenchmarkKernelSeqClock(b *testing.B) {
+	runKernelBench(b, `
+module counter(input clk, input rst, output reg [15:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+endmodule
+module tb;
+  reg clk, rst;
+  wire [15:0] q;
+  counter dut(.clk(clk), .rst(rst), .q(q));
+  always #1 clk = ~clk;
+  initial begin
+    clk = 0; rst = 1;
+    #4 rst = 0;
+    #4000;
+    $check_eq(q, 16'd2000);
+    $finish;
+  end
+endmodule`)
+}
+
+func BenchmarkKernelCombSweep(b *testing.B) {
+	runKernelBench(b, `
+module logicnet(input [7:0] a, b, output [7:0] x, y, z);
+  wire [7:0] s = a + b;
+  wire [7:0] p = a ^ b;
+  wire [7:0] q = {s[3:0], p[7:4]};
+  assign x = s & p;
+  assign y = q | s;
+  assign z = x ^ y ^ q;
+endmodule
+module tb;
+  reg [7:0] a, b;
+  wire [7:0] x, y, z;
+  logicnet dut(.a(a), .b(b), .x(x), .y(y), .z(z));
+  integer i;
+  initial begin
+    for (i = 0; i < 1000; i = i + 1) begin
+      a = i; b = i * 7;
+      #1;
+      $check_eq(z, x ^ y ^ {a[3:0] + b[3:0], a[7:4] ^ b[7:4]});
+    end
+    $finish;
+  end
+endmodule`)
+}
+
+func BenchmarkKernelProcessChurn(b *testing.B) {
+	runKernelBench(b, `
+module tb;
+  reg clk;
+  reg [7:0] c0, c1, c2, c3, c4, c5, c6, c7;
+  always #1 clk = ~clk;
+  always @(posedge clk) c0 <= c0 + 1;
+  always @(posedge clk) c1 <= c1 + 1;
+  always @(posedge clk) c2 <= c2 + 1;
+  always @(posedge clk) c3 <= c3 + 1;
+  always @(negedge clk) c4 <= c4 + 1;
+  always @(negedge clk) c5 <= c5 + 1;
+  always @(c0 or c4) c6 = c0 ^ c4;
+  always @(*) c7 = c1 ^ c5;
+  initial begin
+    clk = 0;
+    c0 = 0; c1 = 0; c2 = 0; c3 = 0; c4 = 0; c5 = 0; c6 = 0; c7 = 0;
+    #2000;
+    $check_eq(c0, c1);
+    $check_eq(c4, c5);
+    $finish;
+  end
+endmodule`)
 }
 
 // BenchmarkSLTPoolSerial / BenchmarkSLTPoolBatch measure the §V

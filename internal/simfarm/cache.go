@@ -8,21 +8,36 @@ import (
 // Stats is a point-in-time snapshot of one cache's traffic counters.
 type Stats struct {
 	Hits, Misses, Evictions uint64
-	Len                     int
+	// Computes counts value constructions performed through getOrCompute.
+	// With in-flight deduplication, N concurrent misses on one key still
+	// yield exactly one compute; the N-1 followers block on the leader.
+	Computes uint64
+	Len      int
 }
 
 // lru is a mutex-guarded, capacity-bounded LRU map. Values are immutable
 // artifacts (parsed files, compiled designs, simulation results), so a hit
 // hands back the shared pointer; eviction only drops the cache's own
-// reference. Concurrent misses on the same key may compute the value
-// twice — both computations are deterministic and identical, so the race
-// costs duplicated work, never correctness.
+// reference. getOrCompute adds per-key in-flight deduplication
+// (singleflight): concurrent misses on the same key block on one leader's
+// computation instead of duplicating it — under RunMany with duplicate
+// candidates the seed design recomputed identical simulations whenever
+// duplicates landed in the same scheduling window.
 type lru struct {
 	mu    sync.Mutex
 	cap   int
 	m     map[string]*list.Element
 	ll    *list.List // front = most recently used
 	stats Stats
+
+	fmu     sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation that concurrent misses join.
+type flight struct {
+	done chan struct{}
+	val  any
 }
 
 // entry is one cached key/value pair.
@@ -35,7 +50,58 @@ func newLRU(capacity int) *lru {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &lru{cap: capacity, m: make(map[string]*list.Element), ll: list.New()}
+	return &lru{
+		cap:     capacity,
+		m:       make(map[string]*list.Element),
+		ll:      list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// getOrCompute returns the cached value for key, computing it on a miss.
+// Concurrent callers missing the same key are deduplicated: exactly one
+// runs compute, the rest wait and share the result.
+func (c *lru) getOrCompute(key string, compute func() any) any {
+	if v, ok := c.get(key); ok {
+		return v
+	}
+	c.fmu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.fmu.Unlock()
+		<-f.done
+		return f.val
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.fmu.Unlock()
+
+	if v, ok := c.peek(key); ok {
+		// A previous leader finished between our miss and our flight
+		// registration; serve its value rather than recomputing.
+		f.val = v
+	} else {
+		f.val = compute()
+		c.add(key, f.val)
+		c.mu.Lock()
+		c.stats.Computes++
+		c.mu.Unlock()
+	}
+	close(f.done)
+	c.fmu.Lock()
+	delete(c.flights, key)
+	c.fmu.Unlock()
+	return f.val
+}
+
+// peek returns the cached value without touching LRU order or counters.
+func (c *lru) peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).val, true
 }
 
 // get returns the cached value and marks it most recently used.

@@ -8,9 +8,12 @@
 //	result:  (design, sim options)  -> SimResult
 //
 // — plus a bounded worker pool (RunMany) that simulates independent
-// candidates concurrently. Every cached artifact is immutable and every
-// simulation is deterministic in its seed, so cached and parallel batches
-// are bit-identical to the serial, cache-cold path.
+// candidates concurrently. The design and result layers deduplicate
+// concurrent misses in flight (singleflight), and a source-hash memo
+// keeps repeated cache probes from re-hashing full sources. Every cached
+// artifact is immutable and every simulation is deterministic in its
+// seed, so cached and parallel batches are bit-identical to the serial,
+// cache-cold path.
 //
 // Importing the package installs the default farm as the compile cache
 // behind verilog.RunTestbench, so legacy call sites stop re-parsing
@@ -58,6 +61,10 @@ type Farm struct {
 	parses  *lru
 	designs *lru
 	results *lru
+	// hashes memoizes source-text -> content hash so a source shared
+	// across many cache probes (a bench reused by every candidate) is
+	// sha-hashed once, not once per probe.
+	hashes *lru
 }
 
 // New builds a farm with the given capacities.
@@ -67,6 +74,7 @@ func New(opts Options) *Farm {
 		parses:  newLRU(opts.ParseCap),
 		designs: newLRU(opts.DesignCap),
 		results: newLRU(opts.ResultCap),
+		hashes:  newLRU(2 * opts.ParseCap),
 	}
 }
 
@@ -108,6 +116,7 @@ func (f *Farm) Purge() {
 	f.parses.purge()
 	f.designs.purge()
 	f.results.purge()
+	f.hashes.purge()
 }
 
 // Delta returns the per-layer traffic between an earlier snapshot and s.
@@ -124,6 +133,7 @@ func (s Stats) delta(earlier Stats) Stats {
 		Hits:      s.Hits - earlier.Hits,
 		Misses:    s.Misses - earlier.Misses,
 		Evictions: s.Evictions - earlier.Evictions,
+		Computes:  s.Computes - earlier.Computes,
 		Len:       s.Len,
 	}
 }
@@ -175,9 +185,19 @@ type simResult struct {
 	err error
 }
 
+// sourceHash returns the memoized content hash of one source text.
+func (f *Farm) sourceHash(src string) string {
+	if v, ok := f.hashes.get(src); ok {
+		return v.(string)
+	}
+	h := verilog.HashSources("", src)
+	f.hashes.add(src, h)
+	return h
+}
+
 // Parse returns the cached parse of src, parsing on miss.
 func (f *Farm) Parse(src string) (*verilog.SourceFile, error) {
-	key := verilog.HashSources("", src)
+	key := f.sourceHash(src)
 	if v, ok := f.parses.get(key); ok {
 		pr := v.(*parseResult)
 		return pr.file, pr.err
@@ -189,24 +209,31 @@ func (f *Farm) Parse(src string) (*verilog.SourceFile, error) {
 
 // Compile returns the cached elaboration of the given sources under top,
 // parsing each source through the parse cache and elaborating on miss.
+// The design key derives from the per-source content hashes (memoized),
+// so probing the cache re-hashes no full source; concurrent misses on one
+// key elaborate once (singleflight).
 func (f *Farm) Compile(top string, srcs ...string) (*verilog.CompiledDesign, error) {
-	key := verilog.HashSources(top, srcs...)
-	if v, ok := f.designs.get(key); ok {
-		dr := v.(*designResult)
-		return dr.cd, dr.err
-	}
-	files := make([]*verilog.SourceFile, len(srcs))
+	// Equivalent to verilog.DesignHash(top, srcs...) with the per-source
+	// hashes served from the memo, so a design compiled directly and one
+	// compiled through the farm share one cache identity.
+	hs := make([]string, len(srcs))
 	for i, src := range srcs {
-		file, err := f.Parse(src)
-		if err != nil {
-			f.designs.add(key, &designResult{err: err})
-			return nil, err
-		}
-		files[i] = file
+		hs[i] = f.sourceHash(src)
 	}
-	cd, err := verilog.ElaborateParsed(top, key, verilog.MergeSources(files...))
-	f.designs.add(key, &designResult{cd: cd, err: err})
-	return cd, err
+	key := verilog.HashSources(top, hs...)
+	dr := f.designs.getOrCompute(key, func() any {
+		files := make([]*verilog.SourceFile, len(srcs))
+		for i, src := range srcs {
+			file, err := f.Parse(src)
+			if err != nil {
+				return &designResult{err: err}
+			}
+			files[i] = file
+		}
+		cd, err := verilog.ElaborateParsed(top, key, verilog.MergeSources(files...))
+		return &designResult{cd: cd, err: err}
+	}).(*designResult)
+	return dr.cd, dr.err
 }
 
 // CompileTestbench pairs a DUT compile with a testbench compile under the
@@ -231,13 +258,11 @@ func resultKey(hash string, opts verilog.SimOptions) string {
 // treat them as read-only.
 func (f *Farm) Run(cd *verilog.CompiledDesign, opts verilog.SimOptions) (*verilog.SimResult, error) {
 	key := resultKey(cd.Hash, opts)
-	if v, ok := f.results.get(key); ok {
-		sr := v.(*simResult)
-		return sr.res, sr.err
-	}
-	res, err := cd.Run(opts)
-	f.results.add(key, &simResult{res: res, err: err})
-	return res, err
+	sr := f.results.getOrCompute(key, func() any {
+		res, err := cd.Run(opts)
+		return &simResult{res: res, err: err}
+	}).(*simResult)
+	return sr.res, sr.err
 }
 
 // RunTestbench is the cached equivalent of verilog.RunTestbench: compile

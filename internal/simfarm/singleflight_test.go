@@ -1,0 +1,76 @@
+package simfarm
+
+import (
+	"sync"
+	"testing"
+
+	"llm4eda/internal/verilog"
+)
+
+// TestSingleflightDedupesConcurrentMisses pins the in-flight dedup
+// contract: N goroutines requesting the same cold (design, options) pair
+// trigger exactly one elaboration and one simulation; the other N-1 wait
+// for the leader instead of recomputing (the seed farm's documented race
+// burned one duplicate compute per concurrently-missing worker).
+func TestSingleflightDedupesConcurrentMisses(t *testing.T) {
+	f := New(Options{})
+	dut := tinyDUT(4242)
+	const n = 16
+
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-gate // maximize the same-window collision the seed raced on
+			res, err := f.RunTestbench(dut, tinyTB, "tb", verilog.SimOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !res.Passed() {
+				errs <- err
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent run failed: %v", err)
+	}
+
+	s := f.Stats()
+	if s.Designs.Computes != 1 {
+		t.Errorf("design computed %d times for %d identical requests, want 1", s.Designs.Computes, n)
+	}
+	if s.Results.Computes != 1 {
+		t.Errorf("result computed %d times for %d identical requests, want 1", s.Results.Computes, n)
+	}
+}
+
+// TestSingleflightDistinctKeysDoNotBlock sanity-checks that dedup is
+// per-key: distinct designs all compute.
+func TestSingleflightDistinctKeysDoNotBlock(t *testing.T) {
+	f := New(Options{})
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := f.RunTestbench(tinyDUT(i), tinyTB, "tb", verilog.SimOptions{}); err != nil {
+				t.Errorf("job %d: %v", i, err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := f.Stats()
+	if s.Designs.Computes != n || s.Results.Computes != n {
+		t.Errorf("distinct keys: designs %d results %d computes, want %d each",
+			s.Designs.Computes, s.Results.Computes, n)
+	}
+}

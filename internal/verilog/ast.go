@@ -78,16 +78,18 @@ type ContAssign struct {
 
 // AlwaysBlock is an always block with its sensitivity list.
 type AlwaysBlock struct {
-	Sens []SensItem // empty means always @* (inferred) or always #... loop
-	Star bool       // @* or @(*)
-	Body Stmt
-	Line int
+	Sens  []SensItem // empty means always @* (inferred) or always #... loop
+	Star  bool       // @* or @(*)
+	Body  Stmt
+	Line  int
+	bound boundCache // scope-bound body variants, shared across designs
 }
 
 // InitialBlock is an initial process.
 type InitialBlock struct {
-	Body Stmt
-	Line int
+	Body  Stmt
+	Line  int
+	bound boundCache // scope-bound body variants, shared across designs
 }
 
 // Instance is a module instantiation.

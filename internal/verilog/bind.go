@@ -1,0 +1,278 @@
+package verilog
+
+import "sync"
+
+// Elaboration-time name binding: after flattening, every process body and
+// continuous assignment is rewritten into a bound copy whose identifier
+// nodes carry their resolved SignalID (or inlined parameter value), and
+// whose scopedExpr wrappers are dissolved. The simulator then never
+// touches a scope map on the hot path — the seed kernel paid a string-map
+// lookup per identifier per evaluation, every iteration of every
+// testbench loop. Names that do not resolve are left as plain Idents so
+// the runtime diagnostic (and its timing) is unchanged: binding is a pure
+// optimization, never a semantic filter.
+//
+// Bound trees are per-instance copies; the parser's shared AST stays
+// untouched, so designs remain safe for concurrent simulation. Copies are
+// slab-allocated (see alloc) — one designs's bound nodes live in a
+// handful of arrays instead of thousands of individual heap objects,
+// which keeps cache-cold batch compiles off the allocator's hot path.
+
+// boundRef is an identifier resolved to a flattened signal.
+type boundRef struct {
+	sig  SignalID
+	name string
+	line int
+}
+
+// boundParam is an identifier resolved to an elaboration-time constant.
+type boundParam struct {
+	name string
+	val  Value
+	line int
+}
+
+func (*boundRef) expr()   {}
+func (*boundParam) expr() {}
+
+// boundCache memoizes the scope-bound copies of one parsed process body.
+// A parsed module is elaborated under many designs (every candidate pairs
+// with the same testbench), and a body's bound form depends only on the
+// scope contents — for a testbench those are identical across candidates,
+// so all of them share one bound tree instead of re-binding (and the GC
+// re-scanning) a copy each.
+type boundCache struct {
+	mu       sync.Mutex
+	variants []boundVariant
+}
+
+// boundVariant is one (scope contents -> bound body) memo entry.
+type boundVariant struct {
+	sc   scope
+	body Stmt
+}
+
+// maxBoundVariants bounds per-node memo growth; bodies elaborated under
+// more distinct scopes than this fall back to fresh binds.
+const maxBoundVariants = 8
+
+// scopeEqual reports whether two scopes resolve every name identically.
+func scopeEqual(a, b scope) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || av != bv {
+			return false
+		}
+	}
+	return true
+}
+
+// bindCached returns the memoized bound copy of body under sc, binding
+// and recording it on first use. Safe for concurrent elaboration.
+func bindCached(c *boundCache, body Stmt, sc scope, bd *binder) Stmt {
+	if c == nil {
+		return bd.stmt(body, sc)
+	}
+	c.mu.Lock()
+	for _, v := range c.variants {
+		if scopeEqual(v.sc, sc) {
+			c.mu.Unlock()
+			return v.body
+		}
+	}
+	c.mu.Unlock()
+	bound := bd.stmt(body, sc) // bind outside the lock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.variants {
+		if scopeEqual(v.sc, sc) {
+			return v.body // a concurrent binder won; keep one canonical copy
+		}
+	}
+	if len(c.variants) < maxBoundVariants {
+		c.variants = append(c.variants, boundVariant{sc: sc, body: bound})
+	}
+	return bound
+}
+
+// alloc appends v to a slab and returns its address. A full slab is
+// retired in place (the nodes already handed out keep referencing it) and
+// a larger fresh slab takes over — no copying, ~log(n) allocations total.
+func alloc[T any](slabp *[]T, v T) *T {
+	s := *slabp
+	if len(s) == cap(s) {
+		n := 2 * cap(s)
+		if n < 32 {
+			n = 32
+		}
+		s = make([]T, 0, n)
+	}
+	s = append(s, v)
+	*slabp = s
+	return &s[len(s)-1]
+}
+
+// binder carries the slabs for one design's bound trees.
+type binder struct {
+	refs    []boundRef
+	params  []boundParam
+	unary   []Unary
+	binary  []Binary
+	ternary []Ternary
+	concat  []Concat
+	repeatE []Repeat
+	index   []Index
+	parts   []PartSelect
+	sysfns  []SysFunc
+	exprs   []Expr // flattened Parts/Args/Exprs backing
+	stmts   []Stmt // flattened Block.Stmts backing
+	assign  []Assign
+	ifs     []IfStmt
+	cases   []CaseStmt
+	items   []CaseItem
+	fors    []ForStmt
+	whiles  []WhileStmt
+	repeatS []RepeatStmt
+	forever []ForeverStmt
+	delays  []DelayStmt
+	events  []EventStmt
+	waits   []WaitStmt
+	calls   []SysCall
+	blocks  []Block
+}
+
+// reserve claims k contiguous slots in a slab and returns the slab plus
+// the span's start index. The span is reserved before any recursive
+// binding fills it, so nested lists claim disjoint regions.
+func reserve[T any](slabp *[]T, k int) ([]T, int) {
+	s := *slabp
+	if cap(s)-len(s) < k {
+		c := 2 * cap(s)
+		if c < 64 {
+			c = 64
+		}
+		for c < k {
+			c *= 2
+		}
+		s = make([]T, 0, c)
+	}
+	start := len(s)
+	s = s[: start+k : cap(s)]
+	*slabp = s
+	return s, start
+}
+
+// exprList binds a slice of expressions into the shared expr slab.
+func (b *binder) exprList(list []Expr, sc scope) []Expr {
+	if len(list) == 0 {
+		return nil
+	}
+	slab, start := reserve(&b.exprs, len(list))
+	for i, e := range list {
+		slab[start+i] = b.expr(e, sc)
+	}
+	return slab[start : start+len(list) : start+len(list)]
+}
+
+// expr returns a bound copy of ex with identifiers resolved against sc.
+func (b *binder) expr(ex Expr, sc scope) Expr {
+	switch n := ex.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		if ent, ok := sc[n.Name]; ok {
+			if ent.isParam {
+				return alloc(&b.params, boundParam{name: n.Name, val: ent.param, line: n.Line})
+			}
+			return alloc(&b.refs, boundRef{sig: ent.sig, name: n.Name, line: n.Line})
+		}
+		return n // unresolved: keep the runtime "unknown identifier" path
+	case scopedExpr:
+		return b.expr(n.Expr, n.Scope)
+	case *Number, *StringLit:
+		return n
+	case *Unary:
+		return alloc(&b.unary, Unary{Op: n.Op, X: b.expr(n.X, sc)})
+	case *Binary:
+		return alloc(&b.binary, Binary{Op: n.Op, X: b.expr(n.X, sc), Y: b.expr(n.Y, sc)})
+	case *Ternary:
+		return alloc(&b.ternary, Ternary{Cond: b.expr(n.Cond, sc), Then: b.expr(n.Then, sc), Else: b.expr(n.Else, sc)})
+	case *Concat:
+		return alloc(&b.concat, Concat{Parts: b.exprList(n.Parts, sc)})
+	case *Repeat:
+		return alloc(&b.repeatE, Repeat{Count: b.expr(n.Count, sc), X: b.expr(n.X, sc)})
+	case *Index:
+		return alloc(&b.index, Index{X: b.expr(n.X, sc), Idx: b.expr(n.Idx, sc), Line: n.Line})
+	case *PartSelect:
+		return alloc(&b.parts, PartSelect{X: b.expr(n.X, sc), MSB: b.expr(n.MSB, sc), LSB: b.expr(n.LSB, sc), Line: n.Line})
+	case *SysFunc:
+		return alloc(&b.sysfns, SysFunc{Name: n.Name, Args: b.exprList(n.Args, sc), Line: n.Line})
+	default:
+		return ex
+	}
+}
+
+// assign binds the halves of an assignment (also used for for-loop
+// init/step clauses, which the parser types as *Assign).
+func (b *binder) assignStmt(a *Assign, sc scope) *Assign {
+	if a == nil {
+		return nil
+	}
+	return alloc(&b.assign, Assign{LHS: b.expr(a.LHS, sc), RHS: b.expr(a.RHS, sc), NonBlocking: a.NonBlocking, Line: a.Line})
+}
+
+// stmt returns a bound copy of st with every embedded expression bound.
+// Sensitivity lists stay name-based: they resolve when a wait is armed,
+// preserving the seed kernel's runtime diagnostics for bad lists.
+func (b *binder) stmt(st Stmt, sc scope) Stmt {
+	switch n := st.(type) {
+	case nil:
+		return nil
+	case *NullStmt:
+		return n
+	case *Block:
+		slab, start := reserve(&b.stmts, len(n.Stmts))
+		for i, s := range n.Stmts {
+			slab[start+i] = b.stmt(s, sc)
+		}
+		return alloc(&b.blocks, Block{Stmts: slab[start : start+len(n.Stmts) : start+len(n.Stmts)]})
+	case *Assign:
+		return b.assignStmt(n, sc)
+	case *IfStmt:
+		return alloc(&b.ifs, IfStmt{Cond: b.expr(n.Cond, sc), Then: b.stmt(n.Then, sc), Else: b.stmt(n.Else, sc), Line: n.Line})
+	case *CaseStmt:
+		islab, start := reserve(&b.items, len(n.Items))
+		for i, it := range n.Items {
+			islab[start+i] = CaseItem{Exprs: b.exprList(it.Exprs, sc), Body: b.stmt(it.Body, sc), IsDefault: it.IsDefault}
+		}
+		items := islab[start : start+len(n.Items) : start+len(n.Items)]
+		return alloc(&b.cases, CaseStmt{Subject: b.expr(n.Subject, sc), Items: items, IsCasez: n.IsCasez, Line: n.Line})
+	case *ForStmt:
+		return alloc(&b.fors, ForStmt{
+			Init: b.assignStmt(n.Init, sc),
+			Cond: b.expr(n.Cond, sc),
+			Step: b.assignStmt(n.Step, sc),
+			Body: b.stmt(n.Body, sc),
+			Line: n.Line,
+		})
+	case *WhileStmt:
+		return alloc(&b.whiles, WhileStmt{Cond: b.expr(n.Cond, sc), Body: b.stmt(n.Body, sc), Line: n.Line})
+	case *RepeatStmt:
+		return alloc(&b.repeatS, RepeatStmt{Count: b.expr(n.Count, sc), Body: b.stmt(n.Body, sc), Line: n.Line})
+	case *ForeverStmt:
+		return alloc(&b.forever, ForeverStmt{Body: b.stmt(n.Body, sc), Line: n.Line})
+	case *DelayStmt:
+		return alloc(&b.delays, DelayStmt{Amount: b.expr(n.Amount, sc), Body: b.stmt(n.Body, sc), Line: n.Line})
+	case *EventStmt:
+		return alloc(&b.events, EventStmt{Sens: n.Sens, Star: n.Star, Body: b.stmt(n.Body, sc), Line: n.Line})
+	case *WaitStmt:
+		return alloc(&b.waits, WaitStmt{Cond: b.expr(n.Cond, sc), Line: n.Line})
+	case *SysCall:
+		return alloc(&b.calls, SysCall{Name: n.Name, Args: b.exprList(n.Args, sc), Str: n.Str, Line: n.Line})
+	default:
+		return st
+	}
+}

@@ -3,7 +3,9 @@ package verilog
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"hash"
 	"sync"
+	"unsafe"
 )
 
 // This file is the compile-once half of the compile-once/run-many split.
@@ -35,7 +37,7 @@ func Compile(src, top string) (*CompiledDesign, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ElaborateParsed(top, HashSources(top, src), f)
+	return ElaborateParsed(top, DesignHash(top, src), f)
 }
 
 // CompileSources compiles a design split over several already-parsed or
@@ -52,7 +54,7 @@ func CompileSources(top string, srcs ...string) (*CompiledDesign, error) {
 		}
 		files[i] = f
 	}
-	return ElaborateParsed(top, HashSources(top, srcs...), MergeSources(files...))
+	return ElaborateParsed(top, DesignHash(top, srcs...), MergeSources(files...))
 }
 
 // MergeSources combines parsed files into one module namespace. Module
@@ -81,16 +83,42 @@ func ElaborateParsed(top, hash string, f *SourceFile) (*CompiledDesign, error) {
 	return &CompiledDesign{Design: d, Top: top, Hash: hash}, nil
 }
 
-// HashSources computes the content hash identifying a compiled design:
-// the top module name plus every source text, order-sensitive.
+// DesignHash is the canonical content identity of a compiled design: the
+// top module name over the per-source content hashes, order-sensitive.
+// Hashing hashes (rather than the raw texts) lets cache layers memoize
+// each source's hash and re-key cheaply; every compile path — direct
+// Compile/CompileSources and the simfarm design cache — derives Hash
+// this same way, so one logical design never splits into two result-
+// cache identities.
+func DesignHash(top string, srcs ...string) string {
+	hs := make([]string, len(srcs))
+	for i, src := range srcs {
+		hs[i] = HashSources("", src)
+	}
+	return HashSources(top, hs...)
+}
+
+// HashSources is the raw hashing primitive: the tag plus every part,
+// order-sensitive. Design identities are built from it via DesignHash.
 func HashSources(top string, srcs ...string) string {
 	h := sha256.New()
-	h.Write([]byte(top))
+	hashString(h, top)
 	for _, src := range srcs {
 		h.Write([]byte{0})
-		h.Write([]byte(src))
+		hashString(h, src)
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashString feeds s to h without the full []byte(s) copy io.WriteString
+// makes for writers lacking WriteString — candidate sources run to
+// kilobytes and are hashed on every cache probe. The unsafe view is sound
+// because sha256's Write only reads its input.
+func hashString(h hash.Hash, s string) {
+	if len(s) == 0 {
+		return
+	}
+	h.Write(unsafe.Slice(unsafe.StringData(s), len(s)))
 }
 
 // Run instantiates a fresh Simulator over the compiled design and executes

@@ -58,13 +58,14 @@ const (
 
 // process is a flattened behavioral process (always or initial block).
 type process struct {
-	kind  procKind
-	sens  []SensItem // resolved against scope at runtime
-	star  bool
-	body  Stmt
-	scope scope
-	name  string
-	reads []SignalID // inferred sensitivity for @* blocks
+	kind   procKind
+	sens   []SensItem // resolved against scope at runtime
+	star   bool
+	body   Stmt
+	scope  scope
+	name   string
+	reads  []SignalID  // inferred sensitivity for @* blocks
+	bcache *boundCache // bound-body memo shared with other designs
 }
 
 // Design is a fully elaborated, flattened design ready for simulation.
@@ -74,6 +75,47 @@ type Design struct {
 	assigns []*contAssign
 	procs   []*process
 	byName  map[string]SignalID
+
+	// Run-time layout, computed once at elaboration and shared by every
+	// Simulator over this design (the compile-once/run-many split):
+	// sigAssigns[id] lists the continuous assignments that read signal id
+	// (in assign order, duplicates preserved — delta accounting matches
+	// the per-run map the seed kernel built); wordOffset[id]/totalWords
+	// pack every signal's words into one backing array so a fresh
+	// Simulator is a single allocation, not one per signal. wordOffset has
+	// a trailing sentinel: a signal's word count is the offset delta.
+	sigAssigns [][]int32
+	wordOffset []int32
+	totalWords int
+}
+
+// finalizeLayout computes the shared run-time layout; called once at the
+// end of elaboration, after which the design is immutable. It also binds
+// every process body and continuous assignment (see bind.go), so the
+// simulator's hot path never resolves names through scope maps.
+func (d *Design) finalizeLayout() {
+	var bd binder
+	for _, ca := range d.assigns {
+		ca.lhs = bd.expr(ca.lhs, ca.scope)
+		ca.rhs = bd.expr(ca.rhs, ca.scope)
+	}
+	for _, pr := range d.procs {
+		pr.body = bindCached(pr.bcache, pr.body, pr.scope, &bd)
+	}
+	d.sigAssigns = make([][]int32, len(d.Signals))
+	for i, ca := range d.assigns {
+		for _, sig := range ca.reads {
+			d.sigAssigns[sig] = append(d.sigAssigns[sig], int32(i))
+		}
+	}
+	d.wordOffset = make([]int32, len(d.Signals)+1)
+	total := 0
+	for i, sig := range d.Signals {
+		d.wordOffset[i] = int32(total)
+		total += sig.Words
+	}
+	d.wordOffset[len(d.Signals)] = int32(total)
+	d.totalWords = total
 }
 
 // SignalByName returns the flattened signal with the given hierarchical
@@ -118,6 +160,7 @@ func Elaborate(file *SourceFile, top string) (*Design, error) {
 	if err := e.instantiate(mod, top, nil, nil); err != nil {
 		return nil, err
 	}
+	e.design.finalizeLayout()
 	return e.design, nil
 }
 
@@ -346,12 +389,12 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		case *AlwaysBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procAlways, sens: it.Sens, star: it.Star, body: it.Body, scope: sc,
-				name: fmt.Sprintf("%s.always@%d", path, it.Line),
+				name: fmt.Sprintf("%s.always@%d", path, it.Line), bcache: &it.bound,
 			})
 		case *InitialBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procInitial, body: it.Body, scope: sc,
-				name: fmt.Sprintf("%s.initial@%d", path, it.Line),
+				name: fmt.Sprintf("%s.initial@%d", path, it.Line), bcache: &it.bound,
 			})
 		case *Instance:
 			child := e.file.FindModule(it.ModuleName)
@@ -409,7 +452,9 @@ func readSet(ex Expr, sc scope, acc []SignalID) []SignalID {
 			acc = append(acc, ent.sig)
 		}
 		return acc
-	case *Number, *StringLit:
+	case *boundRef:
+		return append(acc, n.sig)
+	case *Number, *StringLit, *boundParam:
 		return acc
 	case *Unary:
 		return readSet(n.X, sc, acc)

@@ -2,7 +2,7 @@ package verilog
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // evaluator computes expression values against the simulator state. It is
@@ -16,6 +16,10 @@ type evaluator struct {
 // to a signal, unwrapping port-connection scope switches.
 func (ev *evaluator) resolveSignal(ex Expr) (*Signal, scope, error) {
 	switch n := ex.(type) {
+	case *boundRef:
+		return ev.sim.design.Signals[n.sig], ev.scope, nil
+	case *boundParam:
+		return nil, nil, fmt.Errorf("%q is a parameter, not a signal", n.name)
 	case *Ident:
 		ent, ok := ev.scope[n.Name]
 		if !ok {
@@ -39,6 +43,16 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 	case *Number:
 		return n.Val, nil
 
+	case *boundRef:
+		sig := ev.sim.design.Signals[n.sig]
+		if sig.Words > 1 {
+			return Value{}, fmt.Errorf("memory %q used without an index at line %d", n.name, n.line)
+		}
+		return ev.sim.val(n.sig), nil
+
+	case *boundParam:
+		return n.val, nil
+
 	case *Ident:
 		ent, ok := ev.scope[n.Name]
 		if !ok {
@@ -51,7 +65,7 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 		if sig.Words > 1 {
 			return Value{}, fmt.Errorf("memory %q used without an index at line %d", n.Name, n.Line)
 		}
-		return ev.sim.vals[ent.sig][0], nil
+		return ev.sim.val(ent.sig), nil
 
 	case scopedExpr:
 		sub := &evaluator{sim: ev.sim, scope: n.Scope}
@@ -100,15 +114,23 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 		return ev.eval(n.Else)
 
 	case *Concat:
-		parts := make([]Value, 0, len(n.Parts))
+		// Single left-to-right pass: {a, b, ...} shifts the accumulator
+		// left by each part's width. Allocation-free ConcatValues.
+		var out Value
 		for _, p := range n.Parts {
 			v, err := ev.eval(p)
 			if err != nil {
 				return Value{}, err
 			}
-			parts = append(parts, v)
+			if out.Width+v.Width > 64 {
+				return Value{}, fmt.Errorf("verilog: concatenation width %d exceeds 64", concatWidth(ev, n))
+			}
+			m := maskFor(v.Width)
+			out.Bits = out.Bits<<uint(v.Width) | v.Bits&m
+			out.Unknown = out.Unknown<<uint(v.Width) | v.Unknown&m
+			out.Width += v.Width
 		}
-		return ConcatValues(parts...)
+		return out, nil
 
 	case *Repeat:
 		cnt, err := ev.eval(n.Count)
@@ -146,7 +168,7 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 			if w < 0 || w >= sig.Words {
 				return AllX(sig.Width), nil
 			}
-			return ev.sim.vals[sig.ID][w], nil
+			return ev.sim.words(sig.ID)[w], nil
 		}
 		x, err := ev.eval(n.X)
 		if err != nil {
@@ -227,7 +249,7 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 // lvalueWidth returns the bit width an lvalue expression covers.
 func (ev *evaluator) lvalueWidth(lhs Expr) (int, error) {
 	switch n := lhs.(type) {
-	case *Ident, scopedExpr:
+	case *Ident, scopedExpr, *boundRef, *boundParam:
 		sig, _, err := ev.resolveSignal(n)
 		if err != nil {
 			return 0, err
@@ -275,7 +297,7 @@ func (ev *evaluator) write(lhs Expr, v Value, procedural, nonBlocking bool) erro
 		sub := &evaluator{sim: ev.sim, scope: n.Scope}
 		return sub.write(n.Expr, v, procedural, nonBlocking)
 
-	case *Ident:
+	case *Ident, *boundRef, *boundParam:
 		sig, _, err := ev.resolveSignal(n)
 		if err != nil {
 			return err
@@ -401,194 +423,12 @@ func (ev *evaluator) commit(sig *Signal, word int, mask uint64, v Value, nonBloc
 }
 
 // --- statement execution (runner side) ----------------------------------
-
-// exec runs one statement; it returns errFinish for $finish, errBudget on
-// step exhaustion, or a runtime diagnostic.
-func (r *runner) exec(st Stmt) error {
-	if err := r.step(); err != nil {
-		return err
-	}
-	ev := &evaluator{sim: r.sim, scope: r.scope}
-	switch n := st.(type) {
-	case nil, *NullStmt:
-		return nil
-
-	case *Block:
-		for _, s := range n.Stmts {
-			if err := r.exec(s); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case *Assign:
-		rhs, err := ev.eval(n.RHS)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if err := ev.write(n.LHS, rhs, true, n.NonBlocking); err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		return nil
-
-	case *IfStmt:
-		c, err := ev.eval(n.Cond)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if c.IsTrue() {
-			return r.exec(n.Then)
-		}
-		if n.Else != nil {
-			return r.exec(n.Else)
-		}
-		return nil
-
-	case *CaseStmt:
-		subj, err := ev.eval(n.Subject)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		var deflt *CaseItem
-		for i := range n.Items {
-			item := &n.Items[i]
-			if item.IsDefault {
-				deflt = item
-				continue
-			}
-			for _, le := range item.Exprs {
-				lv, err := ev.eval(le)
-				if err != nil {
-					return fmt.Errorf("line %d: %w", n.Line, err)
-				}
-				if caseMatch(subj, lv, n.IsCasez) {
-					return r.exec(item.Body)
-				}
-			}
-		}
-		if deflt != nil {
-			return r.exec(deflt.Body)
-		}
-		return nil
-
-	case *ForStmt:
-		if err := r.exec(n.Init); err != nil {
-			return err
-		}
-		for {
-			c, err := ev.eval(n.Cond)
-			if err != nil {
-				return fmt.Errorf("line %d: %w", n.Line, err)
-			}
-			if !c.IsTrue() {
-				return nil
-			}
-			if err := r.exec(n.Body); err != nil {
-				return err
-			}
-			if err := r.exec(n.Step); err != nil {
-				return err
-			}
-		}
-
-	case *WhileStmt:
-		for {
-			c, err := ev.eval(n.Cond)
-			if err != nil {
-				return fmt.Errorf("line %d: %w", n.Line, err)
-			}
-			if !c.IsTrue() {
-				return nil
-			}
-			if err := r.exec(n.Body); err != nil {
-				return err
-			}
-		}
-
-	case *RepeatStmt:
-		cnt, err := ev.eval(n.Count)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if !cnt.IsFullyKnown() {
-			return fmt.Errorf("line %d: repeat count is unknown", n.Line)
-		}
-		for i := uint64(0); i < cnt.Uint(); i++ {
-			if err := r.exec(n.Body); err != nil {
-				return err
-			}
-		}
-		return nil
-
-	case *ForeverStmt:
-		if !containsTiming(n.Body) {
-			return fmt.Errorf("line %d: forever loop without timing control", n.Line)
-		}
-		for {
-			if err := r.exec(n.Body); err != nil {
-				return err
-			}
-		}
-
-	case *DelayStmt:
-		amt, err := ev.eval(n.Amount)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if !amt.IsFullyKnown() {
-			return fmt.Errorf("line %d: delay amount is unknown", n.Line)
-		}
-		d := amt.Uint()
-		if d == 0 {
-			d = 1 // #0 rounds up: the subset has no inactive region
-		}
-		r.yield(yieldReq{kind: yieldDelay, delay: d})
-		if n.Body != nil {
-			return r.exec(n.Body)
-		}
-		return nil
-
-	case *EventStmt:
-		if n.Star {
-			return fmt.Errorf("line %d: statement-level @(*) is not supported", n.Line)
-		}
-		sens, err := r.resolveSens(n.Sens)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		r.yield(yieldReq{kind: yieldEvent, sens: sens})
-		if n.Body != nil {
-			return r.exec(n.Body)
-		}
-		return nil
-
-	case *WaitStmt:
-		for {
-			c, err := ev.eval(n.Cond)
-			if err != nil {
-				return fmt.Errorf("line %d: %w", n.Line, err)
-			}
-			if c.IsTrue() {
-				return nil
-			}
-			reads := readSet(n.Cond, r.scope, nil)
-			if len(reads) == 0 {
-				return fmt.Errorf("line %d: wait condition reads no signals", n.Line)
-			}
-			sens := make([]resolvedSens, 0, len(reads))
-			for _, s := range reads {
-				sens = append(sens, resolvedSens{sig: s, edge: EdgeAny})
-			}
-			r.yield(yieldReq{kind: yieldEvent, sens: sens})
-		}
-
-	case *SysCall:
-		return r.execSysCall(n)
-
-	default:
-		return fmt.Errorf("unsupported statement %T", st)
-	}
-}
+//
+// Statement control flow lives in interp.go: the runner is an explicit
+// resumable interpreter over Stmt, so delays and event waits suspend by
+// recording a continuation frame instead of parking a goroutine. The
+// helpers below are the leaf executions it shares: system tasks and
+// $display formatting, which never suspend.
 
 // caseMatch compares a case subject with one label; casez treats unknown
 // label bits as wildcards.
@@ -606,7 +446,7 @@ const maxSimOutput = 1 << 20
 
 // execSysCall dispatches system tasks.
 func (r *runner) execSysCall(n *SysCall) error {
-	ev := &evaluator{sim: r.sim, scope: r.scope}
+	ev := &r.ev
 	s := r.sim
 	switch n.Name {
 	case "$display", "$write", "$strobe", "$monitor":
@@ -615,7 +455,7 @@ func (r *runner) execSysCall(n *SysCall) error {
 			return fmt.Errorf("line %d: %w", n.Line, err)
 		}
 		if s.out.Len() < maxSimOutput {
-			s.out.WriteString(text)
+			s.out.Write(text)
 			if n.Name != "$write" {
 				s.out.WriteByte('\n')
 			}
@@ -629,7 +469,7 @@ func (r *runner) execSysCall(n *SysCall) error {
 		s.failures++
 		text, err := r.formatCall(n)
 		if err != nil {
-			text = "(unformattable $error message)"
+			text = []byte("(unformattable $error message)")
 		}
 		if s.out.Len() < maxSimOutput {
 			fmt.Fprintf(&s.out, "ERROR at time %d: %s\n", s.now, text)
@@ -687,38 +527,45 @@ func (r *runner) execSysCall(n *SysCall) error {
 	}
 }
 
-// formatCall renders $display-style arguments.
-func (r *runner) formatCall(n *SysCall) (string, error) {
-	ev := &evaluator{sim: r.sim, scope: r.scope}
+// formatCall renders $display-style arguments into the runner's scratch
+// buffer; the returned slice is only valid until the next format call.
+func (r *runner) formatCall(n *SysCall) ([]byte, error) {
+	ev := &r.ev
+	b := r.scratch[:0]
+	defer func() { r.scratch = b[:0] }()
 	// No args: empty line.
 	if len(n.Args) == 0 {
-		return "", nil
+		return nil, nil
 	}
 	// Format-string style if the first arg is a string literal.
 	if first, ok := n.Args[0].(*StringLit); ok {
 		return r.formatString(first.Text, n.Args[1:])
 	}
 	// Otherwise: space-separated decimal values.
-	var parts []string
-	for _, a := range n.Args {
+	for i, a := range n.Args {
+		if i > 0 {
+			b = append(b, ' ')
+		}
 		if sl, ok := a.(*StringLit); ok {
-			parts = append(parts, sl.Text)
+			b = append(b, sl.Text...)
 			continue
 		}
 		v, err := ev.eval(a)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		parts = append(parts, v.FormatRadix('d'))
+		b = appendRadix(b, v, 'd')
 	}
-	return strings.Join(parts, " "), nil
+	return b, nil
 }
 
 // formatString implements the $display verb subset: %d %h %x %b %o %s %c
-// %t %0d %m and %%.
-func (r *runner) formatString(format string, args []Expr) (string, error) {
-	ev := &evaluator{sim: r.sim, scope: r.scope}
-	var b strings.Builder
+// %t %0d %m and %%. Output goes to the runner's scratch buffer; the
+// returned slice is only valid until the next format call.
+func (r *runner) formatString(format string, args []Expr) ([]byte, error) {
+	ev := &r.ev
+	b := r.scratch[:0]
+	defer func() { r.scratch = b[:0] }()
 	ai := 0
 	nextVal := func() (Value, error) {
 		if ai >= len(args) {
@@ -734,12 +581,12 @@ func (r *runner) formatString(format string, args []Expr) (string, error) {
 	for i := 0; i < len(format); i++ {
 		c := format[i]
 		if c != '%' {
-			b.WriteByte(c)
+			b = append(b, c)
 			continue
 		}
 		i++
 		if i >= len(format) {
-			b.WriteByte('%')
+			b = append(b, '%')
 			break
 		}
 		// Skip width/zero flags: %0d, %2d ...
@@ -751,66 +598,79 @@ func (r *runner) formatString(format string, args []Expr) (string, error) {
 		}
 		switch format[i] {
 		case '%':
-			b.WriteByte('%')
+			b = append(b, '%')
 		case 'd', 'D':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteString(v.FormatRadix('d'))
+			b = appendRadix(b, v, 'd')
 		case 'h', 'H', 'x', 'X':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteString(v.FormatRadix('h'))
+			b = appendRadix(b, v, 'h')
 		case 'b', 'B':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteString(v.FormatRadix('b'))
+			b = appendRadix(b, v, 'b')
 		case 'o', 'O':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if v.IsFullyKnown() {
-				fmt.Fprintf(&b, "%o", v.Uint())
+				b = strconv.AppendUint(b, v.Uint(), 8)
 			} else {
-				b.WriteByte('x')
+				b = append(b, 'x')
 			}
 		case 't', 'T':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteString(v.FormatRadix('d'))
+			b = appendRadix(b, v, 'd')
 		case 'c':
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteByte(byte(v.Uint()))
+			b = append(b, byte(v.Uint()))
 		case 's':
 			if ai < len(args) {
 				if sl, ok := args[ai].(*StringLit); ok {
 					ai++
-					b.WriteString(sl.Text)
+					b = append(b, sl.Text...)
 					break
 				}
 			}
 			v, err := nextVal()
 			if err != nil {
-				return "", err
+				return nil, err
 			}
-			b.WriteString(v.FormatRadix('d'))
+			b = appendRadix(b, v, 'd')
 		case 'm':
-			b.WriteString(r.ps.proc.name)
+			b = append(b, r.proc.name...)
 		default:
-			b.WriteByte('%')
-			b.WriteByte(format[i])
+			b = append(b, '%')
+			b = append(b, format[i])
 		}
 	}
-	return b.String(), nil
+	return b, nil
+}
+
+// concatWidth sums a concatenation's part widths for the over-64
+// diagnostic (evaluation errors inside count as zero; the width text is
+// advisory only).
+func concatWidth(ev *evaluator, n *Concat) int {
+	total := 0
+	for _, p := range n.Parts {
+		if v, err := ev.eval(p); err == nil {
+			total += v.Width
+		}
+	}
+	return total
 }

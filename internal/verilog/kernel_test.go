@@ -1,0 +1,100 @@
+package verilog
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Kernel-level goroutine hygiene: the rewritten simulator is coroutine-
+// free, so a run spawns no goroutines at all — not merely "joins them on
+// exit" like the seed's goroutine-per-process kernel. These are the
+// simfarm goroutine-leak guards extended down into the kernel.
+
+// manyProcSrc has eight behavioral processes; under the seed kernel a run
+// held eight parked goroutines alive for its whole duration.
+const manyProcSrc = `
+module tb;
+  reg clk;
+  reg [7:0] a, b, c, d;
+  always #1 clk = ~clk;
+  always @(posedge clk) a <= a + 1;
+  always @(posedge clk) b <= b + 2;
+  always @(negedge clk) c <= c + 3;
+  always @(*) d = a ^ b;
+  initial begin a = 0; b = 0; c = 0; end
+  initial clk = 0;
+  initial begin
+    #5000;
+    $check_eq(a, b / 2);
+    $finish;
+  end
+endmodule`
+
+// TestKernelSpawnsNoGoroutines samples the goroutine count while a
+// multi-process simulation is executing: it must never rise above the
+// baseline plus the one test goroutine driving the run.
+func TestKernelSpawnsNoGoroutines(t *testing.T) {
+	cd, err := Compile(manyProcSrc, "tb")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	started := make(chan struct{})
+	done := make(chan *SimResult)
+	go func() {
+		close(started)
+		var last *SimResult
+		for i := 0; i < 50; i++ {
+			res, err := cd.Run(SimOptions{})
+			if err != nil {
+				t.Errorf("Run: %v", err)
+				break
+			}
+			last = res
+		}
+		done <- last
+	}()
+
+	<-started
+	peak := runtime.NumGoroutine()
+	for {
+		select {
+		case res := <-done:
+			if res == nil || !res.Finished {
+				t.Fatalf("simulation did not finish: %+v", res)
+			}
+			if peak > baseline+1 {
+				t.Errorf("goroutines peaked at %d during simulation (baseline %d + 1 driver): kernel spawned per-process goroutines", peak, baseline)
+			}
+			return
+		default:
+			if n := runtime.NumGoroutine(); n > peak {
+				peak = n
+			}
+		}
+	}
+}
+
+// TestKernelLeaksNoGoroutines is the leak half: after many runs the count
+// returns to the baseline (the simfarm cancel tests' guard, kernel-side).
+func TestKernelLeaksNoGoroutines(t *testing.T) {
+	cd, err := Compile(manyProcSrc, "tb")
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		if _, err := cd.Run(SimOptions{}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	for deadline := time.Now().Add(2 * time.Second); time.Now().Before(deadline); {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-	"unicode"
+	"sync"
 )
 
 // tokenKind enumerates lexical token classes.
@@ -130,19 +130,98 @@ func (l *lexer) skipSpace() error {
 	return nil
 }
 
-func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+// Byte-class tables: the lexer is on the compile path of every candidate
+// score, so character classification is a table load, not a unicode call.
+var identStartTab, identPartTab, digitTab [256]bool
+
+func init() {
+	for c := 0; c < 256; c++ {
+		b := byte(c)
+		letter := (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+		digit := b >= '0' && b <= '9'
+		identStartTab[c] = letter || b == '_'
+		identPartTab[c] = letter || digit || b == '_' || b == '$'
+		digitTab[c] = digit
+	}
 }
 
-func isIdentPart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
-}
+func isIdentStart(c byte) bool { return identStartTab[c] }
 
-// multi-character operators, longest first.
-var multiOps = []string{
-	"===", "!==", "<<<", ">>>",
-	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "~&", "~|", "~^", "^~",
-	"+:", "-:",
+func isIdentPart(c byte) bool { return identPartTab[c] }
+
+// matchMultiOp recognizes a multi-character operator at the front of s,
+// dispatching on the first byte (the seed scanned a 17-entry prefix list
+// per operator token). Returned strings are canonical constants.
+func matchMultiOp(s string) string {
+	if len(s) < 2 {
+		return ""
+	}
+	switch s[0] {
+	case '=':
+		if len(s) >= 3 && s[1] == '=' && s[2] == '=' {
+			return "==="
+		}
+		if s[1] == '=' {
+			return "=="
+		}
+	case '!':
+		if len(s) >= 3 && s[1] == '=' && s[2] == '=' {
+			return "!=="
+		}
+		if s[1] == '=' {
+			return "!="
+		}
+	case '<':
+		if len(s) >= 3 && s[1] == '<' && s[2] == '<' {
+			return "<<<"
+		}
+		if s[1] == '=' {
+			return "<="
+		}
+		if s[1] == '<' {
+			return "<<"
+		}
+	case '>':
+		if len(s) >= 3 && s[1] == '>' && s[2] == '>' {
+			return ">>>"
+		}
+		if s[1] == '=' {
+			return ">="
+		}
+		if s[1] == '>' {
+			return ">>"
+		}
+	case '&':
+		if s[1] == '&' {
+			return "&&"
+		}
+	case '|':
+		if s[1] == '|' {
+			return "||"
+		}
+	case '~':
+		switch s[1] {
+		case '&':
+			return "~&"
+		case '|':
+			return "~|"
+		case '^':
+			return "~^"
+		}
+	case '^':
+		if s[1] == '~' {
+			return "^~"
+		}
+	case '+':
+		if s[1] == ':' {
+			return "+:"
+		}
+	case '-':
+		if s[1] == ':' {
+			return "-:"
+		}
+	}
+	return ""
 }
 
 // next returns the next token.
@@ -158,10 +237,14 @@ func (l *lexer) next() (token, error) {
 
 	switch {
 	case isIdentStart(c):
+		// Identifiers contain no newlines: scan then bump pos/col once.
 		start := l.pos
-		for l.pos < len(l.src) && isIdentPart(l.peek()) {
-			l.advance()
+		end := start
+		for end < len(l.src) && identPartTab[l.src[end]] {
+			end++
 		}
+		l.col += end - l.pos
+		l.pos = end
 		text := l.src[start:l.pos]
 		kind := tokIdent
 		if verilogKeywords[text] {
@@ -180,7 +263,7 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{kind: tokSysID, text: "$" + l.src[start:l.pos], line: startLine, col: startCol}, nil
 
-	case unicode.IsDigit(rune(c)) || c == '\'':
+	case digitTab[c] || c == '\'':
 		return l.lexNumber(startLine, startCol)
 
 	case c == '"':
@@ -213,16 +296,13 @@ func (l *lexer) next() (token, error) {
 		return token{kind: tokString, text: b.String(), line: startLine, col: startCol}, nil
 
 	default:
-		for _, op := range multiOps {
-			if strings.HasPrefix(l.src[l.pos:], op) {
-				for range op {
-					l.advance()
-				}
-				return token{kind: tokOp, text: op, line: startLine, col: startCol}, nil
-			}
+		if op := matchMultiOp(l.src[l.pos:]); op != "" {
+			l.pos += len(op)
+			l.col += len(op)
+			return token{kind: tokOp, text: op, line: startLine, col: startCol}, nil
 		}
 		l.advance()
-		return token{kind: tokOp, text: string(c), line: startLine, col: startCol}, nil
+		return token{kind: tokOp, text: opText(c), line: startLine, col: startCol}, nil
 	}
 }
 
@@ -230,7 +310,7 @@ func (l *lexer) next() (token, error) {
 // is normalized to "<width>'<base><digits>" or a plain decimal string.
 func (l *lexer) lexNumber(startLine, startCol int) (token, error) {
 	start := l.pos
-	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.peek())) || l.peek() == '_') {
+	for l.pos < len(l.src) && (digitTab[l.peek()] || l.peek() == '_') {
 		l.advance()
 	}
 	sizeText := strings.ReplaceAll(l.src[start:l.pos], "_", "")
@@ -275,8 +355,23 @@ func (l *lexer) lexNumber(startLine, startCol int) (token, error) {
 }
 
 func isHexDigit(c byte) bool {
-	return unicode.IsDigit(rune(c)) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	return digitTab[c] || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
 }
+
+// opText returns the single-character operator token text without
+// allocating a fresh string per occurrence.
+func opText(c byte) string {
+	return singleOps[c : c+1]
+}
+
+// singleOps indexes every byte value to a stable one-character string.
+var singleOps = func() string {
+	b := make([]byte, 256)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return string(b)
+}()
 
 // parseNumberLiteral converts normalized number text to a Value. Unsized
 // literals get width 32. x/z digits produce unknown bits.
@@ -345,13 +440,30 @@ func parseNumberLiteral(text string) (Value, error) {
 	return v, nil
 }
 
+// tokenSlices recycles lexAll buffers: token slices die with their parse
+// (the AST keeps only text substrings), and candidate scoring parses
+// thousands of sources per batch.
+var tokenSlices = sync.Pool{New: func() any { return []token(nil) }}
+
+func putTokenSlice(toks []token) {
+	if cap(toks) > 0 {
+		tokenSlices.Put(toks[:0]) //nolint:staticcheck // slice header boxing is fine here
+	}
+}
+
 // lexAll tokenizes the whole source.
 func lexAll(src string) ([]token, error) {
 	lx := newLexer(src)
-	var toks []token
+	toks := tokenSlices.Get().([]token)
+	if cap(toks) < len(src)/4+16 {
+		// Pre-size for ~4 source bytes per token: one allocation even on
+		// large testbenches.
+		toks = make([]token, 0, len(src)/4+16)
+	}
 	for {
 		t, err := lx.next()
 		if err != nil {
+			putTokenSlice(toks)
 			return nil, err
 		}
 		toks = append(toks, t)

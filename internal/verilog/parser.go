@@ -28,6 +28,10 @@ func Parse(src string) (*SourceFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The AST references token *text* (substrings of src), never the token
+	// structs, so the slice itself is garbage the moment parsing ends —
+	// recycle it instead of re-growing one per candidate score.
+	defer putTokenSlice(toks)
 	p := &parser{toks: toks}
 	f := &SourceFile{}
 	for !p.atEOF() {
@@ -65,12 +69,12 @@ func (p *parser) advance() token {
 }
 
 func (p *parser) atOp(op string) bool {
-	t := p.cur()
+	t := &p.toks[p.pos]
 	return t.kind == tokOp && t.text == op
 }
 
 func (p *parser) atKeyword(kw string) bool {
-	t := p.cur()
+	t := &p.toks[p.pos]
 	return t.kind == tokKeyword && t.text == kw
 }
 

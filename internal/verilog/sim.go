@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 )
 
 // SimOptions bound a simulation run. Zero values select defaults; the
@@ -55,10 +54,18 @@ type SimResult struct {
 	TimedOut bool
 	// RuntimeErr carries a fatal runtime diagnostic (nil if clean).
 	RuntimeErr error
-	// EndTime is the simulation time when the run stopped.
+	// EndTime is the simulation time when the run stopped. When the run
+	// hit the MaxTime horizon, this is the horizon itself, not the last
+	// timestep that completed before it.
 	EndTime uint64
-	// Final holds the last value of every scalar signal by name.
+	// Final holds the last value of every single-word signal by name —
+	// scalars and vectors up to 64 bits.
 	Final map[string]Value
+	// FinalMem holds the last contents of every multi-word signal
+	// (memories, and wide buses stored as word arrays) rendered as a
+	// stable MSW-first hex string; see FormatWords. Keyed by name like
+	// Final, so FormatSignals covers wide state too.
+	FinalMem map[string]string
 }
 
 // Passed reports whether the run finished with all checks passing and at
@@ -67,54 +74,28 @@ func (r *SimResult) Passed() bool {
 	return r.RuntimeErr == nil && r.Checks > 0 && r.Failures == 0
 }
 
-// errKilled unwinds a process goroutine that the scheduler is terminating.
-var errKilled = errors.New("verilog: process killed")
-
 // errFinish unwinds statement execution after $finish.
 var errFinish = errors.New("verilog: finish requested")
 
 // errBudget unwinds statement execution when MaxSteps is exhausted.
 var errBudget = errors.New("verilog: statement budget exhausted")
 
-// yieldKind says why a process returned control to the scheduler.
-type yieldKind int
-
-const (
-	yieldDelay yieldKind = iota + 1
-	yieldEvent           // waiting on sensitivity list
-	yieldEnd             // process body completed (initial) — never reschedule
-	yieldFinish
-	yieldError
-)
-
-// resolvedSens is a sensitivity item bound to a flattened signal.
-type resolvedSens struct {
-	sig  SignalID
-	edge EdgeKind
-}
-
-// yieldReq is the message a process sends when it relinquishes control.
-type yieldReq struct {
-	kind  yieldKind
-	delay uint64
-	sens  []resolvedSens
-	err   error
-}
-
-// procState is the scheduler-side handle of one process goroutine.
-type procState struct {
-	proc    *process
-	resume  chan bool // true = kill
-	req     chan yieldReq
-	done    bool
-	waiting *watchEntry
-}
-
-// watchEntry is one registered sensitivity wait.
+// watchEntry is a process's reusable sensitivity-wait registration. The
+// generation counter increments each time the process arms a new wait,
+// so references left behind in watcher lists by earlier waits are
+// recognized as stale and dropped lazily — arming a wait never allocates.
 type watchEntry struct {
-	ps    *procState
+	r     *runner
 	sens  []resolvedSens
+	gen   uint64
 	fired bool
+}
+
+// watchRef is one appearance of a watchEntry in a signal's watcher list,
+// pinned to the arm generation that appended it.
+type watchRef struct {
+	w   *watchEntry
+	gen uint64
 }
 
 // nbaUpdate is a deferred non-blocking assignment.
@@ -125,21 +106,84 @@ type nbaUpdate struct {
 	value Value // pre-shifted into position described by mask
 }
 
+// timedEvent is one scheduled process resume on the event heap. seq is a
+// monotonic tiebreak so that resumes scheduled for the same timestep run
+// in scheduling order — the FIFO the seed kernel's per-time slices had.
+type timedEvent struct {
+	t   uint64
+	seq uint64
+	r   *runner
+}
+
+// eventHeap is a binary min-heap over (t, seq). It replaces the seed
+// kernel's map[time][]process timeline, whose next-time lookup was a full
+// O(n) key scan per timestep; push and pop are O(log n).
+type eventHeap []timedEvent
+
+func (h eventHeap) less(i, j int) bool {
+	return h[i].t < h[j].t || (h[i].t == h[j].t && h[i].seq < h[j].seq)
+}
+
+func (h *eventHeap) push(e timedEvent) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() timedEvent {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = timedEvent{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h).less(l, small) {
+			small = l
+		}
+		if r < n && (*h).less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
 // Simulator executes an elaborated design. A Simulator is single-use.
+// The kernel is single-threaded and coroutine-free: behavioral processes
+// are resumable interpreters (see runner in interp.go) dispatched by the
+// event loop below, so a simulation spawns no goroutines at all.
 type Simulator struct {
 	design *Design
 	opts   SimOptions
 
-	vals map[SignalID][]Value // word-indexed storage (len 1 for scalars)
+	store []Value // all signal words, one allocation (design.wordOffset)
 
-	sigAssigns map[SignalID][]int // cont-assign indices sensitive to signal
-	watchers   map[SignalID][]*watchEntry
+	watchers [][]watchRef // event-waiting processes, indexed by SignalID
 
-	active   []*procState
-	nba      []nbaUpdate
-	timeline map[uint64][]*procState
-	changed  []changeRec
-	flushing bool
+	active     []*runner // ready queue for the current delta
+	activeHead int
+	nba        []nbaUpdate
+	eq         eventHeap // future process resumes, ordered by (time, seq)
+	eqSeq      uint64
+
+	changed     []changeRec // signal transitions awaiting propagation
+	changedHead int
+	flushing    bool
 
 	now      uint64
 	steps    uint64
@@ -152,32 +196,25 @@ type Simulator struct {
 	timedOut bool
 	rtErr    error
 
-	procs []*procState
-	wg    sync.WaitGroup
+	procs []*runner
 }
 
 // NewSimulator prepares a simulator for one run over the design.
 func NewSimulator(d *Design, opts SimOptions) *Simulator {
 	opts = opts.withDefaults()
 	s := &Simulator{
-		design:     d,
-		opts:       opts,
-		vals:       make(map[SignalID][]Value, len(d.Signals)),
-		sigAssigns: map[SignalID][]int{},
-		watchers:   map[SignalID][]*watchEntry{},
-		timeline:   map[uint64][]*procState{},
-		rngState:   opts.Seed*2862933555777941757 + 3037000493,
+		design:   d,
+		opts:     opts,
+		store:    make([]Value, d.totalWords),
+		watchers: make([][]watchRef, len(d.Signals)),
+		rngState: opts.Seed*2862933555777941757 + 3037000493,
 	}
+	s.out.Grow(1024) // testbench output routinely spans a few KB
 	for _, sig := range d.Signals {
-		words := make([]Value, sig.Words)
-		for i := range words {
-			words[i] = AllX(sig.Width)
-		}
-		s.vals[sig.ID] = words
-	}
-	for i, ca := range d.assigns {
-		for _, sig := range ca.reads {
-			s.sigAssigns[sig] = append(s.sigAssigns[sig], i)
+		off := int(d.wordOffset[sig.ID])
+		ax := AllX(sig.Width)
+		for i := 0; i < sig.Words; i++ {
+			s.store[off+i] = ax
 		}
 	}
 	return s
@@ -192,27 +229,21 @@ func (s *Simulator) Run() (*SimResult, error) {
 		s.evalContAssign(i)
 	}
 
-	// Launch all processes; each waits for its first resume.
-	for _, pr := range s.design.procs {
-		ps := &procState{
-			proc:   pr,
-			resume: make(chan bool),
-			req:    make(chan yieldReq),
-		}
-		s.procs = append(s.procs, ps)
-		s.wg.Add(1)
-		go s.runProcess(ps)
-		s.active = append(s.active, ps)
+	// Every process starts active at t=0, in declaration order. One slab
+	// holds all runners: per-run setup is two allocations, not 2+2n.
+	runners := make([]runner, len(s.design.procs))
+	s.procs = make([]*runner, 0, len(runners))
+	s.active = make([]*runner, 0, 2*len(runners))
+	for i, pr := range s.design.procs {
+		r := &runners[i]
+		r.sim, r.proc, r.scope = s, pr, pr.scope
+		r.ev = evaluator{sim: s, scope: pr.scope}
+		r.watch.r = r
+		s.procs = append(s.procs, r)
+		s.active = append(s.active, r)
 	}
 
 	s.mainLoop()
-
-	// Every process goroutine is parked in block() at this point — either
-	// mid-wait or after its final yield — and exits on exactly one kill.
-	for _, ps := range s.procs {
-		ps.resume <- true
-	}
-	s.wg.Wait()
 
 	res := &SimResult{
 		Output:     s.out.String(),
@@ -222,11 +253,14 @@ func (s *Simulator) Run() (*SimResult, error) {
 		TimedOut:   s.timedOut,
 		RuntimeErr: s.rtErr,
 		EndTime:    s.now,
-		Final:      map[string]Value{},
+		Final:      make(map[string]Value, len(s.design.Signals)),
+		FinalMem:   map[string]string{},
 	}
 	for _, sig := range s.design.Signals {
 		if sig.Words == 1 {
-			res.Final[sig.Name] = s.vals[sig.ID][0]
+			res.Final[sig.Name] = s.val(sig.ID)
+		} else {
+			res.FinalMem[sig.Name] = FormatWords(s.words(sig.ID), sig.Width)
 		}
 	}
 	return res, nil
@@ -235,42 +269,50 @@ func (s *Simulator) Run() (*SimResult, error) {
 // mainLoop drives the event regions until quiescence or a stop condition.
 func (s *Simulator) mainLoop() {
 	for {
-		// Active region: run ready processes to their next yield.
-		for len(s.active) > 0 {
+		// Active region: resume ready processes to their next suspension.
+		for s.activeHead < len(s.active) {
 			if s.stopRequested() {
 				return
 			}
-			ps := s.active[0]
-			s.active = s.active[1:]
-			if ps.done {
+			r := s.active[s.activeHead]
+			s.activeHead++
+			if r.done {
 				continue
 			}
-			s.dispatch(ps)
+			s.dispatch(r)
 			if s.stopRequested() {
 				return
 			}
 		}
+		s.active = s.active[:0]
+		s.activeHead = 0
 		// NBA region.
 		if len(s.nba) > 0 {
-			updates := s.nba
-			s.nba = nil
-			for _, u := range updates {
+			// commitWrite never re-enters the NBA queue (continuous
+			// assigns commit blocking), so in-place iteration is safe.
+			for i := range s.nba {
+				u := s.nba[i]
 				s.commitWrite(u.sig, u.word, u.mask, u.value)
 			}
+			s.nba = s.nba[:0]
 			continue
 		}
-		// Advance time.
-		next, ok := s.nextTime()
-		if !ok {
+		// Advance time to the earliest scheduled resume.
+		if len(s.eq) == 0 {
 			return // quiescent: no more events
 		}
+		next := s.eq[0].t
 		if next > s.opts.MaxTime {
+			// The horizon fired: report the bound itself as the end time,
+			// not the last timestep that happened to complete before it.
 			s.timedOut = true
+			s.now = s.opts.MaxTime
 			return
 		}
 		s.now = next
-		s.active = append(s.active, s.timeline[next]...)
-		delete(s.timeline, next)
+		for len(s.eq) > 0 && s.eq[0].t == next {
+			s.active = append(s.active, s.eq.pop().r)
+		}
 	}
 }
 
@@ -278,202 +320,43 @@ func (s *Simulator) stopRequested() bool {
 	return s.finished || s.rtErr != nil || s.timedOut
 }
 
-func (s *Simulator) nextTime() (uint64, bool) {
-	var best uint64
-	found := false
-	for t := range s.timeline {
-		if !found || t < best {
-			best, found = t, true
-		}
-	}
-	return best, found
+// val reads the (single-word) current value of a signal.
+func (s *Simulator) val(sig SignalID) Value {
+	return s.store[s.design.wordOffset[sig]]
 }
 
-// dispatch resumes a process and handles its next yield.
-func (s *Simulator) dispatch(ps *procState) {
-	ps.resume <- false
-	req := <-ps.req
-	switch req.kind {
-	case yieldDelay:
-		t := s.now + req.delay
-		s.timeline[t] = append(s.timeline[t], ps)
-	case yieldEvent:
-		we := &watchEntry{ps: ps, sens: req.sens}
-		ps.waiting = we
-		for _, it := range req.sens {
-			s.watchers[it.sig] = append(s.watchers[it.sig], we)
-		}
-	case yieldEnd:
-		ps.done = true
-	case yieldFinish:
-		ps.done = true
+// words returns the word array of a signal as a view into the store.
+func (s *Simulator) words(sig SignalID) []Value {
+	off := s.design.wordOffset[sig]
+	return s.store[off:s.design.wordOffset[sig+1]]
+}
+
+// schedule queues a process resume at absolute time t.
+func (s *Simulator) schedule(r *runner, t uint64) {
+	s.eqSeq++
+	s.eq.push(timedEvent{t: t, seq: s.eqSeq, r: r})
+}
+
+// dispatch resumes a process and records its outcome.
+func (s *Simulator) dispatch(r *runner) {
+	status, err := r.resume()
+	switch status {
+	case procSuspended:
+		// The runner armed its own wake condition (heap entry or
+		// watcher registrations); nothing to do here.
+	case procEnded:
+		r.done = true
+	case procFinished:
+		r.done = true
 		s.finished = true
-	case yieldError:
-		ps.done = true
-		if errors.Is(req.err, errBudget) {
+	case procErrored:
+		r.done = true
+		if errors.Is(err, errBudget) {
 			s.timedOut = true
 		} else if s.rtErr == nil {
-			s.rtErr = req.err
+			s.rtErr = err
 		}
 	}
-}
-
-// runProcess is the goroutine body of one behavioral process.
-func (s *Simulator) runProcess(ps *procState) {
-	defer s.wg.Done()
-	r := &runner{sim: s, ps: ps, scope: ps.proc.scope}
-	defer func() {
-		if v := recover(); v != nil {
-			if err, ok := v.(error); ok && errors.Is(err, errKilled) {
-				return // scheduler shut us down; exit silently
-			}
-			panic(v) // real bug: propagate
-		}
-	}()
-
-	r.block() // wait for first activation
-
-	var err error
-	switch ps.proc.kind {
-	case procInitial:
-		err = r.exec(ps.proc.body)
-	case procAlways:
-		err = r.runAlways()
-	}
-	switch {
-	case err == nil:
-		r.yield(yieldReq{kind: yieldEnd})
-	case errors.Is(err, errFinish):
-		r.yield(yieldReq{kind: yieldFinish})
-	default:
-		r.yield(yieldReq{kind: yieldError, err: err})
-	}
-	// After a final yield the scheduler marks us done and will send one
-	// kill to unblock the goroutine.
-	r.block()
-}
-
-// runner executes statements inside a process goroutine.
-type runner struct {
-	sim   *Simulator
-	ps    *procState
-	scope scope
-}
-
-// block waits for the scheduler's resume; a kill unwinds the goroutine.
-func (r *runner) block() {
-	if kill := <-r.ps.resume; kill {
-		panic(errKilled)
-	}
-}
-
-// yield hands control back to the scheduler with the given request and
-// blocks until resumed.
-func (r *runner) yield(req yieldReq) {
-	r.ps.req <- req
-	r.block()
-}
-
-// runAlways loops the always-block body with its sensitivity semantics.
-func (r *runner) runAlways() error {
-	pr := r.ps.proc
-	switch {
-	case pr.star:
-		// Run once at activation, then wait on the inferred read set.
-		sens := make([]resolvedSens, 0, len(pr.reads))
-		seen := map[SignalID]bool{}
-		for _, sig := range pr.reads {
-			if !seen[sig] {
-				seen[sig] = true
-				sens = append(sens, resolvedSens{sig: sig, edge: EdgeAny})
-			}
-		}
-		for {
-			if err := r.exec(pr.body); err != nil {
-				return err
-			}
-			if len(sens) == 0 {
-				return fmt.Errorf("verilog: always @* block %s reads no signals", pr.name)
-			}
-			r.yield(yieldReq{kind: yieldEvent, sens: sens})
-		}
-	case len(pr.sens) > 0:
-		sens, err := r.resolveSens(pr.sens)
-		if err != nil {
-			return err
-		}
-		for {
-			r.yield(yieldReq{kind: yieldEvent, sens: sens})
-			if err := r.exec(pr.body); err != nil {
-				return err
-			}
-		}
-	default:
-		// always <body> with internal timing control.
-		hasTiming := containsTiming(pr.body)
-		if !hasTiming {
-			return fmt.Errorf("verilog: always block %s has no sensitivity or timing control", pr.name)
-		}
-		for {
-			if err := r.exec(pr.body); err != nil {
-				return err
-			}
-		}
-	}
-}
-
-// containsTiming reports whether a statement subtree contains a delay or
-// event control (used to reject zero-delay infinite always loops).
-func containsTiming(st Stmt) bool {
-	switch n := st.(type) {
-	case *DelayStmt, *EventStmt, *WaitStmt:
-		return true
-	case *Block:
-		for _, c := range n.Stmts {
-			if containsTiming(c) {
-				return true
-			}
-		}
-	case *IfStmt:
-		return containsTiming(n.Then) || (n.Else != nil && containsTiming(n.Else))
-	case *CaseStmt:
-		for _, it := range n.Items {
-			if containsTiming(it.Body) {
-				return true
-			}
-		}
-	case *ForStmt:
-		return containsTiming(n.Body)
-	case *WhileStmt:
-		return containsTiming(n.Body)
-	case *RepeatStmt:
-		return containsTiming(n.Body)
-	case *ForeverStmt:
-		return containsTiming(n.Body)
-	}
-	return false
-}
-
-// resolveSens binds sensitivity names to signals.
-func (r *runner) resolveSens(items []SensItem) ([]resolvedSens, error) {
-	out := make([]resolvedSens, 0, len(items))
-	for _, it := range items {
-		ent, ok := r.scope[it.Signal]
-		if !ok || ent.isParam {
-			return nil, fmt.Errorf("verilog: sensitivity references unknown signal %q", it.Signal)
-		}
-		out = append(out, resolvedSens{sig: ent.sig, edge: it.Edge})
-	}
-	return out, nil
-}
-
-// step charges one statement against the budget.
-func (r *runner) step() error {
-	r.sim.steps++
-	if r.sim.steps > r.sim.opts.MaxSteps {
-		return errBudget
-	}
-	return nil
 }
 
 // --- signal storage and propagation ------------------------------------
@@ -517,20 +400,26 @@ type changeRec struct {
 // assignments. Propagation is iterative and bounded by MaxDeltas so that
 // combinational loops become diagnostics instead of stack overflows.
 func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
-	words := s.vals[sig]
-	if word < 0 || word >= len(words) {
+	off := s.design.wordOffset[sig]
+	if word < 0 || int32(word) >= s.design.wordOffset[sig+1]-off {
 		return // out-of-range memory write: ignored like real simulators
 	}
-	old := words[word]
+	slot := &s.store[int(off)+word]
+	old := *slot
 	nw := Value{
 		Bits:    (old.Bits &^ mask) | (v.Bits & mask),
 		Unknown: (old.Unknown &^ mask) | (v.Unknown & mask),
 		Width:   old.Width,
 	}
-	if nw.Equal(old) {
+	if old.Unknown|nw.Unknown == 0 {
+		// Two-state fast path: no X anywhere, equality is bit equality.
+		if nw.Bits == old.Bits {
+			return
+		}
+	} else if nw.Equal(old) {
 		return
 	}
-	words[word] = nw
+	*slot = nw
 	if word != 0 {
 		return // memory word writes have no sensitivity in the subset
 	}
@@ -539,54 +428,59 @@ func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
 		return // the outer flush loop will pick this up
 	}
 	s.flushing = true
-	defer func() { s.flushing = false }()
 
 	deltas := 0
-	for len(s.changed) > 0 {
-		c := s.changed[0]
-		s.changed = s.changed[1:]
+	for s.changedHead < len(s.changed) {
+		c := s.changed[s.changedHead]
+		s.changedHead++
 		s.wakeWatchers(c)
-		for _, idx := range s.sigAssigns[c.sig] {
+		for _, idx := range s.design.sigAssigns[c.sig] {
 			deltas++
 			if deltas > s.opts.MaxDeltas {
 				if s.rtErr == nil {
 					s.rtErr = fmt.Errorf("verilog: combinational loop detected near line %d (delta limit %d)",
 						s.design.assigns[idx].line, s.opts.MaxDeltas)
 				}
-				s.changed = nil
+				s.changed = s.changed[:0]
+				s.changedHead = 0
+				s.flushing = false
 				return
 			}
-			s.evalContAssign(idx) // may append to s.changed
+			s.evalContAssign(int(idx)) // may append to s.changed
 		}
 	}
+	s.changed = s.changed[:0]
+	s.changedHead = 0
+	s.flushing = false
 }
 
 // wakeWatchers moves event-waiting processes whose edge matches onto the
-// active queue.
+// active queue. Stale references (an older arm generation, an already
+// fired wait, a finished process) are dropped lazily here.
 func (s *Simulator) wakeWatchers(c changeRec) {
 	entries := s.watchers[c.sig]
 	if len(entries) == 0 {
 		return
 	}
 	kept := entries[:0]
-	for _, we := range entries {
-		if we.fired || we.ps.done {
+	for _, ref := range entries {
+		w := ref.w
+		if ref.gen != w.gen || w.fired || w.r.done {
 			continue
 		}
 		match := false
-		for _, it := range we.sens {
+		for _, it := range w.sens {
 			if it.sig == c.sig && edgeMatches(it.edge, c.oldV, c.newV) {
 				match = true
 				break
 			}
 		}
 		if match {
-			we.fired = true
-			we.ps.waiting = nil
-			s.active = append(s.active, we.ps)
+			w.fired = true
+			s.active = append(s.active, w.r)
 			continue
 		}
-		kept = append(kept, we)
+		kept = append(kept, ref)
 	}
 	s.watchers[c.sig] = kept
 }
@@ -646,9 +540,17 @@ func RunTestbench(dutSrc, tbSrc, tbTop string, opts SimOptions) (*SimResult, err
 
 // FormatSignals renders a stable listing of final signal values whose
 // names match the given prefix; used by self-consistency clustering.
+// Single-word signals render in binary-literal style, multi-word signals
+// (memories, wide buses) as their FormatWords hex string, so candidates
+// that differ only in wide state still get distinct listings.
 func FormatSignals(res *SimResult, prefix string) string {
-	names := make([]string, 0, len(res.Final))
+	names := make([]string, 0, len(res.Final)+len(res.FinalMem))
 	for n := range res.Final {
+		if strings.HasPrefix(n, prefix) {
+			names = append(names, n)
+		}
+	}
+	for n := range res.FinalMem {
 		if strings.HasPrefix(n, prefix) {
 			names = append(names, n)
 		}
@@ -656,7 +558,11 @@ func FormatSignals(res *SimResult, prefix string) string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, n := range names {
-		fmt.Fprintf(&b, "%s=%s\n", n, res.Final[n])
+		if v, ok := res.Final[n]; ok {
+			fmt.Fprintf(&b, "%s=%s\n", n, v)
+		} else {
+			fmt.Fprintf(&b, "%s=%s\n", n, res.FinalMem[n])
+		}
 	}
 	return b.String()
 }

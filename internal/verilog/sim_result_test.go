@@ -1,0 +1,117 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// Coverage for SimResult fidelity: multi-word signals in the final
+// snapshot (the VRank wide-output clustering fix) and the EndTime
+// contract on MaxTime timeouts.
+
+// wideDUT models a 128-bit result as a two-word array (the subset stores
+// wide buses as word arrays); hi is the upper 64 bits.
+func wideDUT(hi uint64) string {
+	return `
+module tb;
+  reg [63:0] wide [0:1];
+  reg [7:0] narrow;
+  initial begin
+    narrow = 8'h5A;
+    wide[0] = 64'h0123456789abcdef;
+    wide[1] = 64'h` + strings.ToLower(strings.TrimPrefix(hexU64(hi), "0x")) + `;
+    #1 $finish;
+  end
+endmodule`
+}
+
+func hexU64(v uint64) string {
+	const digits = "0123456789abcdef"
+	buf := make([]byte, 16)
+	for i := 15; i >= 0; i-- {
+		buf[i] = digits[v&0xF]
+		v >>= 4
+	}
+	return "0x" + string(buf)
+}
+
+func TestFinalIncludesMultiWordSignals(t *testing.T) {
+	res, err := CompileAndRun(wideDUT(0xdeadbeefcafef00d), "tb", SimOptions{})
+	if err != nil {
+		t.Fatalf("CompileAndRun: %v", err)
+	}
+	got, ok := res.FinalMem["tb.wide"]
+	if !ok {
+		t.Fatalf("multi-word signal missing from FinalMem: %v", res.FinalMem)
+	}
+	want := "2x64'hdeadbeefcafef00d_0123456789abcdef"
+	if got != want {
+		t.Errorf("tb.wide = %q, want %q", got, want)
+	}
+	if _, ok := res.Final["tb.narrow"]; !ok {
+		t.Errorf("single-word signal missing from Final")
+	}
+	listing := FormatSignals(res, "tb.")
+	if !strings.Contains(listing, "tb.wide="+want) {
+		t.Errorf("FormatSignals omits the wide signal:\n%s", listing)
+	}
+	if !strings.Contains(listing, "tb.narrow=") {
+		t.Errorf("FormatSignals omits the narrow signal:\n%s", listing)
+	}
+}
+
+// TestWideOutputsDistinguishCandidates is the VRank regression: two
+// candidates whose outputs differ only in the upper word of a 128-bit
+// value must produce distinct final-signal listings, or self-consistency
+// clustering lumps them into one cluster.
+func TestWideOutputsDistinguishCandidates(t *testing.T) {
+	sigOf := func(hi uint64) string {
+		res, err := CompileAndRun(wideDUT(hi), "tb", SimOptions{})
+		if err != nil {
+			t.Fatalf("CompileAndRun: %v", err)
+		}
+		return FormatSignals(res, "tb.")
+	}
+	a := sigOf(0x0000000000000001)
+	b := sigOf(0x8000000000000001)
+	if a == b {
+		t.Fatalf("candidates differing only in wide bits cluster together:\n%s", a)
+	}
+}
+
+func TestUnwrittenMemoryRendersAllX(t *testing.T) {
+	src := `
+module tb;
+  reg [7:0] mem [0:2];
+  initial #1 $finish;
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{})
+	if err != nil {
+		t.Fatalf("CompileAndRun: %v", err)
+	}
+	if got, want := res.FinalMem["tb.mem"], "3x8'hxx_xx_xx"; got != want {
+		t.Errorf("tb.mem = %q, want %q", got, want)
+	}
+}
+
+// TestTimeoutEndTimeReportsBound pins the EndTime contract: when the
+// MaxTime horizon fires, the result reports the bound itself, not the
+// last timestep that completed before it.
+func TestTimeoutEndTimeReportsBound(t *testing.T) {
+	src := `
+module tb;
+  reg clk;
+  always #7 clk = ~clk;
+  initial clk = 0;
+endmodule`
+	res, err := CompileAndRun(src, "tb", SimOptions{MaxTime: 100})
+	if err != nil {
+		t.Fatalf("CompileAndRun: %v", err)
+	}
+	if !res.TimedOut {
+		t.Fatalf("expected timeout: %+v", res)
+	}
+	if res.EndTime != 100 {
+		t.Errorf("EndTime = %d, want the MaxTime bound 100", res.EndTime)
+	}
+}

@@ -14,6 +14,7 @@ package verilog
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -54,6 +55,10 @@ func (v Value) Uint() uint64 { return v.Bits & maskFor(v.Width) }
 
 // Equal reports exact 4-state equality (the === operator).
 func (v Value) Equal(w Value) bool {
+	if v.Unknown|w.Unknown == 0 {
+		// Two-state fast path: every bit known, compare bits directly.
+		return (v.Bits^w.Bits)&maskFor(max(v.Width, w.Width)) == 0
+	}
 	m := maskFor(max(v.Width, w.Width))
 	if (v.Unknown^w.Unknown)&m != 0 {
 		return false
@@ -103,23 +108,68 @@ func (v Value) String() string {
 
 // FormatRadix renders the value for $display verbs: 'd, 'h, 'b.
 func (v Value) FormatRadix(radix byte) string {
+	return string(appendRadix(nil, v, radix))
+}
+
+// appendRadix appends the $display rendering of v to b; the allocation-
+// free core behind FormatRadix and the simulator's formatting scratch.
+func appendRadix(b []byte, v Value, radix byte) []byte {
 	if !v.IsFullyKnown() {
-		switch radix {
-		case 'b':
-			s := v.String()
-			return s[strings.IndexByte(s, 'b')+1:]
-		default:
-			return "x"
+		if radix == 'b' {
+			for i := v.Width - 1; i >= 0; i-- {
+				switch {
+				case v.Unknown>>uint(i)&1 == 1:
+					b = append(b, 'x')
+				case v.Bits>>uint(i)&1 == 1:
+					b = append(b, '1')
+				default:
+					b = append(b, '0')
+				}
+			}
+			return b
 		}
+		return append(b, 'x')
 	}
 	switch radix {
 	case 'h':
-		return fmt.Sprintf("%x", v.Uint())
+		return strconv.AppendUint(b, v.Uint(), 16)
 	case 'b':
-		return fmt.Sprintf("%b", v.Uint())
+		return strconv.AppendUint(b, v.Uint(), 2)
 	default:
-		return fmt.Sprintf("%d", v.Uint())
+		return strconv.AppendUint(b, v.Uint(), 10)
 	}
+}
+
+// hexDigits renders the value as fixed-width hex, one character per
+// nibble; a nibble containing any unknown bit prints as 'x'.
+func (v Value) hexDigits() string {
+	n := (v.Width + 3) / 4
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		sh := uint(4 * (n - 1 - i))
+		if v.Unknown>>sh&0xF != 0 {
+			buf[i] = 'x'
+			continue
+		}
+		buf[i] = "0123456789abcdef"[v.Bits>>sh&0xF]
+	}
+	return string(buf)
+}
+
+// FormatWords renders a multi-word signal (a memory, or a wide bus stored
+// as a word array) as a stable MSW-first hex string, e.g. a 128-bit value
+// held in two 64-bit words prints as "2x64'h<word1>_<word0>". Nibbles
+// containing unknown bits print as 'x'.
+func FormatWords(words []Value, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d'h", len(words), width)
+	for i := len(words) - 1; i >= 0; i-- {
+		if i < len(words)-1 {
+			b.WriteByte('_')
+		}
+		b.WriteString(words[i].hexDigits())
+	}
+	return b.String()
 }
 
 // --- arithmetic and logic over values ---------------------------------
@@ -176,6 +226,9 @@ func Mod(a, b Value, w int) Value {
 
 // And returns per-bit a & b with per-bit X propagation: 0 & x == 0.
 func And(a, b Value, w int) Value {
+	if a.Unknown|b.Unknown == 0 {
+		return Value{Bits: a.Bits & b.Bits & maskFor(w), Width: w}
+	}
 	m := maskFor(w)
 	knownZeroA := ^a.Bits & ^a.Unknown
 	knownZeroB := ^b.Bits & ^b.Unknown
@@ -186,6 +239,9 @@ func And(a, b Value, w int) Value {
 
 // Or returns per-bit a | b with per-bit X propagation: 1 | x == 1.
 func Or(a, b Value, w int) Value {
+	if a.Unknown|b.Unknown == 0 {
+		return Value{Bits: (a.Bits | b.Bits) & maskFor(w), Width: w}
+	}
 	m := maskFor(w)
 	knownOneA := a.Bits & ^a.Unknown
 	knownOneB := b.Bits & ^b.Unknown
@@ -196,6 +252,9 @@ func Or(a, b Value, w int) Value {
 
 // Xor returns per-bit a ^ b; any X in, X out for that bit.
 func Xor(a, b Value, w int) Value {
+	if a.Unknown|b.Unknown == 0 {
+		return Value{Bits: (a.Bits ^ b.Bits) & maskFor(w), Width: w}
+	}
 	m := maskFor(w)
 	unknown := (a.Unknown | b.Unknown) & m
 	bits := (a.Bits ^ b.Bits) & m &^ unknown
@@ -204,6 +263,9 @@ func Xor(a, b Value, w int) Value {
 
 // Not returns per-bit ~a at width w.
 func Not(a Value, w int) Value {
+	if a.Unknown == 0 {
+		return Value{Bits: ^a.Bits & maskFor(w), Width: w}
+	}
 	m := maskFor(w)
 	unknown := a.Unknown & m
 	bits := ^a.Bits & m &^ unknown
@@ -220,6 +282,9 @@ func Shl(a, b Value, w int) Value {
 		return NewValue(0, w)
 	}
 	m := maskFor(w)
+	if a.Unknown == 0 {
+		return Value{Bits: (a.Bits << sh) & m, Width: w}
+	}
 	return Value{Bits: (a.Bits << sh) & m &^ (a.Unknown << sh), Unknown: (a.Unknown << sh) & m, Width: w}
 }
 
@@ -233,9 +298,12 @@ func Shr(a, b Value, w int) Value {
 		return NewValue(0, w)
 	}
 	am := maskFor(a.Width)
+	m := maskFor(w)
+	if a.Unknown == 0 {
+		return Value{Bits: (a.Bits & am) >> sh & m, Width: w}
+	}
 	bits := (a.Bits & am) >> sh
 	unknown := (a.Unknown & am) >> sh
-	m := maskFor(w)
 	return Value{Bits: bits & m &^ unknown, Unknown: unknown & m, Width: w}
 }
 

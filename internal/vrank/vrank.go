@@ -76,6 +76,59 @@ func Signature(p *benchset.Problem, source string, sim verilog.SimOptions) strin
 	return sigs[0]
 }
 
+// Fingerprint builds the clustering signature of one stimulus-bench run:
+// the printed output, runtime/timeout markers, and the final values of
+// the bench's own top-level signals. Including bench-level finals is the
+// wide-output fidelity fix — capture state the bench never $displays
+// (memories, >64-bit buses split into words, reported via
+// SimResult.FinalMem) still distinguishes candidates that differ only
+// there. Candidate-internal signals (hierarchy below the bench, whose
+// names vary freely across LLM samples) are excluded so naming noise
+// cannot split clusters.
+func Fingerprint(res *verilog.SimResult) string {
+	sig := res.Output
+	if res.RuntimeErr != nil {
+		sig += "\nRT:" + res.RuntimeErr.Error()
+	}
+	if res.TimedOut {
+		sig += "\nTIMEOUT"
+	}
+	if fs := benchFinals(res); fs != "" {
+		sig += "\nFINAL:\n" + fs
+	}
+	return sig
+}
+
+// benchFinals renders the final values of signals declared directly in
+// the stimulus bench ("tb.<name>" with no deeper hierarchy), sorted.
+func benchFinals(res *verilog.SimResult) string {
+	topLevel := func(n string) bool {
+		rest, ok := strings.CutPrefix(n, "tb.")
+		return ok && !strings.Contains(rest, ".")
+	}
+	names := make([]string, 0, len(res.Final)+len(res.FinalMem))
+	for n := range res.Final {
+		if topLevel(n) {
+			names = append(names, n)
+		}
+	}
+	for n := range res.FinalMem {
+		if topLevel(n) {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		if v, ok := res.Final[n]; ok {
+			fmt.Fprintf(&b, "%s=%s\n", n, v)
+		} else {
+			fmt.Fprintf(&b, "%s=%s\n", n, res.FinalMem[n])
+		}
+	}
+	return b.String()
+}
+
 // Signatures fingerprints a whole candidate batch against the shared
 // stimulus bench through the simfarm engine: the bench is compiled once,
 // duplicate candidates are simulated once, and independent candidates run
@@ -94,14 +147,7 @@ func Signatures(ctx context.Context, p *benchset.Problem, sources []string, sim 
 		if r.Err != nil {
 			continue
 		}
-		sig := r.Res.Output
-		if r.Res.RuntimeErr != nil {
-			sig += "\nRT:" + r.Res.RuntimeErr.Error()
-		}
-		if r.Res.TimedOut {
-			sig += "\nTIMEOUT"
-		}
-		out[i] = sig
+		out[i] = Fingerprint(r.Res)
 	}
 	return out, err
 }
