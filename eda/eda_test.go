@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -174,26 +175,24 @@ func TestDeadlineCancelsLongLoop(t *testing.T) {
 	}
 }
 
-// TestExplicitCancelMidRun cancels an in-flight agent sweep from another
-// goroutine and asserts prompt ctx.Err() propagation.
+// TestExplicitCancelMidRun cancels an in-flight agent sweep and asserts
+// prompt ctx.Err() propagation. The cancel fires synchronously from the
+// event sink on the first event — events are emitted inline from the run,
+// so the context is guaranteed canceled while the sweep still has work
+// left (racing an async cancel against the sweep went flaky once the
+// kernel overhaul made the whole sweep finish in tens of milliseconds).
 func TestExplicitCancelMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	events := make(chan struct{}, 1)
+	defer cancel()
+	var once sync.Once
 	sink := eda.SinkFunc(func(ev eda.Event) {
-		select {
-		case events <- struct{}{}:
-		default:
-		}
+		once.Do(cancel) // first event: the run is in flight
 	})
 	done := make(chan error, 1)
 	go func() {
-		// The full default agent sweep (5 problems) is long enough to be
-		// mid-flight when the cancel lands.
 		_, err := eda.Run(ctx, eda.Spec{Framework: "agent"}, eda.WithSink(sink))
 		done <- err
 	}()
-	<-events // first event: the run is in flight
-	cancel()
 	select {
 	case err := <-done:
 		if !errors.Is(err, context.Canceled) {

@@ -38,6 +38,7 @@ type lru struct {
 type flight struct {
 	done chan struct{}
 	val  any
+	ok   bool // val is valid; false when the leader panicked out of compute
 }
 
 // entry is one cached key/value pair.
@@ -69,11 +70,26 @@ func (c *lru) getOrCompute(key string, compute func() any) any {
 	if f, ok := c.flights[key]; ok {
 		c.fmu.Unlock()
 		<-f.done
-		return f.val
+		if f.ok {
+			return f.val
+		}
+		// The leader panicked out of compute; its flight is gone, so
+		// retry from scratch rather than hand back a nil value.
+		return c.getOrCompute(key, compute)
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[key] = f
 	c.fmu.Unlock()
+
+	// Unwind in a defer so a panicking compute still releases followers
+	// blocked on f.done and clears the flight entry; the panic itself
+	// propagates to this leader's caller.
+	defer func() {
+		c.fmu.Lock()
+		delete(c.flights, key)
+		c.fmu.Unlock()
+		close(f.done)
+	}()
 
 	if v, ok := c.peek(key); ok {
 		// A previous leader finished between our miss and our flight
@@ -86,10 +102,7 @@ func (c *lru) getOrCompute(key string, compute func() any) any {
 		c.stats.Computes++
 		c.mu.Unlock()
 	}
-	close(f.done)
-	c.fmu.Lock()
-	delete(c.flights, key)
-	c.fmu.Unlock()
+	f.ok = true
 	return f.val
 }
 

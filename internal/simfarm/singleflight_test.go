@@ -3,6 +3,7 @@ package simfarm
 import (
 	"sync"
 	"testing"
+	"time"
 
 	"llm4eda/internal/verilog"
 )
@@ -72,5 +73,51 @@ func TestSingleflightDistinctKeysDoNotBlock(t *testing.T) {
 	if s.Designs.Computes != n || s.Results.Computes != n {
 		t.Errorf("distinct keys: designs %d results %d computes, want %d each",
 			s.Designs.Computes, s.Results.Computes, n)
+	}
+}
+
+// TestSingleflightPanickingComputeUnblocksFollowers pins the unwind
+// contract: a compute that panics must still close its flight and clear
+// the entry, so followers waiting on the same key retry instead of
+// blocking forever once someone recovers around the leader.
+func TestSingleflightPanickingComputeUnblocksFollowers(t *testing.T) {
+	c := newLRU(4)
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader: expected compute panic to propagate")
+			}
+		}()
+		c.getOrCompute("k", func() any {
+			close(inFlight)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-inFlight
+
+	got := make(chan any, 1)
+	go func() {
+		got <- c.getOrCompute("k", func() any { return "fallback" })
+	}()
+	// Give the follower time to join the flight, then detonate the
+	// leader. If the follower had not joined yet it simply becomes the
+	// new leader and computes "fallback" itself — either way the test
+	// only fails if a follower stays blocked.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	select {
+	case v := <-got:
+		if v != "fallback" {
+			t.Errorf("follower got %v, want fallback", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower deadlocked after leader panic")
+	}
+	if v, ok := c.get("k"); !ok || v != "fallback" {
+		t.Errorf("cache holds %v (ok=%v) after retry, want fallback", v, ok)
 	}
 }

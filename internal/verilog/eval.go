@@ -145,14 +145,21 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 			return Value{}, err
 		}
 		k := int(cnt.Uint())
-		if k <= 0 || k*x.Width > 64 {
+		// Guard without the k*x.Width product: a huge count (e.g. a 64-bit
+		// literal) overflows int and would slip past, spinning the loop
+		// below for 2^58 iterations on untrusted candidate source.
+		if k <= 0 || x.Width <= 0 || k > 64/x.Width {
 			return Value{}, fmt.Errorf("replication {%d{...}} of width %d unsupported", k, x.Width)
 		}
-		parts := make([]Value, k)
-		for i := range parts {
-			parts[i] = x
+		// Same allocation-free shift accumulator as Concat above.
+		m := maskFor(x.Width)
+		var out Value
+		for i := 0; i < k; i++ {
+			out.Bits = out.Bits<<uint(x.Width) | x.Bits&m
+			out.Unknown = out.Unknown<<uint(x.Width) | x.Unknown&m
+			out.Width += x.Width
 		}
-		return ConcatValues(parts...)
+		return out, nil
 
 	case *Index:
 		// Memory word read?
@@ -530,17 +537,20 @@ func (r *runner) execSysCall(n *SysCall) error {
 // formatCall renders $display-style arguments into the runner's scratch
 // buffer; the returned slice is only valid until the next format call.
 func (r *runner) formatCall(n *SysCall) ([]byte, error) {
-	ev := &r.ev
-	b := r.scratch[:0]
-	defer func() { r.scratch = b[:0] }()
 	// No args: empty line.
 	if len(n.Args) == 0 {
 		return nil, nil
 	}
-	// Format-string style if the first arg is a string literal.
+	// Format-string style if the first arg is a string literal. Delegate
+	// before claiming the scratch buffer: formatString grows the same
+	// scratch, and restoring our stale pre-growth slice here would throw
+	// away its larger backing array on every call.
 	if first, ok := n.Args[0].(*StringLit); ok {
 		return r.formatString(first.Text, n.Args[1:])
 	}
+	ev := &r.ev
+	b := r.scratch[:0]
+	defer func() { r.scratch = b[:0] }()
 	// Otherwise: space-separated decimal values.
 	for i, a := range n.Args {
 		if i > 0 {

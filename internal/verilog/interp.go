@@ -381,9 +381,16 @@ func (r *runner) stepFrame() (suspended bool, err error) {
 	}
 }
 
+// watcherSweepMin is the smallest watcher-list length that triggers an
+// arm-time stale-ref compaction (see Simulator.watchSweep).
+const watcherSweepMin = 16
+
 // await arms the runner's reusable watch entry on the given sensitivity
 // list. Bumping the generation invalidates any references still sitting
 // in watcher lists from earlier waits, so re-arming never allocates.
+// Lists that reach their sweep threshold are compacted here, amortized
+// O(1) per arm: each sweep resets the threshold to double the live count,
+// so a list is only rescanned after it has doubled again.
 func (r *runner) await(sens []resolvedSens) {
 	w := &r.watch
 	w.gen++
@@ -391,7 +398,18 @@ func (r *runner) await(sens []resolvedSens) {
 	w.sens = sens
 	s := r.sim
 	for _, it := range sens {
-		s.watchers[it.sig] = append(s.watchers[it.sig], watchRef{w: w, gen: w.gen})
+		l := s.watchers[it.sig]
+		if len(l) >= int(s.watchSweep[it.sig]) {
+			kept := l[:0]
+			for _, ref := range l {
+				if ref.gen == ref.w.gen && !ref.w.fired && !ref.w.r.done {
+					kept = append(kept, ref)
+				}
+			}
+			l = kept
+			s.watchSweep[it.sig] = int32(max(watcherSweepMin, 2*len(l)))
+		}
+		s.watchers[it.sig] = append(l, watchRef{w: w, gen: w.gen})
 	}
 }
 

@@ -113,6 +113,10 @@ func TestKernelGoldenEquivalence(t *testing.T) {
 			t.Errorf("%s: no fixture (run -update after adding problems)", id)
 			continue
 		}
+		if len(wantRuns) != len(runs) {
+			t.Errorf("%s: fixture records %d runs, suite produced %d (run -update after changing goldenSeeds)",
+				id, len(wantRuns), len(runs))
+		}
 		for i, run := range runs {
 			if i >= len(wantRuns) {
 				break

@@ -359,9 +359,10 @@ func isHexDigit(c byte) bool {
 }
 
 // opText returns the single-character operator token text without
-// allocating a fresh string per occurrence.
+// allocating a fresh string per occurrence. Index in the int domain:
+// for c == 0xFF the byte-typed c+1 would wrap to 0.
 func opText(c byte) string {
-	return singleOps[c : c+1]
+	return singleOps[int(c) : int(c)+1]
 }
 
 // singleOps indexes every byte value to a stable one-character string.
@@ -446,9 +447,15 @@ func parseNumberLiteral(text string) (Value, error) {
 var tokenSlices = sync.Pool{New: func() any { return []token(nil) }}
 
 func putTokenSlice(toks []token) {
-	if cap(toks) > 0 {
-		tokenSlices.Put(toks[:0]) //nolint:staticcheck // slice header boxing is fine here
+	if cap(toks) == 0 {
+		return
 	}
+	// Zero the written entries so pooled slices don't pin substrings of a
+	// large previously-parsed source while recycling for small ones.
+	// [len, cap) is already zero: fresh slices come zeroed from make and
+	// every earlier recycle cleared what it wrote.
+	clear(toks)
+	tokenSlices.Put(toks[:0]) //nolint:staticcheck // slice header boxing is fine here
 }
 
 // lexAll tokenizes the whole source.

@@ -174,6 +174,12 @@ type Simulator struct {
 	store []Value // all signal words, one allocation (design.wordOffset)
 
 	watchers [][]watchRef // event-waiting processes, indexed by SignalID
+	// watchSweep is the per-signal list length that triggers a stale-ref
+	// compaction at arm time. wakeWatchers prunes lazily, but only when a
+	// signal changes — without the arm-time sweep, re-arming against a
+	// never-changing signal (a held reset in @(posedge clk or negedge
+	// rst_n)) grows its list by one ref per wait, without bound.
+	watchSweep []int32
 
 	active     []*runner // ready queue for the current delta
 	activeHead int
@@ -195,19 +201,21 @@ type Simulator struct {
 	finished bool
 	timedOut bool
 	rtErr    error
-
-	procs []*runner
 }
 
 // NewSimulator prepares a simulator for one run over the design.
 func NewSimulator(d *Design, opts SimOptions) *Simulator {
 	opts = opts.withDefaults()
 	s := &Simulator{
-		design:   d,
-		opts:     opts,
-		store:    make([]Value, d.totalWords),
-		watchers: make([][]watchRef, len(d.Signals)),
-		rngState: opts.Seed*2862933555777941757 + 3037000493,
+		design:     d,
+		opts:       opts,
+		store:      make([]Value, d.totalWords),
+		watchers:   make([][]watchRef, len(d.Signals)),
+		watchSweep: make([]int32, len(d.Signals)),
+		rngState:   opts.Seed*2862933555777941757 + 3037000493,
+	}
+	for i := range s.watchSweep {
+		s.watchSweep[i] = watcherSweepMin
 	}
 	s.out.Grow(1024) // testbench output routinely spans a few KB
 	for _, sig := range d.Signals {
@@ -232,14 +240,12 @@ func (s *Simulator) Run() (*SimResult, error) {
 	// Every process starts active at t=0, in declaration order. One slab
 	// holds all runners: per-run setup is two allocations, not 2+2n.
 	runners := make([]runner, len(s.design.procs))
-	s.procs = make([]*runner, 0, len(runners))
 	s.active = make([]*runner, 0, 2*len(runners))
 	for i, pr := range s.design.procs {
 		r := &runners[i]
 		r.sim, r.proc, r.scope = s, pr, pr.scope
 		r.ev = evaluator{sim: s, scope: pr.scope}
 		r.watch.r = r
-		s.procs = append(s.procs, r)
 		s.active = append(s.active, r)
 	}
 
@@ -401,7 +407,9 @@ type changeRec struct {
 // combinational loops become diagnostics instead of stack overflows.
 func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
 	off := s.design.wordOffset[sig]
-	if word < 0 || int32(word) >= s.design.wordOffset[sig+1]-off {
+	// Compare in the int domain: a huge index (e.g. mem[i-1] with i==0,
+	// which wraps to 0xFFFFFFFF) must not be truncated back into range.
+	if word < 0 || word >= int(s.design.wordOffset[sig+1]-off) {
 		return // out-of-range memory write: ignored like real simulators
 	}
 	slot := &s.store[int(off)+word]
@@ -544,14 +552,24 @@ func RunTestbench(dutSrc, tbSrc, tbTop string, opts SimOptions) (*SimResult, err
 // (memories, wide buses) as their FormatWords hex string, so candidates
 // that differ only in wide state still get distinct listings.
 func FormatSignals(res *SimResult, prefix string) string {
+	return FormatSignalsFunc(res, func(n string) bool {
+		return strings.HasPrefix(n, prefix)
+	})
+}
+
+// FormatSignalsFunc is FormatSignals with an arbitrary name filter, for
+// callers whose selection is not a plain prefix (e.g. vrank keeps only
+// bench-level names). Rendering is identical, so derived fingerprints
+// stay in sync with the human-readable listings.
+func FormatSignalsFunc(res *SimResult, keep func(name string) bool) string {
 	names := make([]string, 0, len(res.Final)+len(res.FinalMem))
 	for n := range res.Final {
-		if strings.HasPrefix(n, prefix) {
+		if keep(n) {
 			names = append(names, n)
 		}
 	}
 	for n := range res.FinalMem {
-		if strings.HasPrefix(n, prefix) {
+		if keep(n) {
 			names = append(names, n)
 		}
 	}

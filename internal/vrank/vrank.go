@@ -61,6 +61,12 @@ type Result struct {
 	AnyPasses bool
 }
 
+// benchTop is the top module name of every benchset testbench (they all
+// declare `module tb;`). Simulation jobs and the benchFinals hierarchy
+// filter key off the same constant so a future rename cannot silently
+// stop benchFinals from matching anything.
+const benchTop = "tb"
+
 // StimulusBench rewrites a self-checking testbench into an oracle-free
 // stimulus bench: every $check_eq(actual, expected) becomes a $display of
 // both values. Because the expected value is a constant, it is identical
@@ -102,31 +108,10 @@ func Fingerprint(res *verilog.SimResult) string {
 // benchFinals renders the final values of signals declared directly in
 // the stimulus bench ("tb.<name>" with no deeper hierarchy), sorted.
 func benchFinals(res *verilog.SimResult) string {
-	topLevel := func(n string) bool {
-		rest, ok := strings.CutPrefix(n, "tb.")
+	return verilog.FormatSignalsFunc(res, func(n string) bool {
+		rest, ok := strings.CutPrefix(n, benchTop+".")
 		return ok && !strings.Contains(rest, ".")
-	}
-	names := make([]string, 0, len(res.Final)+len(res.FinalMem))
-	for n := range res.Final {
-		if topLevel(n) {
-			names = append(names, n)
-		}
-	}
-	for n := range res.FinalMem {
-		if topLevel(n) {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for _, n := range names {
-		if v, ok := res.Final[n]; ok {
-			fmt.Fprintf(&b, "%s=%s\n", n, v)
-		} else {
-			fmt.Fprintf(&b, "%s=%s\n", n, res.FinalMem[n])
-		}
-	}
-	return b.String()
+	})
 }
 
 // Signatures fingerprints a whole candidate batch against the shared
@@ -139,7 +124,7 @@ func Signatures(ctx context.Context, p *benchset.Problem, sources []string, sim 
 	sb := StimulusBench(p.Testbench())
 	jobs := make([]simfarm.Job, len(sources))
 	for i, src := range sources {
-		jobs[i] = simfarm.Job{DUT: src, TB: sb, Top: "tb", Opts: sim}
+		jobs[i] = simfarm.Job{DUT: src, TB: sb, Top: benchTop, Opts: sim}
 	}
 	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	out := make([]string, len(sources))
@@ -226,7 +211,7 @@ func Rank(ctx context.Context, p *benchset.Problem, opts Options) (*Result, erro
 	tb := p.Testbench()
 	oracleJobs := make([]simfarm.Job, len(res.Sources))
 	for i, src := range res.Sources {
-		oracleJobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: opts.Sim}
+		oracleJobs[i] = simfarm.Job{DUT: src, TB: tb, Top: benchTop, Opts: opts.Sim}
 	}
 	oracle, err := simfarm.RunManyCtx(ctx, oracleJobs, opts.Workers)
 	if err != nil {
