@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json ci
+.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json bench-smoke ci
 
 all: build
 
@@ -46,18 +46,38 @@ bench:
 bench-engine:
 	$(GO) test -run 'xxx' -bench 'BenchmarkVRank' -benchtime 5x .
 
-# Record the benchmark trajectory point: the engine comparison plus the
-# kernel micro-benchmarks, emitted as BENCH_<date>.json in the repo root.
-# Each PR that touches the engine commits the file it produces; the
+# Record the benchmark trajectory point: the engine comparison, the
+# kernel micro-benchmarks, and the compile/VM-dispatch micro-benchmarks,
+# with -benchmem so allocation behavior (the VM's pooled scratch buffers)
+# is part of the history. Emitted as BENCH_<date>.json in the repo root;
+# each PR that touches the engine commits the file it produces, and the
 # sequence of BENCH_*.json files is the performance history.
 bench-json:
 	@set -e; out=$$(mktemp); \
-	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkVRank' -benchtime 5x . > "$$out" \
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkVRank|BenchmarkCompile|BenchmarkVMDispatch' \
+	  -benchmem -benchtime 5x . > "$$out" \
 	  || { cat "$$out"; rm -f "$$out"; echo "bench-json: benchmark run failed" >&2; exit 1; }; \
 	awk -v date="$$(date +%F)" 'BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [", date; n=0 } \
 	  /^Benchmark/ { name=$$1; sub(/-[0-9]+$$/, "", name); \
-	    if (n++) printf ","; printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $$2, $$3 } \
+	    if (n++) printf ","; printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", name, $$2, $$3, $$5, $$7 } \
 	  END { printf "\n  ]\n}\n" }' "$$out" > BENCH_$$(date +%F).json; \
 	rm -f "$$out"; cat BENCH_$$(date +%F).json
+
+# Benchmark-regression smoke: one BenchmarkVRankBatch pass must not be
+# slower than 2x the committed baseline (BENCH_BASELINE, override to
+# compare against another trajectory point). The 2x headroom absorbs
+# runner-speed variance while still catching engine-level slowdowns.
+BENCH_BASELINE ?= BENCH_2026-07-29.json
+bench-smoke:
+	@set -e; \
+	base=$$(awk 'match($$0, /"BenchmarkVRankBatch", "iterations": [0-9]+, "ns_per_op": [0-9]+/) { \
+	  s=substr($$0, RSTART, RLENGTH); sub(/.*"ns_per_op": /, "", s); print s }' $(BENCH_BASELINE)); \
+	[ -n "$$base" ] || { echo "bench-smoke: no BenchmarkVRankBatch in $(BENCH_BASELINE)" >&2; exit 1; }; \
+	ns=$$($(GO) test -run '^$$' -bench 'BenchmarkVRankBatch$$' -benchtime 1x . \
+	  | awk '/^BenchmarkVRankBatch/ { print int($$3) }'); \
+	[ -n "$$ns" ] || { echo "bench-smoke: benchmark produced no result" >&2; exit 1; }; \
+	echo "bench-smoke: BenchmarkVRankBatch $$ns ns/op (baseline $$base, limit $$((2 * base)))"; \
+	if [ "$$ns" -gt "$$((2 * base))" ]; then \
+	  echo "bench-smoke: regression — ns/op exceeds 2x the committed baseline" >&2; exit 1; fi
 
 ci: build vet fmt-check test-short test-race

@@ -293,6 +293,51 @@ module tb;
 endmodule`)
 }
 
+// BenchmarkCompile measures the full front end — lex, parse, elaborate,
+// and the bytecode lowering pass — on a representative DUT+testbench
+// pair, so the compile-time cost the lowering stage added to
+// verilog.Compile stays tracked in the BENCH_*.json trajectory alongside
+// the run-time wins it buys.
+func BenchmarkCompile(b *testing.B) {
+	p := benchset.ByID("alu8")
+	src := p.Reference + "\n" + p.Testbench()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := verilog.Compile(src, "tb"); err != nil {
+			b.Fatalf("compile: %v", err)
+		}
+	}
+}
+
+// BenchmarkVMDispatch isolates the bytecode dispatch loop: a single
+// initial process grinding pure register arithmetic (no delays, no
+// event waits, no propagation), so ns/op tracks per-instruction VM
+// overhead rather than scheduler or commit costs.
+func BenchmarkVMDispatch(b *testing.B) {
+	cd := compileKernelBench(b, `
+module tb;
+  reg [31:0] acc;
+  reg [31:0] i;
+  initial begin
+    acc = 0;
+    for (i = 0; i < 20000; i = i + 1)
+      acc = ((acc ^ i) + (i * 3)) & 32'hFFFFFF;
+    $check_eq(acc, 32'h3c5120);
+    $finish;
+  end
+endmodule`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cd.Run(verilog.SimOptions{MaxSteps: 1 << 22})
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if res.RuntimeErr != nil || !res.Finished || res.Failures != 0 {
+			b.Fatalf("bad run: %+v", res)
+		}
+	}
+}
+
 // BenchmarkSLTPoolSerial / BenchmarkSLTPoolBatch measure the §V
 // population-scoring path (chdl→isa→boom, no Verilog): serial loop vs
 // simfarm.Map. The batch path matches serial on one core and scales with

@@ -6,6 +6,7 @@
 //
 // Usage:
 //
+//	llm4eda [-cpuprofile F] [-memprofile F] <command> ...
 //	llm4eda <framework> [-tier T] [-seed N] [-workers N] [-timeout D]
 //	        [-p k=v ...] [-v] [problem-id]     run one framework (see list)
 //	llm4eda exp [-full] [-seed N] [-timeout D] [-v] <E1..E10|all>
@@ -19,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -66,6 +69,18 @@ func commandTable() []command {
 }
 
 func run(args []string) error {
+	// Global profiling flags precede the subcommand, so any real
+	// pipeline run can be profiled as-is: perf work on the simulator
+	// engine is driven by profiles of real workloads, not just
+	// micro-benchmarks. Parsing stops at the first non-flag argument.
+	global := flag.NewFlagSet("llm4eda", flag.ContinueOnError)
+	cpuprofile := global.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := global.String("memprofile", "", "write a heap profile taken at exit to this file")
+	global.Usage = usage
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	args = global.Args()
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("a subcommand is required")
@@ -74,6 +89,34 @@ func run(args []string) error {
 	case "help", "-h", "--help":
 		usage()
 		return nil
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "llm4eda: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "llm4eda: memprofile:", err)
+			}
+		}()
 	}
 	for _, c := range commandTable() {
 		if c.name == args[0] {

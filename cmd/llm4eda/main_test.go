@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -85,5 +87,30 @@ func TestFirstSentence(t *testing.T) {
 	long := strings.Repeat("x", 128)
 	if got := firstSentence(long); len(got) > 64 {
 		t.Errorf("long spec not truncated: %d", len(got))
+	}
+}
+
+// TestProfilingFlagsWriteFiles smoke-tests the global -cpuprofile and
+// -memprofile flags: after a real (tiny) run both files must exist and
+// be non-empty, so future perf PRs can profile actual pipeline runs.
+func TestProfilingFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	if err := run([]string{"-cpuprofile", cpu, "-memprofile", mem, "list"}); err != nil {
+		t.Fatalf("profiled run: %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// The flags must not eat the subcommand's own flags.
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "c2.prof"), "exp"}); err == nil {
+		t.Error("expected error for exp without id under profiling")
 	}
 }

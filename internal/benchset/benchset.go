@@ -13,6 +13,7 @@ package benchset
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Port describes one DUT port for testbench construction.
@@ -45,17 +46,32 @@ type Problem struct {
 	// output port, named like the port) used by the high-level-guided
 	// debugging extension; empty when not provided.
 	CModel string
+
+	// tb memoizes the concatenated testbench: every framework scores
+	// whole candidate batches against it, and rebuilding the multi-KB
+	// source per score was a measurable allocation cost. The pieces
+	// above are treated as immutable after construction.
+	tbOnce sync.Once
+	tb     string
 }
 
 // Testbench returns the full reference testbench.
 func (p *Problem) Testbench() string {
-	var b strings.Builder
-	b.WriteString(p.TBHeader)
-	for _, blk := range p.TBBlocks {
-		b.WriteString(blk)
-	}
-	b.WriteString(p.TBFooter)
-	return b.String()
+	p.tbOnce.Do(func() {
+		var b strings.Builder
+		n := len(p.TBHeader) + len(p.TBFooter)
+		for _, blk := range p.TBBlocks {
+			n += len(blk)
+		}
+		b.Grow(n)
+		b.WriteString(p.TBHeader)
+		for _, blk := range p.TBBlocks {
+			b.WriteString(blk)
+		}
+		b.WriteString(p.TBFooter)
+		p.tb = b.String()
+	})
+	return p.tb
 }
 
 // Checks returns the number of $check_eq checks in the full testbench.

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"llm4eda/internal/core"
@@ -248,7 +249,17 @@ func (f *Farm) CompileTestbench(dutSrc, tbSrc, tbTop string) (*verilog.CompiledD
 // zero-valued and explicitly-default options share one cache entry.
 func resultKey(hash string, opts verilog.SimOptions) string {
 	opts = opts.Normalized()
-	return fmt.Sprintf("%s|%d|%d|%d|%d", hash, opts.MaxTime, opts.MaxSteps, opts.MaxDeltas, opts.Seed)
+	b := make([]byte, 0, len(hash)+48)
+	b = append(b, hash...)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, opts.MaxTime, 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, opts.MaxSteps, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(opts.MaxDeltas), 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, opts.Seed, 10)
+	return string(b)
 }
 
 // Run simulates a compiled design under the given options, returning the

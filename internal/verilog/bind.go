@@ -46,10 +46,14 @@ type boundCache struct {
 	variants []boundVariant
 }
 
-// boundVariant is one (scope contents -> bound body) memo entry.
+// boundVariant is one (scope contents -> bound body) memo entry. The
+// lowered Program rides along: it depends only on the bound body, the
+// scope, and signal metadata the scope pins (see programCached), so all
+// designs that share the bound body share its bytecode too.
 type boundVariant struct {
 	sc   scope
 	body Stmt
+	prog *Program
 }
 
 // maxBoundVariants bounds per-node memo growth; bodies elaborated under
@@ -96,6 +100,45 @@ func bindCached(c *boundCache, body Stmt, sc scope, bd *binder) Stmt {
 		c.variants = append(c.variants, boundVariant{sc: sc, body: bound})
 	}
 	return bound
+}
+
+// programCached returns the memoized lowered Program of pr's bound body,
+// lowering and recording it on first use. The memo is sound across
+// designs: a variant hit means the scope maps every name to the same
+// SignalID, which (signals being declared in a fixed order from one
+// shared parse) pins the width/words/reg-ness of every signal the
+// program can mention — so the bytecode, which bakes those in, is
+// identical no matter which design lowered it first. Safe for concurrent
+// elaboration.
+func programCached(c *boundCache, pr *process, d *Design) *Program {
+	lower := func() *Program {
+		return lowerProcess(pr.body, pr.scope, d, pr.kind, pr.star, len(pr.sens) > 0)
+	}
+	if c == nil {
+		return lower()
+	}
+	c.mu.Lock()
+	for i := range c.variants {
+		v := &c.variants[i]
+		if v.body == pr.body && v.prog != nil {
+			c.mu.Unlock()
+			return v.prog
+		}
+	}
+	c.mu.Unlock()
+	prog := lower() // lower outside the lock
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.variants {
+		v := &c.variants[i]
+		if v.body == pr.body {
+			if v.prog == nil {
+				v.prog = prog
+			}
+			return v.prog // keep one canonical program per variant
+		}
+	}
+	return prog // body came from an overflowed cache: use the fresh program
 }
 
 // alloc appends v to a slab and returns its address. A full slab is

@@ -46,7 +46,36 @@ type contAssign struct {
 	scope scope
 	reads []SignalID
 	line  int
+	// prog is the compiled evaluate-and-store program (bytecode.go); nil
+	// for the rare lvalue shapes that stay on the tree evaluator.
+	prog *Program
+	// fast short-circuits the pervasive simple shapes (`assign dst = src`
+	// port connections, `assign z = x op y`, `assign z = x op K`,
+	// `assign z = op x`) to direct computation without entering the VM
+	// dispatch loop; fast.kind == caFastNone runs the full program.
+	fast caFast
 }
+
+// caFast describes a specialized continuous-assign shape.
+type caFast struct {
+	kind     uint8
+	op       OpCode   // caFastBin/BinK/Un: the value opcode
+	a, b     SignalID // source signals (b unused for copy/unary/K shapes)
+	k        Value    // caFastBinK: the constant RHS
+	dst      SignalID
+	dstWidth int
+}
+
+// caFast kinds.
+const (
+	caFastNone  uint8 = iota
+	caFastCopy        // dst = a
+	caFastBin         // dst = a op b
+	caFastBinK        // dst = a op k
+	caFastUn          // dst = op a
+	caFastConst       // dst = k
+	caFastBitK        // dst = bit k.Bits of a
+)
 
 // procKind distinguishes process flavors.
 type procKind int
@@ -59,13 +88,14 @@ const (
 // process is a flattened behavioral process (always or initial block).
 type process struct {
 	kind   procKind
-	sens   []SensItem // resolved against scope at runtime
+	sens   []SensItem // resolved against scope at activation
 	star   bool
 	body   Stmt
 	scope  scope
 	name   string
 	reads  []SignalID  // inferred sensitivity for @* blocks
-	bcache *boundCache // bound-body memo shared with other designs
+	bcache *boundCache // bound-body + compiled-program memo shared across designs
+	prog   *Program    // the body lowered to VM bytecode (bytecode.go)
 }
 
 // Design is a fully elaborated, flattened design ready for simulation.
@@ -87,6 +117,18 @@ type Design struct {
 	sigAssigns [][]int32
 	wordOffset []int32
 	totalWords int
+
+	// Register-file layout for the VM: every process's registers pack
+	// into one per-run slab (procRegOff/procRegTotal) and every compiled
+	// continuous assignment gets a disjoint scratch region of a
+	// per-Simulator slab (caRegOff/caRegTotal — disjoint so a store's
+	// propagation wave re-entering another assign's program can never
+	// clobber live registers). Both are computed once here; a fresh
+	// Simulator allocates two slices, not one buffer per program.
+	procRegOff   []int32
+	procRegTotal int
+	caRegOff     []int32
+	caRegTotal   int
 }
 
 // finalizeLayout computes the shared run-time layout; called once at the
@@ -102,6 +144,40 @@ func (d *Design) finalizeLayout() {
 	for _, pr := range d.procs {
 		pr.body = bindCached(pr.bcache, pr.body, pr.scope, &bd)
 	}
+	// Lower every process body and continuous assignment to VM bytecode
+	// (bytecode.go). Process programs are memoized alongside their bound
+	// body variant, so the testbench shared by a whole candidate batch is
+	// lowered once, not once per design; the scope-equality that keys the
+	// memo guarantees every SignalID a cached program mentions refers to
+	// an identically-shaped signal in every design that reuses it.
+	d.procRegOff = make([]int32, len(d.procs)+1)
+	total := 0
+	for i, pr := range d.procs {
+		pr.prog = programCached(pr.bcache, pr, d)
+		d.procRegOff[i] = int32(total)
+		total += pr.prog.numRegs
+	}
+	d.procRegOff[len(d.procs)] = int32(total)
+	d.procRegTotal = total
+	d.caRegOff = make([]int32, len(d.assigns)+1)
+	total = 0
+	for i, ca := range d.assigns {
+		// Simple shapes classify straight off the bound AST and skip
+		// program construction entirely; everything else lowers, with a
+		// second chance to specialize off the compiled shape.
+		if f, ok := classifyCAFastAST(ca, d); ok {
+			ca.fast = f
+		} else {
+			ca.prog = lowerContAssign(ca, d)
+			ca.fast = classifyCAFast(ca.prog)
+		}
+		d.caRegOff[i] = int32(total)
+		if ca.prog != nil {
+			total += ca.prog.numRegs
+		}
+	}
+	d.caRegOff[len(d.assigns)] = int32(total)
+	d.caRegTotal = total
 	d.sigAssigns = make([][]int32, len(d.Signals))
 	for i, ca := range d.assigns {
 		for _, sig := range ca.reads {
@@ -109,7 +185,7 @@ func (d *Design) finalizeLayout() {
 		}
 	}
 	d.wordOffset = make([]int32, len(d.Signals)+1)
-	total := 0
+	total = 0
 	for i, sig := range d.Signals {
 		d.wordOffset[i] = int32(total)
 		total += sig.Words
@@ -143,6 +219,8 @@ type elaborator struct {
 	file   *SourceFile
 	design *Design
 	depth  int
+	caSlab []contAssign // slab backing for the flattened assigns
+	idSlab []Ident      // slab backing for port-connection references
 }
 
 const maxElabDepth = 64
@@ -257,18 +335,28 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 			overrides[name] = ex
 		}
 	}
+	// ps tracks the constant-only view of sc incrementally, so the width
+	// evaluations below reuse one map instead of rebuilding it per port
+	// and per declaration (a measurable cost when batch-compiling
+	// hundreds of candidate designs).
+	ps := paramScope{}
+	var parentPS paramScope
 	for _, prm := range mod.Params {
 		var v Value
 		var err error
 		if ov, ok := overrides[prm.Name]; ok && !prm.IsLocal {
-			v, err = evalConst(ov, parentScope.constParams())
+			if parentPS == nil {
+				parentPS = parentScope.constParams()
+			}
+			v, err = evalConst(ov, parentPS)
 		} else {
-			v, err = evalConst(prm.Default, sc.constParams())
+			v, err = evalConst(prm.Default, ps)
 		}
 		if err != nil {
 			return fmt.Errorf("parameter %s.%s: %w", mod.Name, prm.Name, err)
 		}
 		sc[prm.Name] = scopeEntry{isParam: true, param: v}
+		ps[prm.Name] = v
 	}
 
 	// 2. Declare port signals.
@@ -281,7 +369,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		}
 		w := 1
 		if port.Width != nil {
-			msb, err := evalConst(port.Width, sc.constParams())
+			msb, err := evalConst(port.Width, ps)
 			if err != nil {
 				return err
 			}
@@ -307,7 +395,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		}
 		w := 1
 		if decl.Width != nil {
-			msb, err := evalConst(decl.Width, sc.constParams())
+			msb, err := evalConst(decl.Width, ps)
 			if err != nil {
 				return err
 			}
@@ -315,7 +403,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		}
 		words := 1
 		if decl.ArrayHi != nil {
-			hi, err := evalConst(decl.ArrayHi, sc.constParams())
+			hi, err := evalConst(decl.ArrayHi, ps)
 			if err != nil {
 				return err
 			}
@@ -361,16 +449,16 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 			if !connected || ex == nil {
 				continue // dangling port
 			}
-			portRef := &Ident{Name: port.Name}
+			portRef := alloc(&e.idSlab, Ident{Name: port.Name})
 			switch port.Dir {
 			case DirInput:
-				e.design.assigns = append(e.design.assigns, &contAssign{
+				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
 					lhs: portRef, rhs: scopedExpr{ex, parentScope}, scope: sc, line: inst.Line,
-				})
+				}))
 			case DirOutput:
-				e.design.assigns = append(e.design.assigns, &contAssign{
+				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
 					lhs: scopedExpr{ex, parentScope}, rhs: portRef, scope: sc, line: inst.Line,
-				})
+				}))
 			}
 		}
 	}
@@ -380,12 +468,12 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		switch it := item.(type) {
 		case *NetDecl:
 			if it.Init != nil {
-				e.design.assigns = append(e.design.assigns, &contAssign{
-					lhs: &Ident{Name: it.Name}, rhs: it.Init, scope: sc, line: it.Line,
-				})
+				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
+					lhs: alloc(&e.idSlab, Ident{Name: it.Name}), rhs: it.Init, scope: sc, line: it.Line,
+				}))
 			}
 		case *ContAssign:
-			e.design.assigns = append(e.design.assigns, &contAssign{lhs: it.LHS, rhs: it.RHS, scope: sc, line: it.Line})
+			e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{lhs: it.LHS, rhs: it.RHS, scope: sc, line: it.Line}))
 		case *AlwaysBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procAlways, sens: it.Sens, star: it.Star, body: it.Body, scope: sc,

@@ -5,8 +5,13 @@ import (
 	"strconv"
 )
 
-// evaluator computes expression values against the simulator state. It is
-// used both by the scheduler (continuous assigns) and by process runners.
+// evaluator is the retained tree-walking expression evaluator. Since the
+// bytecode VM took over the hot path (bytecode.go, vm.go), it serves
+// three roles only: the executor behind the VM's exact-semantics
+// fallback opcodes (statements whose legacy error topology is not worth
+// encoding, like $error/$fatal), the continuous-assign path for lvalue
+// shapes too rare to lower, and the reference semantics the VM is
+// property-tested against (vm_prop_test.go).
 type evaluator struct {
 	sim   *Simulator
 	scope scope
@@ -240,7 +245,9 @@ func (ev *evaluator) eval(ex Expr) (Value, error) {
 			}
 			x := v.Uint()
 			n := 0
-			for (uint64(1) << uint(n)) < x {
+			// Cap at 64: for x > 2^63 the shift would overflow to zero
+			// and spin forever (the answer is exactly 64 there).
+			for n < 64 && (uint64(1)<<uint(n)) < x {
 				n++
 			}
 			return NewValue(uint64(n), 32), nil

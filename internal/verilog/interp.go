@@ -5,13 +5,14 @@ import (
 	"fmt"
 )
 
-// This file is the coroutine-free process engine. The seed kernel ran one
-// goroutine per behavioral process and paid two unbuffered channel
-// handshakes plus a Go-scheduler round-trip per dispatch; here each
-// process is a runner — an explicit resumable interpreter whose
-// continuation stack records exactly where execution suspended (a delay,
-// an event wait), so a scheduler dispatch is a plain method call. The
-// statement semantics, step accounting, and wake ordering are
+// This file is the process engine. PR 3 made each process an explicit
+// resumable interpreter over the bound AST (a continuation stack of
+// statement frames); this PR compiles the AST away: every process body is
+// lowered once to a flat bytecode program (bytecode.go), and a runner is
+// now just that program plus a register file and a resume pc. A scheduler
+// dispatch is a method call into the VM loop (vm.go); a suspension
+// (delay, event wait) records an integer pc instead of a frame stack.
+// Statement semantics, step accounting, and wake ordering remain
 // bit-identical to the seed kernel (pinned by the golden fixtures in
 // testdata/kernel_golden.json).
 
@@ -25,31 +26,22 @@ const (
 	procErrored                         // runtime diagnostic or budget exhaustion
 )
 
-// frame is one activation on a runner's continuation stack: the
-// statement, a resume point within it, and loop state. The pc meanings
-// are per statement kind — Block: next child index; For: 0 init, 1 test,
-// 2 step-after-body; Delay/Event: 1 after the suspension has fired;
-// Repeat/Forever: 1 after one-time setup.
-type frame struct {
-	st Stmt
-	pc int
-	n  uint64 // RepeatStmt: iterations remaining
-}
-
-// runner executes one behavioral process as an explicit interpreter.
+// runner executes one behavioral process on the VM.
 type runner struct {
 	sim   *Simulator
 	proc  *process
 	scope scope
-	ev    evaluator
+	ev    evaluator // retained tree evaluator, used by fallback opcodes
 
-	stack    []frame
-	started  bool
-	awaiting bool // top-level always wait armed; push body on next resume
-	sens     []resolvedSens
-	done     bool
-	watch    watchEntry
-	scratch  []byte // reusable $display formatting buffer
+	prog *Program
+	regs []Value // register file: a slice of the simulator's pooled slab
+	pc   int     // resume position within prog.code
+
+	started bool
+	sens    []resolvedSens // process-level sensitivity (always blocks)
+	done    bool
+	watch   watchEntry
+	scratch []byte // reusable $display formatting buffer
 }
 
 // resolvedSens is a sensitivity item bound to a flattened signal.
@@ -58,20 +50,6 @@ type resolvedSens struct {
 	edge EdgeKind
 }
 
-// push charges the statement against the shared step budget and enters
-// it. The seed kernel charged on exec entry; a pushed frame is always
-// processed before anything else runs, so the accounting is identical.
-func (r *runner) push(st Stmt) error {
-	r.sim.steps++
-	if r.sim.steps > r.sim.opts.MaxSteps {
-		return errBudget
-	}
-	r.stack = append(r.stack, frame{st: st})
-	return nil
-}
-
-func (r *runner) pop() { r.stack = r.stack[:len(r.stack)-1] }
-
 // activate performs the first-dispatch work of the process kinds: initial
 // and @*/timing-only always blocks run their body immediately; a
 // sensitivity-listed always block resolves its list and waits first.
@@ -79,7 +57,7 @@ func (r *runner) activate() (procStatus, error) {
 	pr := r.proc
 	switch {
 	case pr.kind == procInitial:
-		return 0, r.push(pr.body)
+		return 0, nil // run from pc 0
 	case pr.star:
 		sens := make([]resolvedSens, 0, len(pr.reads))
 		seen := map[SignalID]bool{}
@@ -90,29 +68,30 @@ func (r *runner) activate() (procStatus, error) {
 			}
 		}
 		r.sens = sens
-		return 0, r.push(pr.body) // @* runs once at activation
+		return 0, nil // @* runs once at activation
 	case len(pr.sens) > 0:
-		sens, err := r.resolveSens(pr.sens)
+		sens, err := resolveSensIn(r.scope, pr.sens)
 		if err != nil {
 			return 0, err
 		}
 		r.sens = sens
 		r.await(sens)
-		r.awaiting = true
 		return procSuspended, nil
 	default:
 		// always <body> with internal timing control.
-		if !containsTiming(pr.body) {
+		if !r.prog.hasTiming {
 			return 0, fmt.Errorf("verilog: always block %s has no sensitivity or timing control", pr.name)
 		}
-		return 0, r.push(pr.body)
+		return 0, nil
 	}
 }
 
 // resume runs the process from its last suspension point until it
 // suspends again, completes, or stops the simulation. On procSuspended
 // the runner has already armed its wake condition (a timed event on the
-// scheduler heap, or watcher registrations).
+// scheduler heap, or watcher registrations). The first opcode executed
+// after any wake is the body's budget charge, so MaxSteps accounting
+// lands exactly where the tree kernel charged its continuation pushes.
 func (r *runner) resume() (procStatus, error) {
 	if !r.started {
 		r.started = true
@@ -124,43 +103,16 @@ func (r *runner) resume() (procStatus, error) {
 			return procSuspended, nil
 		}
 	}
-	if r.awaiting {
-		// Woken from the top-level always wait: run the body.
-		r.awaiting = false
-		if err := r.push(r.proc.body); err != nil {
-			return r.classify(err)
-		}
-	}
-	for {
-		if len(r.stack) == 0 {
-			pr := r.proc
-			switch {
-			case pr.kind == procInitial:
-				return procEnded, nil
-			case pr.star:
-				if len(r.sens) == 0 {
-					return procErrored, fmt.Errorf("verilog: always @* block %s reads no signals", pr.name)
-				}
-				r.await(r.sens)
-				r.awaiting = true
-				return procSuspended, nil
-			case len(pr.sens) > 0:
-				r.await(r.sens)
-				r.awaiting = true
-				return procSuspended, nil
-			default:
-				if err := r.push(pr.body); err != nil {
-					return r.classify(err)
-				}
-			}
-		}
-		suspended, err := r.stepFrame()
-		if err != nil {
-			return r.classify(err)
-		}
-		if suspended {
-			return procSuspended, nil
-		}
+	status, err := vmRun(r.sim, r.prog, r.regs, r, &r.ev, r.pc)
+	switch status {
+	case vmSuspend:
+		return procSuspended, nil
+	case vmFinish:
+		return procFinished, nil
+	case vmErr:
+		return r.classify(err)
+	default: // vmEnd: only initial bodies run off the end of their program
+		return procEnded, nil
 	}
 }
 
@@ -170,215 +122,6 @@ func (r *runner) classify(err error) (procStatus, error) {
 		return procFinished, nil
 	}
 	return procErrored, err
-}
-
-// stepFrame executes the top continuation frame until it pops, pushes a
-// child, or suspends. suspended=true means the wake condition is armed.
-func (r *runner) stepFrame() (suspended bool, err error) {
-	f := &r.stack[len(r.stack)-1]
-	ev := &r.ev
-	switch n := f.st.(type) {
-	case nil, *NullStmt:
-		r.pop()
-		return false, nil
-
-	case *Block:
-		if f.pc < len(n.Stmts) {
-			st := n.Stmts[f.pc]
-			f.pc++
-			return false, r.push(st)
-		}
-		r.pop()
-		return false, nil
-
-	case *Assign:
-		rhs, err := ev.eval(n.RHS)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if err := ev.write(n.LHS, rhs, true, n.NonBlocking); err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		r.pop()
-		return false, nil
-
-	case *IfStmt:
-		c, err := ev.eval(n.Cond)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		r.pop()
-		if c.IsTrue() {
-			return false, r.push(n.Then)
-		}
-		if n.Else != nil {
-			return false, r.push(n.Else)
-		}
-		return false, nil
-
-	case *CaseStmt:
-		subj, err := ev.eval(n.Subject)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		var deflt *CaseItem
-		for i := range n.Items {
-			item := &n.Items[i]
-			if item.IsDefault {
-				deflt = item
-				continue
-			}
-			for _, le := range item.Exprs {
-				lv, err := ev.eval(le)
-				if err != nil {
-					return false, fmt.Errorf("line %d: %w", n.Line, err)
-				}
-				if caseMatch(subj, lv, n.IsCasez) {
-					r.pop()
-					return false, r.push(item.Body)
-				}
-			}
-		}
-		r.pop()
-		if deflt != nil {
-			return false, r.push(deflt.Body)
-		}
-		return false, nil
-
-	case *ForStmt:
-		switch f.pc {
-		case 0:
-			f.pc = 1
-			return false, r.push(n.Init)
-		case 2: // body completed: run the step, then retest
-			f.pc = 1
-			return false, r.push(n.Step)
-		default: // 1: test
-			c, err := ev.eval(n.Cond)
-			if err != nil {
-				return false, fmt.Errorf("line %d: %w", n.Line, err)
-			}
-			if !c.IsTrue() {
-				r.pop()
-				return false, nil
-			}
-			f.pc = 2
-			return false, r.push(n.Body)
-		}
-
-	case *WhileStmt:
-		c, err := ev.eval(n.Cond)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if !c.IsTrue() {
-			r.pop()
-			return false, nil
-		}
-		return false, r.push(n.Body)
-
-	case *RepeatStmt:
-		if f.pc == 0 {
-			cnt, err := ev.eval(n.Count)
-			if err != nil {
-				return false, fmt.Errorf("line %d: %w", n.Line, err)
-			}
-			if !cnt.IsFullyKnown() {
-				return false, fmt.Errorf("line %d: repeat count is unknown", n.Line)
-			}
-			f.pc = 1
-			f.n = cnt.Uint()
-		}
-		if f.n == 0 {
-			r.pop()
-			return false, nil
-		}
-		f.n--
-		return false, r.push(n.Body)
-
-	case *ForeverStmt:
-		if f.pc == 0 {
-			if !containsTiming(n.Body) {
-				return false, fmt.Errorf("line %d: forever loop without timing control", n.Line)
-			}
-			f.pc = 1
-		}
-		return false, r.push(n.Body)
-
-	case *DelayStmt:
-		if f.pc == 1 { // the delay elapsed
-			r.pop()
-			if n.Body != nil {
-				return false, r.push(n.Body)
-			}
-			return false, nil
-		}
-		amt, err := ev.eval(n.Amount)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if !amt.IsFullyKnown() {
-			return false, fmt.Errorf("line %d: delay amount is unknown", n.Line)
-		}
-		d := amt.Uint()
-		if d == 0 {
-			d = 1 // #0 rounds up: the subset has no inactive region
-		}
-		f.pc = 1
-		r.sim.schedule(r, r.sim.now+d)
-		return true, nil
-
-	case *EventStmt:
-		if f.pc == 1 { // the sensitivity fired
-			r.pop()
-			if n.Body != nil {
-				return false, r.push(n.Body)
-			}
-			return false, nil
-		}
-		if n.Star {
-			return false, fmt.Errorf("line %d: statement-level @(*) is not supported", n.Line)
-		}
-		sens, err := r.resolveSens(n.Sens)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		f.pc = 1
-		r.await(sens)
-		return true, nil
-
-	case *WaitStmt:
-		// Re-entered (pc unchanged) on every wake until the condition
-		// holds; only the initial push charged the budget, like the seed.
-		c, err := ev.eval(n.Cond)
-		if err != nil {
-			return false, fmt.Errorf("line %d: %w", n.Line, err)
-		}
-		if c.IsTrue() {
-			r.pop()
-			return false, nil
-		}
-		reads := readSet(n.Cond, r.scope, nil)
-		if len(reads) == 0 {
-			return false, fmt.Errorf("line %d: wait condition reads no signals", n.Line)
-		}
-		sens := make([]resolvedSens, 0, len(reads))
-		for _, sg := range reads {
-			sens = append(sens, resolvedSens{sig: sg, edge: EdgeAny})
-		}
-		r.await(sens)
-		return true, nil
-
-	case *SysCall:
-		if err := r.execSysCall(n); err != nil {
-			return false, err
-		}
-		r.pop()
-		return false, nil
-
-	default:
-		return false, fmt.Errorf("unsupported statement %T", f.st)
-	}
 }
 
 // watcherSweepMin is the smallest watcher-list length that triggers an
@@ -413,21 +156,9 @@ func (r *runner) await(sens []resolvedSens) {
 	}
 }
 
-// resolveSens binds sensitivity names to signals.
-func (r *runner) resolveSens(items []SensItem) ([]resolvedSens, error) {
-	out := make([]resolvedSens, 0, len(items))
-	for _, it := range items {
-		ent, ok := r.scope[it.Signal]
-		if !ok || ent.isParam {
-			return nil, fmt.Errorf("verilog: sensitivity references unknown signal %q", it.Signal)
-		}
-		out = append(out, resolvedSens{sig: ent.sig, edge: it.Edge})
-	}
-	return out, nil
-}
-
 // containsTiming reports whether a statement subtree contains a delay or
-// event control (used to reject zero-delay infinite always loops).
+// event control (used at lowering time to reject zero-delay infinite
+// always loops and forever bodies).
 func containsTiming(st Stmt) bool {
 	switch n := st.(type) {
 	case *DelayStmt, *EventStmt, *WaitStmt:

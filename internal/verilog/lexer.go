@@ -253,15 +253,15 @@ func (l *lexer) next() (token, error) {
 		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
 
 	case c == '$':
+		start := l.pos // include the '$': the text is a source substring, not a concat
 		l.advance()
-		start := l.pos
 		for l.pos < len(l.src) && isIdentPart(l.peek()) {
 			l.advance()
 		}
-		if start == l.pos {
+		if start+1 == l.pos {
 			return token{}, &lexError{startLine, startCol, "stray '$'"}
 		}
-		return token{kind: tokSysID, text: "$" + l.src[start:l.pos], line: startLine, col: startCol}, nil
+		return token{kind: tokSysID, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
 
 	case digitTab[c] || c == '\'':
 		return l.lexNumber(startLine, startCol)
@@ -310,17 +310,23 @@ func (l *lexer) next() (token, error) {
 // is normalized to "<width>'<base><digits>" or a plain decimal string.
 func (l *lexer) lexNumber(startLine, startCol int) (token, error) {
 	start := l.pos
+	sizeUnderscore := false
 	for l.pos < len(l.src) && (digitTab[l.peek()] || l.peek() == '_') {
+		if l.peek() == '_' {
+			sizeUnderscore = true
+		}
 		l.advance()
 	}
-	sizeText := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	sizeEnd := l.pos
 	if l.pos < len(l.src) && l.peek() == '\'' {
 		l.advance()
 		if l.pos >= len(l.src) {
 			return token{}, &lexError{startLine, startCol, "truncated based literal"}
 		}
+		signed := false
 		base := l.advance()
 		if base == 's' || base == 'S' { // signed marker, skip
+			signed = true
 			if l.pos >= len(l.src) {
 				return token{}, &lexError{startLine, startCol, "truncated based literal"}
 			}
@@ -332,21 +338,40 @@ func (l *lexer) lexNumber(startLine, startCol int) (token, error) {
 			return token{}, &lexError{startLine, startCol, fmt.Sprintf("bad number base %q", base)}
 		}
 		dstart := l.pos
+		clean := !sizeUnderscore && !signed && base >= 'a'
 		for l.pos < len(l.src) {
 			ch := l.peek()
 			if ch == '_' || ch == 'x' || ch == 'X' || ch == 'z' || ch == 'Z' || ch == '?' ||
 				isHexDigit(ch) {
+				if ch == '_' || (ch >= 'A' && ch <= 'Z') {
+					clean = false
+				}
 				l.advance()
 				continue
 			}
 			break
 		}
+		if l.pos == dstart {
+			return token{}, &lexError{startLine, startCol, "based literal has no digits"}
+		}
+		// Canonical-form fast path: most literals (8'h3f, 16'd2000) are
+		// already lowercase with no underscores or sign marker, so the
+		// token text is a plain source substring — no allocation. The
+		// slow path normalizes exactly as before.
+		if clean {
+			return token{kind: tokNumber, text: l.src[start:l.pos], line: startLine, col: startCol}, nil
+		}
+		sizeText := strings.ReplaceAll(l.src[start:sizeEnd], "_", "")
 		digits := strings.ReplaceAll(l.src[dstart:l.pos], "_", "")
 		if digits == "" {
 			return token{}, &lexError{startLine, startCol, "based literal has no digits"}
 		}
 		text := sizeText + "'" + strings.ToLower(string(base)) + strings.ToLower(digits)
 		return token{kind: tokNumber, text: text, line: startLine, col: startCol}, nil
+	}
+	sizeText := l.src[start:sizeEnd]
+	if sizeUnderscore {
+		sizeText = strings.ReplaceAll(sizeText, "_", "")
 	}
 	if sizeText == "" {
 		return token{}, &lexError{startLine, startCol, "malformed number"}

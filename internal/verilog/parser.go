@@ -20,6 +20,27 @@ func (e *ParseError) Error() string {
 type parser struct {
 	toks []token
 	pos  int
+
+	// Node arena: the hottest AST node kinds are slab-allocated (same
+	// alloc helper the binder uses), so parsing a multi-thousand-vector
+	// unrolled testbench performs dozens of slab allocations instead of
+	// one heap object per node. Nodes stay alive exactly as long as the
+	// parsed file, so grouping their lifetimes is free.
+	idents  []Ident
+	numbers []Number
+	strs    []StringLit
+	assigns []Assign
+	calls   []SysCall
+	binarys []Binary
+	unarys  []Unary
+	indexes []Index
+	blocks  []Block
+	ifs     []IfStmt
+	delays  []DelayStmt
+	events  []EventStmt
+
+	argScratch []Expr // reused per system-call argument list
+	exprSlab   []Expr // exact-size backing spans for those lists
 }
 
 // Parse parses Verilog source into a SourceFile.
@@ -343,7 +364,7 @@ func (p *parser) parseModuleItem(m *Module) error {
 		p.acceptKeyword("signed")
 		var width Expr
 		if kw == "integer" {
-			width = &Number{Val: NewValue(31, 32)}
+			width = alloc(&p.numbers, Number{Val: NewValue(31, 32)})
 		} else if p.atOp("[") {
 			var err error
 			width, err = p.parseRangeMSB()
@@ -599,7 +620,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 				return nil, err
 			}
 		}
-		blk := &Block{}
+		blk := alloc(&p.blocks, Block{})
 		for !p.atKeyword("end") {
 			if p.atEOF() {
 				return nil, p.errorf("unterminated begin/end block")
@@ -630,7 +651,7 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := &IfStmt{Cond: cond, Then: then, Line: line}
+		st := alloc(&p.ifs, IfStmt{Cond: cond, Then: then, Line: line})
 		if p.acceptKeyword("else") {
 			els, err := p.parseStmt()
 			if err != nil {
@@ -747,13 +768,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		if p.acceptOp(";") {
-			return &DelayStmt{Amount: amt, Line: line}, nil
+			return alloc(&p.delays, DelayStmt{Amount: amt, Line: line}), nil
 		}
 		body, err := p.parseStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &DelayStmt{Amount: amt, Body: body, Line: line}, nil
+		return alloc(&p.delays, DelayStmt{Amount: amt, Body: body, Line: line}), nil
 
 	case p.atOp("@"):
 		line := t.line
@@ -763,13 +784,13 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		if p.acceptOp(";") {
-			return &EventStmt{Sens: sens, Star: star, Line: line}, nil
+			return alloc(&p.events, EventStmt{Sens: sens, Star: star, Line: line}), nil
 		}
 		body, err := p.parseStmt()
 		if err != nil {
 			return nil, err
 		}
-		return &EventStmt{Sens: sens, Star: star, Body: body, Line: line}, nil
+		return alloc(&p.events, EventStmt{Sens: sens, Star: star, Body: body, Line: line}), nil
 
 	case t.kind == tokSysID:
 		return p.parseSysCall()
@@ -807,13 +828,13 @@ func (p *parser) parseSimpleAssign() (*Assign, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Assign{LHS: lhs, RHS: rhs, Line: line}, nil
+		return alloc(&p.assigns, Assign{LHS: lhs, RHS: rhs, Line: line}), nil
 	case p.acceptOp("<="):
 		rhs, err := p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &Assign{LHS: lhs, RHS: rhs, NonBlocking: true, Line: line}, nil
+		return alloc(&p.assigns, Assign{LHS: lhs, RHS: rhs, NonBlocking: true, Line: line}), nil
 	default:
 		return nil, p.errorf("expected '=' or '<=' in assignment, got %q", p.cur().text)
 	}
@@ -870,26 +891,38 @@ func (p *parser) parseCase() (Stmt, error) {
 
 func (p *parser) parseSysCall() (Stmt, error) {
 	t := p.advance()
-	sc := &SysCall{Name: t.text, Line: t.line}
+	sc := alloc(&p.calls, SysCall{Name: t.text, Line: t.line})
 	if p.acceptOp("(") {
+		// Collect into a reused scratch, then claim an exact-size span of
+		// the shared expr slab: testbenches carry thousands of $display/
+		// $check_eq calls, and per-call argument-slice growth was a
+		// measurable share of parse allocations.
+		args := p.argScratch[:0]
 		for !p.atOp(")") {
 			if p.cur().kind == tokString {
 				s := p.advance()
 				if sc.Str == "" {
 					sc.Str = s.text
 				}
-				sc.Args = append(sc.Args, &StringLit{Text: s.text, Line: s.line})
+				args = append(args, alloc(&p.strs, StringLit{Text: s.text, Line: s.line}))
 			} else {
 				e, err := p.parseExpr()
 				if err != nil {
+					p.argScratch = args[:0]
 					return nil, err
 				}
-				sc.Args = append(sc.Args, e)
+				args = append(args, e)
 			}
 			if !p.acceptOp(",") {
 				break
 			}
 		}
+		if len(args) > 0 {
+			slab, start := reserve(&p.exprSlab, len(args))
+			copy(slab[start:start+len(args)], args)
+			sc.Args = slab[start : start+len(args) : start+len(args)]
+		}
+		p.argScratch = args[:0]
 		if err := p.expectOp(")"); err != nil {
 			return nil, err
 		}
@@ -938,6 +971,19 @@ func (p *parser) parseExpr() (Expr, error) {
 	return cond, nil
 }
 
+// opPrecLevel maps each binary operator to its precedence level, so the
+// descent does one map probe per level instead of comparing the token
+// against every operator string of the level.
+var opPrecLevel = func() map[string]int {
+	m := make(map[string]int)
+	for lvl, ops := range precLevels {
+		for _, op := range ops {
+			m[op] = lvl
+		}
+	}
+	return m
+}()
+
 func (p *parser) parseBinary(level int) (Expr, error) {
 	if level >= len(precLevels) {
 		return p.parseUnary()
@@ -947,26 +993,28 @@ func (p *parser) parseBinary(level int) (Expr, error) {
 		return nil, err
 	}
 	for {
-		matched := ""
-		for _, op := range precLevels[level] {
-			if p.atOp(op) {
-				matched = op
-				break
-			}
-		}
-		if matched == "" {
+		t := &p.toks[p.pos]
+		if t.kind != tokOp {
 			return lhs, nil
 		}
+		lvl, ok := opPrecLevel[t.text]
+		if !ok || lvl != level {
+			return lhs, nil
+		}
+		matched := t.text
 		p.advance()
 		rhs, err := p.parseBinary(level + 1)
 		if err != nil {
 			return nil, err
 		}
-		lhs = &Binary{Op: matched, X: lhs, Y: rhs}
+		lhs = alloc(&p.binarys, Binary{Op: matched, X: lhs, Y: rhs})
 	}
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if p.toks[p.pos].kind != tokOp {
+		return p.parsePostfix() // idents/numbers skip the operator scan
+	}
 	for _, op := range []string{"~&", "~|", "~^", "^~", "!", "~", "-", "+", "&", "|", "^"} {
 		if p.atOp(op) {
 			p.advance()
@@ -977,7 +1025,7 @@ func (p *parser) parseUnary() (Expr, error) {
 			if op == "+" {
 				return x, nil
 			}
-			return &Unary{Op: op, X: x}, nil
+			return alloc(&p.unarys, Unary{Op: op, X: x}), nil
 		}
 	}
 	return p.parsePostfix()
@@ -1009,7 +1057,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 		if err := p.expectOp("]"); err != nil {
 			return nil, err
 		}
-		e = &Index{X: e, Idx: first, Line: line}
+		e = alloc(&p.indexes, Index{X: e, Idx: first, Line: line})
 	}
 	return e, nil
 }
@@ -1023,15 +1071,15 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if err != nil {
 			return nil, &ParseError{t.line, t.col, err.Error()}
 		}
-		return &Number{Val: v, Line: t.line}, nil
+		return alloc(&p.numbers, Number{Val: v, Line: t.line}), nil
 
 	case t.kind == tokIdent:
 		p.advance()
-		return &Ident{Name: t.text, Line: t.line}, nil
+		return alloc(&p.idents, Ident{Name: t.text, Line: t.line}), nil
 
 	case t.kind == tokString:
 		p.advance()
-		return &StringLit{Text: t.text, Line: t.line}, nil
+		return alloc(&p.strs, StringLit{Text: t.text, Line: t.line}), nil
 
 	case t.kind == tokSysID:
 		p.advance()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // SimOptions bound a simulation run. Zero values select defaults; the
@@ -72,6 +73,52 @@ type SimResult struct {
 // least one check executed.
 func (r *SimResult) Passed() bool {
 	return r.RuntimeErr == nil && r.Checks > 0 && r.Failures == 0
+}
+
+// simOutput accumulates $display output on a pooled byte buffer: the
+// backing array is recycled across simulations (outBufPool), so a batch
+// of thousands of runs allocates output storage once per worker instead
+// of growth-doubling a fresh strings.Builder per run. take() makes the
+// one exact-size string copy the result keeps.
+type simOutput struct {
+	b []byte
+}
+
+// outBufPool recycles simulation output buffers.
+var outBufPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// valSlabPool recycles the per-run Value slab (signal store plus both
+// register regions). Value contains no pointers, so pooled slabs cost
+// the garbage collector nothing to retain.
+var valSlabPool = sync.Pool{New: func() any { return []Value(nil) }}
+
+func getValSlab(n int) []Value {
+	s := valSlabPool.Get().([]Value)
+	if cap(s) < n {
+		return make([]Value, n)
+	}
+	return s[:n]
+}
+
+func (o *simOutput) Len() int { return len(o.b) }
+
+func (o *simOutput) Write(p []byte) (int, error) {
+	o.b = append(o.b, p...)
+	return len(p), nil
+}
+
+func (o *simOutput) WriteByte(c byte) error {
+	o.b = append(o.b, c)
+	return nil
+}
+
+// take returns the accumulated output as a string and returns the
+// buffer to the pool; the simulator is single-use, so no writes follow.
+func (o *simOutput) take() string {
+	s := string(o.b)
+	outBufPool.Put(o.b[:0])
+	o.b = nil
+	return s
 }
 
 // errFinish unwinds statement execution after $finish.
@@ -173,6 +220,20 @@ type Simulator struct {
 
 	store []Value // all signal words, one allocation (design.wordOffset)
 
+	// caRegs/procRegs are the register regions for continuous-assign and
+	// process programs: every program owns a disjoint region
+	// (design.caRegOff/procRegOff), so wide multi-word operations run
+	// entirely on preallocated scratch — no VM op allocates, and a
+	// store's change wave re-entering another assign's program cannot
+	// clobber live registers. Together with store they live on one
+	// pooled slab (valSlab) recycled across simulations.
+	caRegs   []Value
+	procRegs []Value
+	valSlab  []Value
+	// caBusy guards each compiled assign's register region against
+	// same-assign re-entry (see evalContAssign).
+	caBusy []bool
+
 	watchers [][]watchRef // event-waiting processes, indexed by SignalID
 	// watchSweep is the per-signal list length that triggers a stale-ref
 	// compaction at arm time. wakeWatchers prunes lazily, but only when a
@@ -195,7 +256,7 @@ type Simulator struct {
 	steps    uint64
 	rngState uint64
 
-	out      strings.Builder
+	out      simOutput
 	checks   int
 	failures int
 	finished bool
@@ -206,10 +267,19 @@ type Simulator struct {
 // NewSimulator prepares a simulator for one run over the design.
 func NewSimulator(d *Design, opts SimOptions) *Simulator {
 	opts = opts.withDefaults()
+	// One pooled slab backs all Value state. The store region is fully
+	// initialized to X below; the register regions are written before
+	// they are read by construction of the lowering (expression stack
+	// discipline), so recycled contents are never observable.
+	slab := getValSlab(d.totalWords + d.caRegTotal + d.procRegTotal)
 	s := &Simulator{
 		design:     d,
 		opts:       opts,
-		store:      make([]Value, d.totalWords),
+		valSlab:    slab,
+		store:      slab[:d.totalWords],
+		caRegs:     slab[d.totalWords : d.totalWords+d.caRegTotal],
+		procRegs:   slab[d.totalWords+d.caRegTotal:],
+		caBusy:     make([]bool, len(d.assigns)),
 		watchers:   make([][]watchRef, len(d.Signals)),
 		watchSweep: make([]int32, len(d.Signals)),
 		rngState:   opts.Seed*2862933555777941757 + 3037000493,
@@ -217,7 +287,7 @@ func NewSimulator(d *Design, opts SimOptions) *Simulator {
 	for i := range s.watchSweep {
 		s.watchSweep[i] = watcherSweepMin
 	}
-	s.out.Grow(1024) // testbench output routinely spans a few KB
+	s.out.b = outBufPool.Get().([]byte)[:0] // recycled across simulations
 	for _, sig := range d.Signals {
 		off := int(d.wordOffset[sig.ID])
 		ax := AllX(sig.Width)
@@ -238,13 +308,17 @@ func (s *Simulator) Run() (*SimResult, error) {
 	}
 
 	// Every process starts active at t=0, in declaration order. One slab
-	// holds all runners: per-run setup is two allocations, not 2+2n.
+	// holds all runners and the pooled valSlab holds every register
+	// file: per-run setup is two allocations, and no VM op allocates
+	// later.
 	runners := make([]runner, len(s.design.procs))
 	s.active = make([]*runner, 0, 2*len(runners))
 	for i, pr := range s.design.procs {
 		r := &runners[i]
 		r.sim, r.proc, r.scope = s, pr, pr.scope
 		r.ev = evaluator{sim: s, scope: pr.scope}
+		r.prog = pr.prog
+		r.regs = s.procRegs[s.design.procRegOff[i]:s.design.procRegOff[i+1]]
 		r.watch.r = r
 		s.active = append(s.active, r)
 	}
@@ -252,7 +326,7 @@ func (s *Simulator) Run() (*SimResult, error) {
 	s.mainLoop()
 
 	res := &SimResult{
-		Output:     s.out.String(),
+		Output:     s.out.take(),
 		Checks:     s.checks,
 		Failures:   s.failures,
 		Finished:   s.finished,
@@ -269,6 +343,11 @@ func (s *Simulator) Run() (*SimResult, error) {
 			res.FinalMem[sig.Name] = FormatWords(s.words(sig.ID), sig.Width)
 		}
 	}
+	// The result holds copies of everything it needs; recycle the Value
+	// slab. The Simulator is documented single-use — drop the views so a
+	// misuse fails loudly instead of corrupting a later run's state.
+	valSlabPool.Put(s.valSlab)
+	s.valSlab, s.store, s.caRegs, s.procRegs = nil, nil, nil, nil
 	return res, nil
 }
 
@@ -431,6 +510,14 @@ func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
 	if word != 0 {
 		return // memory word writes have no sensitivity in the subset
 	}
+	if len(s.design.sigAssigns[sig]) == 0 && len(s.watchers[sig]) == 0 {
+		// Unobservable transition: no continuous assign reads the signal
+		// and no process is waiting on it, so queueing it would only make
+		// the flush loop below skip over it. Watcher registrations cannot
+		// appear between here and the drain (processes never arm waits
+		// mid-write), so the skip is exact.
+		return
+	}
 	s.changed = append(s.changed, changeRec{sig: sig, oldV: old, newV: nw})
 	if s.flushing {
 		return // the outer flush loop will pick this up
@@ -493,9 +580,65 @@ func (s *Simulator) wakeWatchers(c changeRec) {
 	s.watchers[c.sig] = kept
 }
 
-// evalContAssign recomputes one continuous assignment and writes its LHS.
+// evalContAssign recomputes one continuous assignment and writes its
+// LHS. Compiled assigns run their evaluate-and-store program on the
+// pooled scratch slab; the rare uncompiled lvalue shapes keep the tree
+// evaluator (identical semantics, just slower).
 func (s *Simulator) evalContAssign(idx int) {
 	ca := s.design.assigns[idx]
+	if f := &ca.fast; f.kind != caFastNone {
+		// Specialized simple shapes (port copies, one-operator RHSes):
+		// the bulk of real propagation waves, computed without entering
+		// the VM dispatch loop at all.
+		var v Value
+		switch f.kind {
+		case caFastCopy:
+			v = s.store[s.design.wordOffset[f.a]]
+		case caFastConst:
+			v = f.k
+		case caFastBin:
+			v = vmBinary(f.op, s.store[s.design.wordOffset[f.a]], s.store[s.design.wordOffset[f.b]])
+		case caFastBinK:
+			v = vmBinary(f.op, s.store[s.design.wordOffset[f.a]], f.k)
+		case caFastBitK:
+			x := s.store[s.design.wordOffset[f.a]]
+			if i := int(int32(f.k.Bits)); i < 0 || i >= x.Width {
+				v = AllX(1)
+			} else {
+				v = x.Bit(i)
+			}
+		default: // caFastUn
+			v = vmUnary(f.op, s.store[s.design.wordOffset[f.a]])
+		}
+		s.commitWrite(f.dst, 0, maskFor(f.dstWidth), v.Resize(f.dstWidth))
+		return
+	}
+	if prog := ca.prog; prog != nil {
+		regs := s.caRegs[s.design.caRegOff[idx]:s.design.caRegOff[idx+1]]
+		nested := s.caBusy[idx]
+		if nested {
+			// Re-entered while mid-program: a multi-store assign whose
+			// own first store's propagation wave (only possible outside a
+			// flush, i.e. the t=0 evaluation) re-evaluates the same
+			// assign. The outer frame's registers are still live, so the
+			// nested run gets fresh ones — the per-entry locals the tree
+			// kernel had, preserved exactly.
+			regs = make([]Value, prog.numRegs)
+		} else {
+			s.caBusy[idx] = true
+		}
+		ev := evaluator{sim: s, scope: ca.scope}
+		_, err := vmRun(s, prog, regs, nil, &ev, 0)
+		if !nested {
+			s.caBusy[idx] = false
+		}
+		if err != nil {
+			if s.rtErr == nil {
+				s.rtErr = fmt.Errorf("continuous assign at line %d: %w", ca.line, err)
+			}
+		}
+		return
+	}
 	ev := &evaluator{sim: s, scope: ca.scope}
 	rhs, err := ev.eval(ca.rhs)
 	if err != nil {
@@ -562,25 +705,40 @@ func FormatSignals(res *SimResult, prefix string) string {
 // bench-level names). Rendering is identical, so derived fingerprints
 // stay in sync with the human-readable listings.
 func FormatSignalsFunc(res *SimResult, keep func(name string) bool) string {
-	names := make([]string, 0, len(res.Final)+len(res.FinalMem))
-	for n := range res.Final {
+	type entry struct {
+		name string
+		v    Value
+		mem  string
+	}
+	entries := make([]entry, 0, len(res.Final)+len(res.FinalMem))
+	total := 0
+	for n, v := range res.Final {
 		if keep(n) {
-			names = append(names, n)
+			entries = append(entries, entry{name: n, v: v})
+			total += len(n) + v.Width + 8
 		}
 	}
-	for n := range res.FinalMem {
+	for n, m := range res.FinalMem {
 		if keep(n) {
-			names = append(names, n)
+			entries = append(entries, entry{name: n, mem: m})
+			total += len(n) + len(m) + 2
 		}
 	}
-	sort.Strings(names)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 	var b strings.Builder
-	for _, n := range names {
-		if v, ok := res.Final[n]; ok {
-			fmt.Fprintf(&b, "%s=%s\n", n, v)
+	b.Grow(total)
+	var scratch []byte
+	for i := range entries {
+		e := &entries[i]
+		b.WriteString(e.name)
+		b.WriteByte('=')
+		if e.mem != "" {
+			b.WriteString(e.mem)
 		} else {
-			fmt.Fprintf(&b, "%s=%s\n", n, res.FinalMem[n])
+			scratch = e.v.appendString(scratch[:0])
+			b.Write(scratch)
 		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -91,19 +91,26 @@ func (v Value) IsTrue() bool {
 
 // String renders the value in Verilog binary-literal style for logs.
 func (v Value) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d'b", v.Width)
+	return string(v.appendString(nil))
+}
+
+// appendString appends the String rendering to b without the fmt
+// machinery; the simulator's check-failure and final-signal formatting
+// paths run it on reused scratch so steady-state logging never allocates.
+func (v Value) appendString(b []byte) []byte {
+	b = strconv.AppendInt(b, int64(v.Width), 10)
+	b = append(b, '\'', 'b')
 	for i := v.Width - 1; i >= 0; i-- {
 		switch {
 		case v.Unknown>>uint(i)&1 == 1:
-			b.WriteByte('x')
+			b = append(b, 'x')
 		case v.Bits>>uint(i)&1 == 1:
-			b.WriteByte('1')
+			b = append(b, '1')
 		default:
-			b.WriteByte('0')
+			b = append(b, '0')
 		}
 	}
-	return b.String()
+	return b
 }
 
 // FormatRadix renders the value for $display verbs: 'd, 'h, 'b.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"llm4eda/internal/benchset"
 	"llm4eda/internal/core"
@@ -72,8 +73,32 @@ const benchTop = "tb"
 // both values. Because the expected value is a constant, it is identical
 // across candidates and adds no oracle information to the signature.
 func StimulusBench(tb string) string {
-	return strings.ReplaceAll(tb, "$check_eq(", `$display("SIG %b %b", `)
+	sbMu.Lock()
+	if sb, ok := sbCache[tb]; ok {
+		sbMu.Unlock()
+		return sb
+	}
+	sbMu.Unlock()
+	sb := strings.ReplaceAll(tb, "$check_eq(", `$display("SIG %b %b", `)
+	sbMu.Lock()
+	if len(sbCache) < sbCacheCap {
+		sbCache[tb] = sb
+	}
+	sbMu.Unlock()
+	return sb
 }
+
+// sbCache memoizes testbench -> stimulus-bench rewrites: every batch of
+// every ranking round re-derives the same handful of benches. The cap
+// only exists so arbitrary caller-supplied benches cannot grow the memo
+// without bound (every other cache in the repo is bounded too); the
+// benchset suite fits with room to spare.
+var (
+	sbMu    sync.Mutex
+	sbCache = map[string]string{}
+)
+
+const sbCacheCap = 128
 
 // Signature simulates a candidate on the stimulus bench and returns its
 // output fingerprint ("" when the candidate does not compile).
@@ -92,17 +117,22 @@ func Signature(p *benchset.Problem, source string, sim verilog.SimOptions) strin
 // names vary freely across LLM samples) are excluded so naming noise
 // cannot split clusters.
 func Fingerprint(res *verilog.SimResult) string {
-	sig := res.Output
+	fs := benchFinals(res)
+	var b strings.Builder
+	b.Grow(len(res.Output) + len(fs) + 32)
+	b.WriteString(res.Output)
 	if res.RuntimeErr != nil {
-		sig += "\nRT:" + res.RuntimeErr.Error()
+		b.WriteString("\nRT:")
+		b.WriteString(res.RuntimeErr.Error())
 	}
 	if res.TimedOut {
-		sig += "\nTIMEOUT"
+		b.WriteString("\nTIMEOUT")
 	}
-	if fs := benchFinals(res); fs != "" {
-		sig += "\nFINAL:\n" + fs
+	if fs != "" {
+		b.WriteString("\nFINAL:\n")
+		b.WriteString(fs)
 	}
-	return sig
+	return b.String()
 }
 
 // benchFinals renders the final values of signals declared directly in
@@ -128,11 +158,19 @@ func Signatures(ctx context.Context, p *benchset.Problem, sources []string, sim 
 	}
 	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	out := make([]string, len(sources))
+	// Duplicate candidates share one cached *SimResult; render each
+	// distinct result once instead of once per duplicate.
+	rendered := make(map[*verilog.SimResult]string, len(results))
 	for i, r := range results {
 		if r.Err != nil {
 			continue
 		}
-		out[i] = Fingerprint(r.Res)
+		fp, ok := rendered[r.Res]
+		if !ok {
+			fp = Fingerprint(r.Res)
+			rendered[r.Res] = fp
+		}
+		out[i] = fp
 	}
 	return out, err
 }
