@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json bench-smoke ci
+.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json bench-smoke serve-smoke ci
 
 all: build
 
@@ -33,10 +33,12 @@ test-short:
 
 # Race-check the concurrent batch-simulation engine, every package whose
 # scoring runs on worker pools, the front-door API (its event sinks
-# receive from worker goroutines), and the simulator kernel (its bound-
-# body memo and compiled designs are shared across concurrent runs).
+# receive from worker goroutines), the simulator kernel (its bound-
+# body memo and compiled designs are shared across concurrent runs), and
+# the job service (queue shards, SSE broadcasters and the report store
+# all cross goroutines).
 test-race:
-	$(GO) test -race -short ./eda ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -80,4 +82,29 @@ bench-smoke:
 	if [ "$$ns" -gt "$$((2 * base))" ]; then \
 	  echo "bench-smoke: regression — ns/op exceeds 2x the committed baseline" >&2; exit 1; fi
 
-ci: build vet fmt-check test-short test-race
+# Service-layer smoke: boot `llm4eda serve`, drive one quick job through
+# the typed client (submit, SSE stream, report, cached resubmission,
+# stats), then SIGTERM and require a clean drained exit. The port is
+# fixed; override SERVE_SMOKE_ADDR when it clashes.
+SERVE_SMOKE_ADDR ?= 127.0.0.1:18372
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/llm4eda" ./cmd/llm4eda; \
+	$(GO) build -o "$$tmp/servedemo" ./examples/servedemo; \
+	"$$tmp/llm4eda" serve -addr $(SERVE_SMOKE_ADDR) > "$$tmp/serve.log" 2>&1 & \
+	pid=$$!; \
+	if ! "$$tmp/servedemo" -addr http://$(SERVE_SMOKE_ADDR); then \
+	  echo "serve-smoke: client run failed; server log:" >&2; \
+	  cat "$$tmp/serve.log" >&2; kill "$$pid" 2>/dev/null || true; exit 1; fi; \
+	kill -TERM "$$pid"; \
+	if ! wait "$$pid"; then \
+	  echo "serve-smoke: server did not exit cleanly; log:" >&2; \
+	  cat "$$tmp/serve.log" >&2; exit 1; fi; \
+	grep -q "drained, bye" "$$tmp/serve.log" || { \
+	  echo "serve-smoke: no clean-drain marker in server log:" >&2; \
+	  cat "$$tmp/serve.log" >&2; exit 1; }; \
+	echo "serve-smoke: ok (submit, stream, cached resubmit, clean drain)"
+
+ci: build vet fmt-check test-short test-race serve-smoke

@@ -8,15 +8,18 @@
 //
 //	llm4eda [-cpuprofile F] [-memprofile F] <command> ...
 //	llm4eda <framework> [-tier T] [-seed N] [-workers N] [-timeout D]
-//	        [-p k=v ...] [-v] [problem-id]     run one framework (see list)
+//	        [-p k=v ...] [-v] [-json] [problem-id]  run one framework (see list)
 //	llm4eda exp [-full] [-seed N] [-timeout D] [-v] <E1..E10|all>
 //	llm4eda list                               frameworks, problems, kernels
+//	llm4eda serve [-addr A] [-workers N] [-queue N]  run the EDA job service
 //
 // tiers: small | medium | large | frontier
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +66,7 @@ func commandTable() []command {
 	cmds = append(cmds,
 		command{name: "exp", summary: "regenerate paper artifacts (E1..E10|all)", run: cmdExp},
 		command{name: "list", summary: "list frameworks, benchmark problems and repair kernels", run: func([]string) error { return cmdList() }},
+		command{name: "serve", summary: "run the EDA job service (queued jobs, SSE progress, shared caches)", run: cmdServe},
 	)
 	sort.Slice(cmds, func(i, j int) bool { return cmds[i].name < cmds[j].name })
 	return cmds
@@ -134,7 +138,7 @@ func usage() {
 		fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.name, c.summary)
 	}
 	fmt.Fprint(os.Stderr, `
-framework flags: [-tier T] [-seed N] [-workers N] [-timeout D] [-p k=v ...] [-v] [problem-id]
+framework flags: [-tier T] [-seed N] [-workers N] [-timeout D] [-p k=v ...] [-v] [-json] [problem-id]
 tiers: small | medium | large | frontier
 `)
 }
@@ -167,6 +171,7 @@ func runFramework(name string, args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock bound for the whole run (0 = none)")
 	verbose := fs.Bool("v", false, "stream per-candidate and per-LLM-call events")
 	quiet := fs.Bool("q", false, "suppress the event stream entirely")
+	jsonOut := fs.Bool("json", false, "emit the final report as JSON on stdout (progress moves to stderr)")
 	params := paramFlags{}
 	fs.Var(params, "p", "framework knob as name=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -187,12 +192,41 @@ func runFramework(name string, args []string) error {
 	}
 	opts := []eda.Option{}
 	if !*quiet {
-		opts = append(opts, eda.WithSink(eda.ProgressPrinter(os.Stdout, *verbose)))
+		// With -json, stdout is reserved for the machine-readable report;
+		// the human progress stream moves to stderr.
+		progress := os.Stdout
+		if *jsonOut {
+			progress = os.Stderr
+		}
+		opts = append(opts, eda.WithSink(eda.ProgressPrinter(progress, *verbose)))
 	}
 	report, err := eda.Run(context.Background(), spec, opts...)
 	if report != nil {
-		fmt.Print(report.Render())
+		if perr := printReport(report, *jsonOut); perr != nil && err == nil {
+			err = perr
+		}
 	}
+	return err
+}
+
+// printReport renders the final report: the CLI table, or — under -json —
+// the same wire encoding the serve API returns for its jobs, so scripts
+// parse one format no matter which entry point ran the spec.
+func printReport(report *eda.Report, asJSON bool) error {
+	if !asJSON {
+		fmt.Print(report.Render())
+		return nil
+	}
+	b, err := report.JSON()
+	if err != nil {
+		return fmt.Errorf("encoding report: %w", err)
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, b, "", "  "); err != nil {
+		return err
+	}
+	pretty.WriteByte('\n')
+	_, err = os.Stdout.Write(pretty.Bytes())
 	return err
 }
 

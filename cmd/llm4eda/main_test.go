@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -54,10 +56,71 @@ func TestTableCoversRegistry(t *testing.T) {
 			t.Errorf("framework %q has no subcommand", fw)
 		}
 	}
-	for _, extra := range []string{"exp", "list"} {
+	for _, extra := range []string{"exp", "list", "serve"} {
 		if !have[extra] {
 			t.Errorf("missing %q command", extra)
 		}
+	}
+}
+
+// TestJSONReportFlag pins the -json contract: stdout carries exactly one
+// JSON document in the shared report wire format (the same bytes the
+// serve API would return for this spec), progress noise goes to stderr.
+func TestJSONReportFlag(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain concurrently: a report larger than the kernel pipe buffer
+	// must not deadlock the writer.
+	type readResult struct {
+		out []byte
+		err error
+	}
+	readCh := make(chan readResult, 1)
+	go func() {
+		out, err := io.ReadAll(r)
+		readCh <- readResult{out, err}
+	}()
+	os.Stdout = w
+	runErr := run([]string{"vrank", "-json", "-p", "k=3", "mux4"})
+	w.Close()
+	os.Stdout = old
+	res := <-readCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	out := res.out
+	if runErr != nil {
+		t.Fatalf("run -json: %v", runErr)
+	}
+	var wire struct {
+		Framework string             `json:"framework"`
+		OK        bool               `json:"ok"`
+		Summary   string             `json:"summary"`
+		Metrics   map[string]float64 `json:"metrics"`
+		Spec      eda.Spec           `json:"spec"`
+	}
+	if err := json.Unmarshal(out, &wire); err != nil {
+		t.Fatalf("stdout is not one JSON report: %v\n%s", err, out)
+	}
+	if wire.Framework != "vrank" || wire.Summary == "" || len(wire.Metrics) == 0 {
+		t.Errorf("report wire incomplete: %+v", wire)
+	}
+	if wire.Spec.Run.Seed != 1 || wire.Spec.Run.Tier != "frontier" {
+		t.Errorf("wire spec lost its defaults: %+v", wire.Spec.Run)
+	}
+}
+
+// TestServeArgValidation: serve rejects positional args and a bad listen
+// address without hanging.
+func TestServeArgValidation(t *testing.T) {
+	if err := run([]string{"serve", "extra"}); err == nil {
+		t.Error("expected error for positional args")
+	}
+	if err := run([]string{"serve", "-addr", "999.999.999.999:1"}); err == nil {
+		t.Error("expected error for unlistenable address")
 	}
 }
 

@@ -28,6 +28,24 @@
 // within one simulation job. See the runnable ExampleRun in the eda
 // package and examples/quickstart for the canonical demo.
 //
+// The same front door runs as a long-lived service: `llm4eda serve`
+// exposes queued jobs over HTTP with streaming progress and a
+// cross-request report cache (internal/edaserver; typed client in
+// eda/client, demo in examples/servedemo):
+//
+//	$ llm4eda serve &
+//	$ curl -s -X POST http://127.0.0.1:8372/v1/jobs \
+//	      -d '{"framework":"vrank","problem":"mux4","params":{"k":3}}'
+//	{"id":"j00000001","state":"queued",...}
+//	$ curl -s http://127.0.0.1:8372/v1/jobs/j00000001          # status + report
+//	$ curl -sN http://127.0.0.1:8372/v1/jobs/j00000001/events  # SSE progress
+//	$ curl -s http://127.0.0.1:8372/v1/stats                   # queue + caches
+//
+// Identical specs submitted by different clients share one run: jobs are
+// content-addressed, so a resubmission returns the cached report and all
+// jobs share one simulation farm. The CLI's -json flag prints the same
+// report wire format for one-shot runs.
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
 // bench_test.go regenerates every figure and in-text result; the same

@@ -1,0 +1,325 @@
+// Package client is the typed HTTP client for the llm4eda job service
+// (`llm4eda serve`, package internal/edaserver). It speaks the /v1 wire
+// protocol: submit an eda.Spec as a job, poll or wait for its report,
+// stream its progress events (the same core event vocabulary every local
+// eda.Run emits) over Server-Sent Events, cancel it, and read the
+// server's queue/cache statistics.
+//
+//	c := client.New("http://127.0.0.1:8372")
+//	job, err := c.Submit(ctx, eda.Spec{Framework: "vrank", Problem: "mux4"})
+//	err = c.Events(ctx, job.ID, eda.ProgressPrinter(os.Stdout, false))
+//	job, err = c.Wait(ctx, job.ID)
+//	report, err := job.DecodeReport()
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"llm4eda/eda"
+	"llm4eda/internal/simfarm"
+)
+
+// Job mirrors the server's job status wire form.
+type Job struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Created is the server-side submission time (RFC 3339).
+	Created string `json:"created"`
+	// Report is the raw shared-wire-format report ((*eda.Report).JSON)
+	// once the job produced one; DecodeReport types it.
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j *Job) Terminal() bool {
+	switch j.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// Report is the shared report wire format — the exact type the server
+// encodes ((*eda.Report).JSON), so server and client can never drift.
+// Detail stays raw: callers that need the framework-native result decode
+// it against that framework's result struct.
+type Report = eda.ReportWire
+
+// DecodeReport decodes the job's report, or fails when none is attached
+// yet.
+func (j *Job) DecodeReport() (*Report, error) {
+	if len(j.Report) == 0 {
+		return nil, fmt.Errorf("client: job %s (%s) carries no report", j.ID, j.State)
+	}
+	var r Report
+	if err := json.Unmarshal(j.Report, &r); err != nil {
+		return nil, fmt.Errorf("client: decoding job %s report: %w", j.ID, err)
+	}
+	return &r, nil
+}
+
+// FarmStats is the simulation farm's per-layer traffic as the server
+// reports it (the same type the eda.ReportWire carries as Cache).
+type FarmStats = simfarm.FarmStats
+
+// Stats mirrors the server's /v1/stats reply.
+type Stats struct {
+	Workers     int            `json:"workers"`
+	QueueDepth  int            `json:"queue_depth"`
+	Draining    bool           `json:"draining,omitempty"`
+	JobStates   map[string]int `json:"job_states"`
+	Submitted   uint64         `json:"submitted"`
+	Completed   uint64         `json:"completed"`
+	Failed      uint64         `json:"failed"`
+	Cancelled   uint64         `json:"cancelled"`
+	Rejected    uint64         `json:"rejected"`
+	ReportCache struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+		Len    int    `json:"len"`
+	} `json:"report_cache"`
+	Farm FarmStats `json:"farm"`
+}
+
+// APIError is a non-2xx server reply.
+type APIError struct {
+	StatusCode int
+	// RetryAfter is the parsed Retry-After hint on 429 replies (zero
+	// otherwise).
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server replied %d: %s", e.StatusCode, e.Message)
+}
+
+// IsQueueFull reports whether err is the server's 429 backpressure reply.
+func IsQueueFull(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.StatusCode == http.StatusTooManyRequests
+}
+
+// Client talks to one server.
+type Client struct {
+	base string
+	hc   *http.Client
+	poll time.Duration
+}
+
+// Option adjusts a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports). The default client has no global timeout — event streams
+// are long-lived — so bound calls with the context instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithPollInterval sets Wait's status poll interval (default 50ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *Client) { c.poll = d }
+}
+
+// New builds a client for the server at base (e.g. "http://host:8372").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{},
+		poll: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	ae := &APIError{StatusCode: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		var secs int
+		if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<10)).Decode(&body); err == nil && body.Error != "" {
+		ae.Message = body.Error
+	} else {
+		ae.Message = resp.Status
+	}
+	return ae
+}
+
+// Submit validates and enqueues spec on the server, returning the queued
+// (or, for a report-cache hit, already completed) job. Backpressure
+// surfaces as an *APIError with StatusCode 429 — see IsQueueFull.
+func (c *Client) Submit(ctx context.Context, spec eda.Spec) (*Job, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding spec: %w", err)
+	}
+	var job Job
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(b), &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Get fetches one job's status.
+func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Cancel requests cancellation and returns the job's status at that
+// moment (a running job may still read "running" until its context
+// cancellation lands; poll or Wait for the terminal state).
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	var job Job
+	if err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	t := time.NewTicker(c.poll)
+	defer t.Stop()
+	for {
+		job, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if job.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return job, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Stats fetches the server's queue/cache statistics.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var st Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Events streams the job's events into sink until the server's terminal
+// "end" frame (returning the job's final status), the stream ends, or ctx
+// is cancelled. A late subscriber replays the job's retained history
+// first, so Events after completion still yields the full stream.
+func (c *Client) Events(ctx context.Context, id string, sink eda.Sink) (*Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+
+	var name string
+	var data bytes.Buffer
+	var final *Job
+	dispatch := func() error {
+		defer func() { name = ""; data.Reset() }()
+		if data.Len() == 0 {
+			return nil
+		}
+		if name == "end" {
+			final = &Job{}
+			return json.Unmarshal(data.Bytes(), final)
+		}
+		var ev eda.Event
+		if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+			return fmt.Errorf("client: bad event frame: %w", err)
+		}
+		if sink != nil {
+			sink.Emit(ev)
+		}
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxSSELine)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := dispatch(); err != nil {
+				return nil, err
+			}
+			if final != nil {
+				return final, nil
+			}
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+		case strings.HasPrefix(line, ":"):
+			// comment frame (e.g. replay-buffer eviction notice)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+	return nil, io.ErrUnexpectedEOF
+}
+
+// maxSSELine bounds one SSE line; event frames embed report summaries and
+// tool feedback heads, not whole sources, so 4 MB is generous.
+const maxSSELine = 4 << 20

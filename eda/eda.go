@@ -37,27 +37,28 @@ type RunSpec = core.RunSpec
 
 // Spec describes one front-door run: which framework, on what payload,
 // under which execution envelope. Exactly the fields a framework needs
-// must be set; Validate rejects the rest.
+// must be set; Validate rejects the rest. The json tags fix the wire form
+// the edaserver service accepts at POST /v1/jobs.
 type Spec struct {
 	// Framework names the registered pipeline: one of Frameworks().
-	Framework string
+	Framework string `json:"framework"`
 	// Run is the shared execution envelope. Zero values select defaults
 	// (seed 1, frontier tier, GOMAXPROCS workers, no deadline).
-	Run RunSpec
+	Run RunSpec `json:"run"`
 	// Problem names a benchmark problem for the Verilog-generation
 	// frameworks (autochip, vrank, crosscheck, agent). Empty selects the
 	// framework's default sweep.
-	Problem string
+	Problem string `json:"problem,omitempty"`
 	// Source is the C payload for the HLS frameworks (repair, hlstest).
 	// Empty selects the framework's default benchmark sweep.
-	Source string
+	Source string `json:"source,omitempty"`
 	// Kernel names the function to synthesize when Source is set.
-	Kernel string
+	Kernel string `json:"kernel,omitempty"`
 	// Vectors are equivalence/seed input vectors for repair and hlstest.
-	Vectors [][]int64
+	Vectors [][]int64 `json:"vectors,omitempty"`
 	// Params carries framework-specific numeric knobs (k, depth, evals,
 	// temperature, ...). Unknown keys are rejected by Validate.
-	Params map[string]float64
+	Params map[string]float64 `json:"params,omitempty"`
 }
 
 // Param returns the named knob or def when unset.
@@ -73,10 +74,12 @@ func (s Spec) Param(name string, def float64) float64 {
 // must be known to the pipeline, and the pipeline's own payload checks
 // must pass.
 func (s Spec) Validate() error {
-	return s.validateIn(DefaultRegistry())
+	return s.ValidateIn(DefaultRegistry())
 }
 
-func (s Spec) validateIn(reg *Registry) error {
+// ValidateIn is Validate against an explicit registry — the check the
+// edaserver front end runs before a spec is allowed onto the job queue.
+func (s Spec) ValidateIn(reg *Registry) error {
 	if s.Framework == "" {
 		return fmt.Errorf("eda: Spec.Framework is required (one of %s)", strings.Join(reg.Names(), ", "))
 	}
@@ -221,13 +224,8 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
 	if o.timeout > 0 && (spec.Run.Deadline == 0 || o.timeout < spec.Run.Deadline) {
 		spec.Run.Deadline = o.timeout
 	}
-	// Pipeline-specific tier default (e.g. slt runs the paper's
-	// GPT-4-class setup) before the global defaults fill the rest.
-	if p, ok := reg.Lookup(spec.Framework); ok && spec.Run.Tier == "" && p.DefaultTier != "" {
-		spec.Run.Tier = p.DefaultTier
-	}
-	spec.Run = spec.Run.WithDefaults()
-	if err := spec.validateIn(reg); err != nil {
+	spec = reg.Normalize(spec)
+	if err := spec.ValidateIn(reg); err != nil {
 		return nil, err
 	}
 	pipeline, _ := reg.Lookup(spec.Framework)

@@ -66,6 +66,20 @@ func (r *Registry) Lookup(name string) (*Pipeline, bool) {
 	return p, ok
 }
 
+// Normalize returns the spec exactly as Run will execute it: the
+// pipeline-specific tier default applied (e.g. slt runs the paper's
+// GPT-4-class setup) and then the shared envelope defaults filled.
+// Normalize is idempotent, and it is the canonical form the edaserver
+// layer content-addresses when deduplicating resubmitted specs — two
+// specs that normalize identically describe the same deterministic run.
+func (r *Registry) Normalize(spec Spec) Spec {
+	if p, ok := r.Lookup(spec.Framework); ok && spec.Run.Tier == "" && p.DefaultTier != "" {
+		spec.Run.Tier = p.DefaultTier
+	}
+	spec.Run = spec.Run.WithDefaults()
+	return spec
+}
+
 // Names lists the registered pipelines in sorted order.
 func (r *Registry) Names() []string {
 	r.mu.RLock()

@@ -1,0 +1,116 @@
+// Command servedemo exercises a running llm4eda job service end to end:
+// it submits one quick-scale job through the typed eda/client package,
+// streams the job's progress events live over SSE, waits for the final
+// report, resubmits the identical spec to demonstrate the cross-request
+// report cache, and prints the server's queue/cache statistics. The
+// `make serve-smoke` CI target runs exactly this against a freshly
+// started `llm4eda serve`.
+//
+// Usage:
+//
+//	llm4eda serve &
+//	go run ./examples/servedemo [-addr http://127.0.0.1:8372]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"llm4eda/eda"
+	"llm4eda/eda/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8372", "server base URL")
+	framework := flag.String("framework", "vrank", "framework to run")
+	problem := flag.String("problem", "mux4", "benchmark problem")
+	flag.Parse()
+	if err := run(*addr, *framework, *problem); err != nil {
+		fmt.Fprintln(os.Stderr, "servedemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, framework, problem string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := client.New(addr)
+
+	// The server may still be binding its listener (serve-smoke starts it
+	// in the background moments before us): poll stats until it answers.
+	if err := waitReady(ctx, c); err != nil {
+		return fmt.Errorf("server at %s not ready: %w", addr, err)
+	}
+
+	spec := eda.Spec{
+		Framework: framework,
+		Problem:   problem,
+		Params:    map[string]float64{"k": 3},
+	}
+	job, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (state %s)\n", job.ID, job.State)
+
+	// Stream progress live; Events returns the terminal status with the
+	// server's "end" frame.
+	if _, err := c.Events(ctx, job.ID, eda.ProgressPrinter(os.Stdout, false)); err != nil {
+		return fmt.Errorf("event stream: %w", err)
+	}
+	job, err = c.Wait(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	report, err := job.DecodeReport()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s %s: %s (%.1f ms)\n", report.Framework, job.State, report.Summary, report.ElapsedMS)
+	if job.State != "done" {
+		return fmt.Errorf("job finished %s: %s", job.State, job.Error)
+	}
+
+	// Same spec again: the content-addressed report store answers without
+	// re-running anything.
+	again, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted as %s: state %s, cached=%v\n", again.ID, again.State, again.Cached)
+	if !again.Cached {
+		return fmt.Errorf("resubmission was not served from the report cache")
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stats: %d workers, queue depth %d, %d completed, report cache %d/%d hit/miss, sim result cache %d hits\n",
+		st.Workers, st.QueueDepth, st.Completed,
+		st.ReportCache.Hits, st.ReportCache.Misses, st.Farm.Results.Hits)
+	return nil
+}
+
+func waitReady(ctx context.Context, c *client.Client) error {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		probe, probeCancel := context.WithTimeout(ctx, time.Second)
+		_, err := c.Stats(probe)
+		probeCancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 )
 
@@ -52,28 +53,66 @@ func (k EventKind) String() string {
 	}
 }
 
+// KindFromString inverts String for the canonical kinds; unknown names
+// map to 0 (an invalid kind) with ok=false.
+func KindFromString(s string) (EventKind, bool) {
+	for k := EventRunStart; k <= EventNote; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON encodes the kind as its canonical name, so an event stream
+// on the wire reads "run-start", not an ordinal that would silently shift
+// if kinds were ever reordered.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a canonical kind name (the eda/client package
+// round-trips server-sent events through this).
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	kind, ok := KindFromString(s)
+	if !ok {
+		return fmt.Errorf("core: unknown event kind %q", s)
+	}
+	*k = kind
+	return nil
+}
+
 // Event is one progress report flowing from a run to its Sink. Fields
-// beyond Kind/Framework are kind-specific; unused ones are zero.
+// beyond Kind/Framework are kind-specific; unused ones are zero. The json
+// tags fix the wire form the eda service layer streams as server-sent
+// events.
 type Event struct {
-	Kind      EventKind
-	Framework string
+	Kind      EventKind `json:"kind"`
+	Framework string    `json:"framework,omitempty"`
 	// Phase names the framework phase (EventPhase*), the cache layer
 	// (EventCache) or the model task (EventLLMCall).
-	Phase string
+	Phase string `json:"phase,omitempty"`
 	// Seq/Total position the event within its loop (candidate i of n,
 	// round r of d); Total may be 0 when open-ended.
-	Seq   int
-	Total int
+	Seq   int `json:"seq,omitempty"`
+	Total int `json:"total,omitempty"`
 	// Score is the candidate's scalar quality (pass fraction, watts, ...).
-	Score float64
+	Score float64 `json:"score,omitempty"`
 	// OK marks phase/candidate success.
-	OK bool
+	OK bool `json:"ok,omitempty"`
 	// Detail carries free-form context (verdicts, tool feedback heads).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 	// TokensIn/TokensOut report model usage (EventLLMCall).
-	TokensIn, TokensOut int
+	TokensIn  int `json:"tokens_in,omitempty"`
+	TokensOut int `json:"tokens_out,omitempty"`
 	// Hits/Misses/Evictions are cache counters (EventCache).
-	Hits, Misses, Evictions uint64
+	Hits      uint64 `json:"hits,omitempty"`
+	Misses    uint64 `json:"misses,omitempty"`
+	Evictions uint64 `json:"evictions,omitempty"`
 }
 
 // Sink receives run events. Implementations must be safe for concurrent

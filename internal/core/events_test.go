@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"testing"
 	"time"
 )
@@ -74,5 +76,39 @@ func TestRunSpecValidate(t *testing.T) {
 	e := RunSpec{Seed: 9, Tier: "small", Workers: 2, Deadline: time.Minute}.WithDefaults()
 	if e.Seed != 9 || e.Tier != "small" || e.Workers != 2 || e.Deadline != time.Minute {
 		t.Errorf("explicit values clobbered: %+v", e)
+	}
+}
+
+// TestEventJSONRoundTrip pins the wire form the service layer streams:
+// kinds travel as canonical names and every field survives the trip.
+func TestEventJSONRoundTrip(t *testing.T) {
+	for k := EventRunStart; k <= EventNote; k++ {
+		ev := Event{Kind: k, Framework: "fw", Phase: "p", Seq: 2, Total: 5,
+			Score: 0.5, OK: true, Detail: "d", TokensIn: 3, TokensOut: 4,
+			Hits: 6, Misses: 7, Evictions: 8}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !bytes.Contains(b, []byte(`"kind":"`+k.String()+`"`)) {
+			t.Errorf("%v: kind not encoded by name: %s", k, b)
+		}
+		var back Event
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if back != ev {
+			t.Errorf("round trip lost fields: %+v vs %+v", back, ev)
+		}
+	}
+	if _, ok := KindFromString("run-start"); !ok {
+		t.Error("KindFromString rejects a canonical name")
+	}
+	if _, ok := KindFromString("nope"); ok {
+		t.Error("KindFromString accepts an unknown name")
+	}
+	var k EventKind
+	if err := json.Unmarshal([]byte(`"bogus"`), &k); err == nil {
+		t.Error("unknown kind name decoded without error")
 	}
 }

@@ -26,17 +26,19 @@ func TierNames() []string {
 // (Seed), how wide batch evaluation fans out (Workers) and how long the
 // run may take (Deadline). Frameworks embed it so defaults and validation
 // live in one place instead of eight.
+// The json tags fix the wire form used by the eda service layer; Deadline
+// travels as integer nanoseconds (Go duration units).
 type RunSpec struct {
 	// Seed fixes every pseudo-random stream of the run (default 1).
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Tier names the model capability class ("small", "medium", "large",
 	// "frontier"); empty selects the framework's default.
-	Tier string
+	Tier string `json:"tier,omitempty"`
 	// Workers bounds batch-evaluation concurrency; 0 selects GOMAXPROCS.
-	Workers int
+	Workers int `json:"workers,omitempty"`
 	// Deadline bounds the whole run's wall clock; 0 means no limit. The
 	// eda layer derives a context timeout from it.
-	Deadline time.Duration
+	Deadline time.Duration `json:"deadline,omitempty"`
 }
 
 // WithDefaults fills zero values with the shared defaults and normalizes

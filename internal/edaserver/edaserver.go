@@ -1,0 +1,408 @@
+// Package edaserver turns the one-shot eda front door into a long-running
+// JSON service: the queued, shareable, streamable job layer the paper's
+// Fig. 6 agent-as-a-service vision needs in front of the compute
+// substrate. One Server embeds an eda.Registry and exposes
+//
+//	POST   /v1/jobs             validate an eda.Spec, enqueue it
+//	GET    /v1/jobs/{id}        job status + the final eda.Report
+//	DELETE /v1/jobs/{id}        cancel (queued jobs never start;
+//	                            running jobs get their context cancelled)
+//	GET    /v1/jobs/{id}/events stream the run's core events as SSE
+//	GET    /v1/stats            queue depth, job counters, report-cache
+//	                            and simfarm cache traffic
+//
+// Jobs land on a bounded queue sharded by the spec's content key, so
+// identical specs serialize on one worker in submission order while
+// distinct specs run in parallel; a full queue (the bound is global
+// across shards) rejects with 429 and Retry-After (backpressure, never
+// unbounded buffering). Every job runs
+// through eda.Run against the one process-wide simfarm.Farm, so identical
+// candidate designs compiled by different requests hit the design/result
+// caches across requests; on top of that sits an LRU-bounded
+// content-addressed report store — resubmitting a spec that normalizes
+// identically (same framework, seed, tier, payload and params; Workers
+// and Deadline are scheduling knobs, not result inputs) returns the
+// cached report verbatim, checked both at submission and again when the
+// job reaches a worker. Shutdown stops intake (503), lets in-flight jobs
+// drain, fails queued-but-unstarted jobs as cancelled, and force-cancels
+// the stragglers only when the caller's context expires.
+package edaserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llm4eda/eda"
+	"llm4eda/internal/simfarm"
+)
+
+// Options configure one Server. Zero values select defaults sized for a
+// single-host deployment.
+type Options struct {
+	// Workers is the number of queue shards, each drained by one worker
+	// goroutine (default GOMAXPROCS). A job's shard is chosen by its
+	// spec's content key, so identical specs keep submission order.
+	Workers int
+	// QueueDepth bounds queued-but-unstarted jobs across all shards
+	// (default 64). Submissions beyond it are rejected with 429.
+	QueueDepth int
+	// ReportCap bounds the content-addressed report store (default 256).
+	ReportCap int
+	// JobCap bounds the job table; the oldest finished jobs are evicted
+	// past it (default 4096). Evicted job ids answer 404.
+	JobCap int
+	// EventHistory bounds each job's event replay ring (default 4096);
+	// an SSE subscriber arriving late replays at most this many events.
+	EventHistory int
+	// Registry resolves frameworks (default eda.DefaultRegistry()).
+	Registry *eda.Registry
+	// Farm is the shared simulation-cache farm surfaced by /v1/stats
+	// (default simfarm.Default(), the same farm eda.Run executes on).
+	Farm *simfarm.Farm
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.ReportCap <= 0 {
+		o.ReportCap = 256
+	}
+	if o.JobCap <= 0 {
+		o.JobCap = 4096
+	}
+	if o.EventHistory <= 0 {
+		o.EventHistory = 4096
+	}
+	if o.Registry == nil {
+		o.Registry = eda.DefaultRegistry()
+	}
+	if o.Farm == nil {
+		o.Farm = simfarm.Default()
+	}
+	return o
+}
+
+// Server is the HTTP job service. Create one with New, mount it anywhere
+// (it implements http.Handler), and stop it with Shutdown.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	// baseCtx parents every job context; baseCancel is the force-cancel
+	// lever of a timed-out Shutdown.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// intakeMu orders submissions against drain: enqueue sends under
+	// RLock after checking draining, Shutdown flips draining and closes
+	// the shard channels under Lock, so no send can race a close.
+	intakeMu sync.RWMutex
+	draining bool
+	shards   []chan *job
+	wg       sync.WaitGroup
+
+	// queued counts jobs accepted onto the shards but not yet popped by
+	// a worker — the global QueueDepth bound and the /v1/stats depth.
+	queued atomic.Int64
+
+	// mu guards the job table. Lock ordering: mu before job.mu.
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for finished-job eviction
+	seq   uint64
+
+	store *reportStore
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*job),
+		store: newReportStore(opts.ReportCap),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Every shard can buffer the full global bound: the bound itself is
+	// enforced by the queued counter, so a hot content key (all jobs on
+	// one shard) still gets the whole advertised QueueDepth.
+	s.shards = make([]chan *job, opts.Workers)
+	for i := range s.shards {
+		s.shards[i] = make(chan *job, opts.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP dispatches to the /v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: intake stops (submissions answer 503),
+// queued-but-unstarted jobs finish as cancelled without running, and
+// in-flight jobs run to completion. When ctx expires first, the in-flight
+// jobs' contexts are cancelled — eda.Run returns within one simulation
+// job — and Shutdown still waits for the workers before returning
+// ctx.Err(). A drained server returns nil and stays mounted: reads keep
+// working, writes stay rejected.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.intakeMu.Lock()
+	first := !s.draining
+	s.draining = true
+	if first {
+		for _, sh := range s.shards {
+			close(sh)
+		}
+	}
+	s.intakeMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.intakeMu.RLock()
+	defer s.intakeMu.RUnlock()
+	return s.draining
+}
+
+var (
+	errQueueFull = errors.New("edaserver: job queue full")
+	errDraining  = errors.New("edaserver: server is shutting down")
+)
+
+// enqueue places a queued job on its content-key shard without blocking.
+// The QueueDepth bound is global across shards (reserve-then-send on the
+// queued counter); each shard channel is sized to hold the full bound,
+// so the select's default arm is unreachable in practice and exists only
+// as a safety net.
+func (s *Server) enqueue(jb *job) error {
+	s.intakeMu.RLock()
+	defer s.intakeMu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	if s.queued.Add(1) > int64(s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+	// Mark the reservation before the send: once the job is in the
+	// channel a worker may pop it at any moment and must find the slot
+	// marked so it releases exactly once.
+	jb.mu.Lock()
+	jb.queuedSlot = true
+	jb.mu.Unlock()
+	select {
+	case s.shards[shardOf(jb.key, len(s.shards))] <- jb:
+		return nil
+	default:
+		jb.mu.Lock()
+		jb.queuedSlot = false
+		jb.mu.Unlock()
+		s.queued.Add(-1)
+		return errQueueFull
+	}
+}
+
+// releaseSlotLocked returns the job's QueueDepth reservation, once.
+// Callers hold jb.mu.
+func (s *Server) releaseSlotLocked(jb *job) {
+	if jb.queuedSlot {
+		jb.queuedSlot = false
+		s.queued.Add(-1)
+	}
+}
+
+func (s *Server) worker(ch chan *job) {
+	defer s.wg.Done()
+	for jb := range ch {
+		s.runJob(jb)
+	}
+}
+
+// runJob drives one popped job to a terminal state.
+func (s *Server) runJob(jb *job) {
+	jb.mu.Lock()
+	s.releaseSlotLocked(jb)
+	if jb.state != stateQueued {
+		// Cancelled while queued; the cancel path already finalized it.
+		jb.mu.Unlock()
+		return
+	}
+	if s.isDraining() {
+		jb.finishLocked(stateCancelled, nil, false, "server shut down before the job started")
+		jb.mu.Unlock()
+		s.cancelled.Add(1)
+		jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
+			Detail: "job cancelled: server shutting down"})
+		jb.events.close()
+		return
+	}
+	// Pop-time dedup: an identical job queued ahead of us (same content
+	// key, therefore same shard) may have completed while we waited.
+	if e, ok := s.store.peek(jb.key); ok {
+		jb.mu.Unlock()
+		s.completeFromCache(jb, e)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	jb.cancel = cancel
+	jb.state = stateRunning
+	jb.mu.Unlock()
+
+	report, err := eda.Run(ctx, jb.spec, eda.WithRegistry(s.opts.Registry), eda.WithSink(jb.events))
+	cancel()
+
+	var reportJSON []byte
+	var reportOK bool
+	if report != nil {
+		reportOK = report.OK
+		if b, jerr := report.JSON(); jerr == nil {
+			reportJSON = b
+		} else if err == nil {
+			err = fmt.Errorf("edaserver: report encoding failed: %w", jerr)
+		}
+	}
+	jb.mu.Lock()
+	switch {
+	case err == nil && reportJSON != nil:
+		jb.finishLocked(stateDone, reportJSON, false, "")
+		jb.mu.Unlock()
+		s.store.add(jb.key, &reportEntry{json: reportJSON, ok: reportOK, summary: report.Summary})
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled):
+		// Client DELETE or forced shutdown; a partial report still
+		// travels with the terminal status when the pipeline made one.
+		jb.finishLocked(stateCancelled, reportJSON, false, err.Error())
+		jb.mu.Unlock()
+		s.cancelled.Add(1)
+	default:
+		detail := "pipeline returned no report"
+		if err != nil {
+			detail = err.Error()
+		}
+		jb.finishLocked(stateFailed, reportJSON, false, detail)
+		jb.mu.Unlock()
+		s.failed.Add(1)
+	}
+	jb.events.close()
+}
+
+// completeFromCache finishes a job with a stored report: the same bytes
+// the original run produced, so concurrent identical submissions observe
+// byte-identical reports.
+func (s *Server) completeFromCache(jb *job, e *reportEntry) {
+	jb.mu.Lock()
+	if jb.state != stateQueued {
+		// A cancel won the race between the store probe and completion;
+		// leave the terminal state it set.
+		jb.mu.Unlock()
+		return
+	}
+	jb.finishLocked(stateDone, e.json, true, "")
+	jb.mu.Unlock()
+	s.completed.Add(1)
+	jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
+		Detail: "report served from the cross-request report cache"})
+	jb.events.Emit(eda.Event{Kind: eda.EventRunEnd, Framework: jb.spec.Framework,
+		OK: e.ok, Detail: e.summary})
+	jb.events.close()
+}
+
+// newJob registers a fresh queued job, evicting the oldest finished jobs
+// past JobCap.
+func (s *Server) newJob(spec eda.Spec, key string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	jb := &job{
+		id:      fmt.Sprintf("j%08d", s.seq),
+		key:     key,
+		spec:    spec,
+		created: time.Now().UTC(),
+		state:   stateQueued,
+		events:  newBroadcaster(s.opts.EventHistory),
+	}
+	s.jobs[jb.id] = jb
+	s.order = append(s.order, jb.id)
+	if len(s.jobs) > s.opts.JobCap {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			old := s.jobs[id]
+			if old == nil {
+				continue // unregistered (rejected submission): drop the stale id
+			}
+			if len(s.jobs) > s.opts.JobCap && old.terminal() {
+				delete(s.jobs, id)
+				continue
+			}
+			kept = append(kept, id)
+		}
+		s.order = kept
+	}
+	return jb
+}
+
+// unregister drops a job that never made it onto the queue. Rejected
+// submissions are the most recent registrations, so the backward scan
+// of the order slice finds them in O(1) typically.
+func (s *Server) unregister(jb *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, jb.id)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == jb.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// queueDepth reports the queued-but-unstarted jobs across all shards.
+func (s *Server) queueDepth() int {
+	if n := s.queued.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}

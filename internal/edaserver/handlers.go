@@ -1,0 +1,264 @@
+package edaserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"llm4eda/eda"
+	"llm4eda/internal/simfarm"
+)
+
+// maxSpecBytes bounds a submitted spec body; Source payloads are at most
+// kernels, not repositories.
+const maxSpecBytes = 4 << 20
+
+// JobStatus is the wire form of one job, shared by every job endpoint
+// and by the SSE terminal "end" event. Report carries the eda.Report in
+// the shared wire encoding ((*eda.Report).JSON) once the job produced
+// one — including the partial report of a failed or cancelled run.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Cached  bool   `json:"cached,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Created string `json:"created"` // RFC 3339 UTC
+
+	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// StatsReply is the wire form of /v1/stats.
+type StatsReply struct {
+	Workers    int  `json:"workers"`
+	QueueDepth int  `json:"queue_depth"`
+	Draining   bool `json:"draining,omitempty"`
+	// JobStates counts retained jobs by state.
+	JobStates map[string]int `json:"job_states"`
+	Submitted uint64         `json:"submitted"`
+	Completed uint64         `json:"completed"`
+	Failed    uint64         `json:"failed"`
+	Cancelled uint64         `json:"cancelled"`
+	Rejected  uint64         `json:"rejected"`
+	// ReportCache is the cross-request report store's traffic.
+	ReportCache ReportCacheStats `json:"report_cache"`
+	// Farm is the shared simulation farm's per-layer traffic; its Results
+	// hits are the cross-request design/simulation reuse the service
+	// exists to exploit.
+	Farm simfarm.FarmStats `json:"farm"`
+}
+
+// ReportCacheStats is the report store's corner of /v1/stats.
+type ReportCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Len    int    `json:"len"`
+}
+
+// errorReply is the JSON body of every non-2xx response.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
+}
+
+// status snapshots the job's wire form.
+func (jb *job) status() JobStatus {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return JobStatus{
+		ID:      jb.id,
+		State:   jb.state,
+		Cached:  jb.cached,
+		Error:   jb.errDetail,
+		Created: jb.created.Format("2006-01-02T15:04:05.000Z07:00"),
+		Report:  jb.reportJSON,
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	var spec eda.Spec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad spec: %v", err)
+		return
+	}
+	spec = s.opts.Registry.Normalize(spec)
+	if err := spec.ValidateIn(s.opts.Registry); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := contentKey(spec)
+	jb := s.newJob(spec, key)
+	s.submitted.Add(1)
+	jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: spec.Framework,
+		Detail: "job " + jb.id + " queued"})
+
+	// Submission-time dedup: an identical completed run answers
+	// immediately, without consuming queue capacity.
+	if e, ok := s.store.get(key); ok {
+		s.completeFromCache(jb, e)
+		writeJSON(w, http.StatusOK, jb.status())
+		return
+	}
+	if err := s.enqueue(jb); err != nil {
+		s.unregister(jb)
+		s.rejected.Add(1)
+		if errors.Is(err, errDraining) {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jb.status())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	jb.mu.Lock()
+	switch jb.state {
+	case stateQueued:
+		// The worker that eventually pops this job sees a non-queued
+		// state and skips it; its QueueDepth reservation is returned now,
+		// not when the worker drains past the corpse.
+		s.releaseSlotLocked(jb)
+		jb.finishLocked(stateCancelled, nil, false, "cancelled by client before start")
+		jb.mu.Unlock()
+		s.cancelled.Add(1)
+		jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
+			Detail: "job cancelled before start"})
+		jb.events.close()
+	case stateRunning:
+		cancel := jb.cancel
+		jb.mu.Unlock()
+		if cancel != nil {
+			cancel() // the worker finalizes state when eda.Run returns
+		}
+	default:
+		jb.mu.Unlock() // already terminal: cancellation is a no-op
+	}
+	writeJSON(w, http.StatusOK, jb.status())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	states := map[string]int{}
+	s.mu.Lock()
+	for _, jb := range s.jobs {
+		jb.mu.Lock()
+		states[jb.state]++
+		jb.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, StatsReply{
+		Workers:    len(s.shards),
+		QueueDepth: s.queueDepth(),
+		Draining:   s.isDraining(),
+		JobStates:  states,
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Cancelled:  s.cancelled.Load(),
+		Rejected:   s.rejected.Load(),
+		ReportCache: ReportCacheStats{
+			Hits:   s.store.hits.Load(),
+			Misses: s.store.miss.Load(),
+			Len:    s.store.len(),
+		},
+		Farm: s.opts.Farm.Stats(),
+	})
+}
+
+// handleEvents streams the job's event history and live tail as
+// Server-Sent Events: one "event: <kind>" + "data: <event JSON>" frame
+// per core event, closed by a terminal "event: end" frame whose data is
+// the job's final JobStatus. Clients arriving after completion get the
+// full replay and the end frame immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(r.PathValue("id"))
+	if jb == nil {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, dropped, ch, cancelSub := jb.events.subscribe(256)
+	defer cancelSub()
+	if dropped > 0 {
+		fmt.Fprintf(w, ": %d earlier events evicted from the replay buffer\n\n", dropped)
+	}
+	for _, ev := range replay {
+		writeSSE(w, ev)
+	}
+	fl.Flush()
+	if ch == nil {
+		writeSSEEnd(w, jb)
+		fl.Flush()
+		return
+	}
+	ctx := r.Context()
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				writeSSEEnd(w, jb)
+				fl.Flush()
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev eda.Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return // core events always marshal; belt and braces
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, b)
+}
+
+func writeSSEEnd(w io.Writer, jb *job) {
+	b, err := json.Marshal(jb.status())
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: end\ndata: %s\n\n", b)
+}

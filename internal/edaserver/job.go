@@ -1,0 +1,193 @@
+package edaserver
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"llm4eda/eda"
+)
+
+// Job states. queued and running are live; done, failed and cancelled are
+// terminal.
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateFailed    = "failed"
+	stateCancelled = "cancelled"
+)
+
+// job is one submitted run moving through the queue.
+type job struct {
+	id      string
+	key     string // content key of the normalized spec
+	spec    eda.Spec
+	created time.Time
+	events  *broadcaster
+
+	mu         sync.Mutex
+	state      string
+	cached     bool   // report served from the report store
+	errDetail  string // terminal failure/cancellation detail
+	reportJSON []byte // shared wire-format report bytes (possibly partial)
+	cancel     func() // cancels the running job's context
+	// queuedSlot marks that this job holds one unit of the server's
+	// global QueueDepth reservation. Exactly one of the worker's pop and
+	// a queued-state cancel releases it (guarded by mu), so a cancelled
+	// job waiting in a shard channel stops counting against the bound
+	// immediately instead of until a worker drains past it.
+	queuedSlot bool
+}
+
+// finishLocked moves the job to a terminal state. Callers hold jb.mu.
+func (jb *job) finishLocked(state string, reportJSON []byte, cached bool, errDetail string) {
+	jb.state = state
+	jb.reportJSON = reportJSON
+	jb.cached = cached
+	jb.errDetail = errDetail
+	jb.cancel = nil
+}
+
+// terminal reports whether the job has reached a final state.
+func (jb *job) terminal() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	switch jb.state {
+	case stateDone, stateFailed, stateCancelled:
+		return true
+	}
+	return false
+}
+
+// shardOf maps a content key onto a queue shard. Same key, same shard:
+// identical specs keep submission order, which is what makes the worker's
+// pop-time report-store check deterministic for concurrent duplicates.
+func shardOf(key string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// broadcaster is one job's event channel: a bounded replay ring feeding
+// any number of SSE subscribers. It implements eda.Sink, so eda.Run
+// streams straight into it from worker and pipeline goroutines; Emit
+// never blocks (a slow subscriber drops events rather than stalling the
+// run). The ring grows geometrically up to capMax and is trimmed to the
+// events actually emitted when the stream closes, so a quiet job (a
+// cache hit emits two events) never pins a full-size buffer and finished
+// jobs retain only their real history.
+type broadcaster struct {
+	mu      sync.Mutex
+	ring    []eda.Event
+	capMax  int
+	start   int // index of the oldest retained event
+	n       int // retained events
+	dropped uint64
+	subs    map[int]chan eda.Event
+	nextSub int
+	closed  bool
+}
+
+func newBroadcaster(history int) *broadcaster {
+	return &broadcaster{
+		capMax: history,
+		subs:   make(map[int]chan eda.Event),
+	}
+}
+
+// Emit records the event in the replay ring (growing it up to capMax,
+// then evicting the oldest) and forwards it to every live subscriber
+// without blocking.
+func (b *broadcaster) Emit(ev eda.Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if b.n == len(b.ring) && len(b.ring) < b.capMax {
+		grown := len(b.ring) * 2
+		if grown == 0 {
+			grown = 16
+		}
+		if grown > b.capMax {
+			grown = b.capMax
+		}
+		b.ring = b.copyOut(grown)
+		b.start = 0
+	}
+	if b.n < len(b.ring) {
+		b.ring[(b.start+b.n)%len(b.ring)] = ev
+		b.n++
+	} else {
+		b.ring[b.start] = ev
+		b.start = (b.start + 1) % len(b.ring)
+		b.dropped++
+	}
+	for _, ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than stall the run
+		}
+	}
+}
+
+// copyOut returns the retained events in order in a slice of len size
+// (size >= b.n). Callers hold b.mu.
+func (b *broadcaster) copyOut(size int) []eda.Event {
+	out := make([]eda.Event, size)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.ring[(b.start+i)%len(b.ring)]
+	}
+	return out
+}
+
+// subscribe returns the retained history, how many earlier events the
+// ring already evicted, and a live channel that closes when the job
+// finishes. The replay snapshot and the registration happen under one
+// lock, so no event falls between them. On an already-finished job the
+// channel is nil. cancel detaches the subscriber (idempotent).
+func (b *broadcaster) subscribe(buf int) (replay []eda.Event, dropped uint64, ch chan eda.Event, cancel func()) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	replay = make([]eda.Event, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		replay = append(replay, b.ring[(b.start+i)%len(b.ring)])
+	}
+	if b.closed {
+		return replay, b.dropped, nil, func() {}
+	}
+	id := b.nextSub
+	b.nextSub++
+	ch = make(chan eda.Event, buf)
+	b.subs[id] = ch
+	return replay, b.dropped, ch, func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(ch)
+		}
+	}
+}
+
+// close marks the stream complete, releases every subscriber and trims
+// the replay ring to the events actually emitted (the job table retains
+// finished jobs, so spare ring capacity would otherwise be pinned until
+// eviction). Safe to call more than once.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for id, ch := range b.subs {
+		delete(b.subs, id)
+		close(ch)
+	}
+	if b.n < len(b.ring) {
+		b.ring = b.copyOut(b.n)
+		b.start = 0
+	}
+}

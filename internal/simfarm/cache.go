@@ -3,6 +3,7 @@ package simfarm
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // Stats is a point-in-time snapshot of one cache's traffic counters.
@@ -23,12 +24,25 @@ type Stats struct {
 // computation instead of duplicating it — under RunMany with duplicate
 // candidates the seed design recomputed identical simulations whenever
 // duplicates landed in the same scheduling window.
+//
+// The traffic counters are atomics deliberately kept outside mu: snapshot
+// never takes the map lock, so an observability poller (the edaserver
+// /v1/stats handler, the per-run deltas eda.Run records) can hammer
+// Stats() without contending with worker-pool cache probes. A snapshot is
+// therefore not one consistent cut across counters — hits observed
+// mid-probe may be a step ahead of len — which is fine for monitoring and
+// for the settled before/after deltas the callers take.
 type lru struct {
-	mu    sync.Mutex
-	cap   int
-	m     map[string]*list.Element
-	ll    *list.List // front = most recently used
-	stats Stats
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	computes  atomic.Uint64
+	length    atomic.Int64
 
 	fmu     sync.Mutex
 	flights map[string]*flight
@@ -98,9 +112,7 @@ func (c *lru) getOrCompute(key string, compute func() any) any {
 	} else {
 		f.val = compute()
 		c.add(key, f.val)
-		c.mu.Lock()
-		c.stats.Computes++
-		c.mu.Unlock()
+		c.computes.Add(1)
 	}
 	f.ok = true
 	return f.val
@@ -123,10 +135,10 @@ func (c *lru) get(key string) (any, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
 	if !ok {
-		c.stats.Misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.stats.Hits++
+	c.hits.Add(1)
 	c.ll.MoveToFront(el)
 	return el.Value.(*entry).val, true
 }
@@ -142,21 +154,26 @@ func (c *lru) add(key string, val any) {
 		return
 	}
 	c.m[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.length.Add(1)
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*entry).key)
-		c.stats.Evictions++
+		c.evictions.Add(1)
+		c.length.Add(-1)
 	}
 }
 
-// snapshot returns the current counters.
+// snapshot returns the current counters without taking the map lock; see
+// the consistency note on lru.
 func (c *lru) snapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Len = c.ll.Len()
-	return s
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Computes:  c.computes.Load(),
+		Len:       int(c.length.Load()),
+	}
 }
 
 // purge drops every entry but keeps the counters.
@@ -165,4 +182,5 @@ func (c *lru) purge() {
 	defer c.mu.Unlock()
 	c.m = make(map[string]*list.Element)
 	c.ll.Init()
+	c.length.Store(0)
 }

@@ -102,7 +102,13 @@ type FarmStats struct {
 	Parses, Designs, Results Stats
 }
 
-// Stats snapshots the farm's counters.
+// Stats snapshots the farm's counters. The snapshot is lock-free (each
+// layer's counters are atomics held outside the cache lock), so Stats is
+// safe and cheap to poll from any number of goroutines while RunMany is
+// saturating the caches — the edaserver /v1/stats handler does exactly
+// that. Counters are loaded individually, not as one consistent cut; the
+// before/after deltas eda.Run records are taken at rest, where that
+// distinction vanishes.
 func (f *Farm) Stats() FarmStats {
 	return FarmStats{
 		Parses:  f.parses.snapshot(),
