@@ -69,7 +69,7 @@ bench-json:
 # slower than 2x the committed baseline (BENCH_BASELINE, override to
 # compare against another trajectory point). The 2x headroom absorbs
 # runner-speed variance while still catching engine-level slowdowns.
-BENCH_BASELINE ?= BENCH_2026-07-29.json
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 bench-smoke:
 	@set -e; \
 	base=$$(awk 'match($$0, /"BenchmarkVRankBatch", "iterations": [0-9]+, "ns_per_op": [0-9]+/) { \

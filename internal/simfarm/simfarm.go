@@ -66,6 +66,13 @@ type Farm struct {
 	// across many cache probes (a bench reused by every candidate) is
 	// sha-hashed once, not once per probe.
 	hashes *lru
+
+	// vm accumulates tiered-VM dispatch coverage over every simulation
+	// the farm actually executes (cache hits replay a prior run and add
+	// nothing). Guarded by its own mutex: per-run accumulation is one
+	// short critical section at simulation end, never on a cache probe.
+	vmMu sync.Mutex
+	vm   verilog.VMStats
 }
 
 // New builds a farm with the given capacities.
@@ -97,9 +104,11 @@ func init() {
 	verilog.SetTestbenchCompiler(Default().CompileTestbench)
 }
 
-// FarmStats reports per-layer cache traffic.
+// FarmStats reports per-layer cache traffic plus the tiered-VM dispatch
+// coverage summed over every simulation the farm executed.
 type FarmStats struct {
 	Parses, Designs, Results Stats
+	VM                       verilog.VMStats
 }
 
 // Stats snapshots the farm's counters. The snapshot is lock-free (each
@@ -110,10 +119,14 @@ type FarmStats struct {
 // before/after deltas eda.Run records are taken at rest, where that
 // distinction vanishes.
 func (f *Farm) Stats() FarmStats {
+	f.vmMu.Lock()
+	vm := f.vm
+	f.vmMu.Unlock()
 	return FarmStats{
 		Parses:  f.parses.snapshot(),
 		Designs: f.designs.snapshot(),
 		Results: f.results.snapshot(),
+		VM:      vm,
 	}
 }
 
@@ -132,6 +145,7 @@ func (s FarmStats) Delta(earlier FarmStats) FarmStats {
 		Parses:  s.Parses.delta(earlier.Parses),
 		Designs: s.Designs.delta(earlier.Designs),
 		Results: s.Results.delta(earlier.Results),
+		VM:      s.VM.Sub(earlier.VM),
 	}
 }
 
@@ -277,6 +291,11 @@ func (f *Farm) Run(cd *verilog.CompiledDesign, opts verilog.SimOptions) (*verilo
 	key := resultKey(cd.Hash, opts)
 	sr := f.results.getOrCompute(key, func() any {
 		res, err := cd.Run(opts)
+		if res != nil {
+			f.vmMu.Lock()
+			f.vm = f.vm.Add(res.VM)
+			f.vmMu.Unlock()
+		}
 		return &simResult{res: res, err: err}
 	}).(*simResult)
 	return sr.res, sr.err

@@ -44,8 +44,13 @@ type contAssign struct {
 	lhs   Expr
 	rhs   Expr
 	scope scope
-	reads []SignalID
-	line  int
+	// scopeID numbers the owning instance scope; assigns sharing an ID
+	// share the identical scope map. The simulator uses it to skip
+	// reinstalling the resident evaluator's scope (a heap pointer write,
+	// hence a GC write barrier) between evaluations in the same instance.
+	scopeID int32
+	reads   []SignalID
+	line    int
 	// prog is the compiled evaluate-and-store program (bytecode.go); nil
 	// for the rare lvalue shapes that stay on the tree evaluator.
 	prog *Program
@@ -64,6 +69,10 @@ type caFast struct {
 	k        Value    // caFastBinK: the constant RHS
 	dst      SignalID
 	dstWidth int
+	// Store offsets of a, b and dst, resolved once in finalizeLayout so
+	// the hot evaluation path (caFastValue/commitFull) does no
+	// wordOffset lookups. Offsets are per-design, and so is caFast.
+	aOff, bOff, dstOff int32
 }
 
 // caFast kinds.
@@ -129,6 +138,21 @@ type Design struct {
 	procRegTotal int
 	caRegOff     []int32
 	caRegTotal   int
+
+	// parSweep[id] marks signals whose dependent-assign batch is safe
+	// for the Tier C parallel sweep: the batch is large (>= coneParMin),
+	// every member is a specialized fast shape (pure store reads, no
+	// $random, no VM entry), and no member reads any member's
+	// destination — so evaluating all members from the pre-sweep store
+	// and committing in wave-list order is byte-identical to the
+	// sequential sweep.
+	parSweep []bool
+
+	// Static tiered-VM counts summed over all compiled programs:
+	// superinstructions synthesized and fusion candidates skipped at
+	// branch-target boundaries (see VMStats).
+	nSuper    int
+	nFuseSkip int
 }
 
 // finalizeLayout computes the shared run-time layout; called once at the
@@ -192,6 +216,78 @@ func (d *Design) finalizeLayout() {
 	}
 	d.wordOffset[len(d.Signals)] = int32(total)
 	d.totalWords = total
+	// Resolve the fast-shape store offsets now that the layout exists.
+	for _, ca := range d.assigns {
+		if f := &ca.fast; f.kind != caFastNone {
+			f.aOff = d.wordOffset[f.a]
+			f.bOff = d.wordOffset[f.b]
+			f.dstOff = d.wordOffset[f.dst]
+		}
+	}
+	d.markParSweeps()
+	// Sum the static superinstruction counts (shared programs count once
+	// per design that uses them — the stats describe this design's
+	// compiled form, not unique program objects).
+	for _, pr := range d.procs {
+		d.nSuper += int(pr.prog.nSuper)
+		d.nFuseSkip += int(pr.prog.nFuseSkip)
+	}
+	for _, ca := range d.assigns {
+		if ca.prog != nil {
+			d.nSuper += int(ca.prog.nSuper)
+			d.nFuseSkip += int(ca.prog.nFuseSkip)
+		}
+	}
+}
+
+// markParSweeps proves Tier C eligibility per fan-out signal: a batch
+// qualifies when it is at least coneParMin assigns, every member is a
+// specialized fast shape, and no member reads any member's destination
+// (including its own). Under those conditions every member's inputs are
+// fixed for the whole sweep, so parallel evaluation from the pre-sweep
+// store followed by in-order commits reproduces the sequential sweep
+// exactly.
+func (d *Design) markParSweeps() {
+	d.parSweep = make([]bool, len(d.Signals))
+	var isDst []bool // scratch, reused across batches
+	for sig, list := range d.sigAssigns {
+		if len(list) < coneParMin {
+			continue
+		}
+		if isDst == nil {
+			isDst = make([]bool, len(d.Signals))
+		}
+		ok := true
+		for _, idx := range list {
+			if d.assigns[idx].fast.kind == caFastNone {
+				ok = false
+				break
+			}
+			isDst[d.assigns[idx].fast.dst] = true
+		}
+		if ok {
+			// Check the fast shapes' true inputs, not ca.reads: reads
+			// lists every identifier in the assign including its own
+			// LHS (so a destination change re-triggers evaluation),
+			// which would veto every batch. The specialized shapes read
+			// exactly a (and b for the two-operand kind).
+			for _, idx := range list {
+				f := &d.assigns[idx].fast
+				if f.kind != caFastConst && isDst[f.a] {
+					ok = false
+					break
+				}
+				if f.kind == caFastBin && isDst[f.b] {
+					ok = false
+					break
+				}
+			}
+		}
+		for _, idx := range list { // reset scratch
+			isDst[d.assigns[idx].fast.dst] = false
+		}
+		d.parSweep[sig] = ok
+	}
 }
 
 // SignalByName returns the flattened signal with the given hierarchical
@@ -216,11 +312,12 @@ func (d *Design) SignalNames() []string {
 
 // elaborator carries state while flattening.
 type elaborator struct {
-	file   *SourceFile
-	design *Design
-	depth  int
-	caSlab []contAssign // slab backing for the flattened assigns
-	idSlab []Ident      // slab backing for port-connection references
+	file    *SourceFile
+	design  *Design
+	depth   int
+	caSlab  []contAssign // slab backing for the flattened assigns
+	idSlab  []Ident      // slab backing for port-connection references
+	nScopes int32        // instance scopes created so far (assigns scopeIDs)
 }
 
 const maxElabDepth = 64
@@ -320,6 +417,8 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 	}
 
 	sc := scope{}
+	sid := e.nScopes
+	e.nScopes++
 
 	// 1. Resolve parameters: defaults, then overrides.
 	overrides := map[string]Expr{}
@@ -453,11 +552,11 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 			switch port.Dir {
 			case DirInput:
 				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
-					lhs: portRef, rhs: scopedExpr{ex, parentScope}, scope: sc, line: inst.Line,
+					lhs: portRef, rhs: scopedExpr{ex, parentScope}, scope: sc, scopeID: sid, line: inst.Line,
 				}))
 			case DirOutput:
 				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
-					lhs: scopedExpr{ex, parentScope}, rhs: portRef, scope: sc, line: inst.Line,
+					lhs: scopedExpr{ex, parentScope}, rhs: portRef, scope: sc, scopeID: sid, line: inst.Line,
 				}))
 			}
 		}
@@ -469,11 +568,11 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		case *NetDecl:
 			if it.Init != nil {
 				e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{
-					lhs: alloc(&e.idSlab, Ident{Name: it.Name}), rhs: it.Init, scope: sc, line: it.Line,
+					lhs: alloc(&e.idSlab, Ident{Name: it.Name}), rhs: it.Init, scope: sc, scopeID: sid, line: it.Line,
 				}))
 			}
 		case *ContAssign:
-			e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{lhs: it.LHS, rhs: it.RHS, scope: sc, line: it.Line}))
+			e.design.assigns = append(e.design.assigns, alloc(&e.caSlab, contAssign{lhs: it.LHS, rhs: it.RHS, scope: sc, scopeID: sid, line: it.Line}))
 		case *AlwaysBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procAlways, sens: it.Sens, star: it.Star, body: it.Body, scope: sc,

@@ -1,0 +1,1221 @@
+package verilog
+
+import "fmt"
+
+// This file is the Tier A/B superinstruction synthesizer: finish-time
+// compilation of hot straight-line bytecode regions into single Go
+// closure chains, dispatched by one opSuper opcode (vm.go). Each block
+// gets a general variant — an exact replica of the vmRun case
+// semantics, including statement-budget charging, the $random draw
+// order and every diagnostic text — and, where the analysis proves it
+// sound, a two-state variant whose arithmetic and comparison closures
+// skip the per-dispatch Unknown-mask branch (Tier B). Closures capture
+// only instruction operands and the program's immutable pools, never
+// simulator or design state, so programs stay shareable across
+// concurrent Simulators and across designs (the bound-body memo pins
+// signal shapes; store offsets are still resolved per-run through
+// s.design.wordOffset, exactly like the switch cases).
+
+// superFn is one compiled instruction closure. A returned error is
+// already line-wrapped (or is errBudget, raw), matching vmRun's fail().
+type superFn func(s *Simulator, regs []Value, r *runner, ev *evaluator) error
+
+// superBlock is one synthesized basic-block superinstruction. The
+// closures run as a flat slice loop (not a chained call stack), so the
+// dispatch cost per covered instruction is one indirect call.
+type superBlock struct {
+	fns []superFn // general variant (always present)
+	two []superFn // two-state variant; nil when the analysis proved nothing
+	// gate lists the signals whose loads the two-state analysis relied
+	// on: the specialized variant runs only when every gate signal is
+	// latched two-state and currently X-free (twoStateGate).
+	gate []SignalID
+	end  int32 // pc after the block
+	n    int32 // live instructions covered (dispatch accounting)
+}
+
+// superFail wraps a diagnostic with the raising instruction's statement
+// line in process context, exactly like vmRun's fail().
+func superFail(r *runner, line int32, err error) error {
+	if r != nil {
+		return fmt.Errorf("line %d: %w", line, err)
+	}
+	return err
+}
+
+// twoStateGate decides the Tier B dispatch: every gate signal must be
+// latched proven-two-state (the monotone pre-filter) and currently
+// X-free (the fall-back check — a latched signal can still return to X,
+// e.g. through a division by zero, and then the general variant runs).
+func (s *Simulator) twoStateGate(sb *superBlock) bool {
+	wo := s.design.wordOffset
+	for _, g := range sb.gate {
+		if !s.twoState[g] || s.store[wo[g]].Unknown != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// superMinLive is the minimum number of live instructions worth a
+// closure block. Only hot code fuses at all: loop bodies, always bodies
+// and continuous-assign programs (see the loopDepth seeding in
+// lowerProcess/lowerContAssign), which all re-run repeatedly. Depth-0
+// straight-line code in an initial body executes once per simulation,
+// so synthesizing closures for it would cost compile time and
+// allocation for no runtime return — fuseBlocks skips it entirely.
+// (The threshold also keeps the small continuous-assign programs
+// classifyCAFast pattern-matches — 3 to 5 slots, at most 2 live value
+// ops before the terminal store — out of reach.)
+const superMinLive = 3
+
+// superEligible marks opcodes a block may contain: straight-line value,
+// store and system ops. Branches, suspension points, program
+// terminators, fallbacks and error ops stay on the generic dispatch —
+// so a block has exactly one entry (its head) and one exit (its end),
+// and every suspension resume pc in the program lands outside block
+// interiors (a resume is pc+1 of an ineligible op, a marked branch
+// target, or pc 0).
+var superEligible = [256]bool{
+	opStep: true, opConst: true, opLoadSig: true, opLoadMem: true,
+	opTime: true, opRandom: true, opClog2: true,
+	opNot: true, opNeg: true, opLogNot: true, opRedAnd: true,
+	opRedOr: true, opRedXor: true, opRedNand: true, opRedNor: true,
+	opRedXnor: true,
+	opAdd:     true, opSub: true, opMul: true, opDiv: true, opMod: true,
+	opAnd: true, opOr: true, opXor: true, opXnor: true, opNand: true,
+	opNor: true, opShl: true, opShr: true,
+	opEq: true, opNe: true, opCaseEq: true, opCaseNe: true,
+	opLt: true, opGt: true, opLe: true, opGe: true,
+	opLogAnd: true, opLogOr: true,
+	opAddK: true, opSubK: true, opMulK: true, opAndK: true, opOrK: true,
+	opXorK: true, opShlK: true, opShrK: true,
+	opEqK: true, opNeK: true, opLtK: true, opGtK: true, opLeK: true,
+	opGeK:     true,
+	opTernEnd: true, opConcatZero: true, opConcatAcc: true,
+	opRepCheck: true, opReplicate: true,
+	opBitSel: true, opBitSelK: true, opPartSelK: true, opPartSel: true,
+	opStoreSig: true, opStoreSigNB: true, opStoreMem: true,
+	opStoreMemNB: true, opStoreBit: true, opStoreBitNB: true,
+	opStorePartK: true, opStorePartKNB: true, opStorePart: true,
+	opStorePartNB: true, opSlice: true, opRepeatInit: true,
+	opDisplay: true, opCheck: true, opCheckEq: true,
+	opStepConst: true, opStepLoadSig: true, opLoadSig2: true,
+	opLoadSigBitK: true, opStepConstStore: true, opStepCopy: true,
+	opStepCopyNB: true,
+}
+
+// arrayStride is the code-array distance to the next live slot after a
+// live instruction at rest: fused opcodes leave their dead partner
+// slots in place (see fusePairs), so walking by stride visits exactly
+// the live positions.
+func arrayStride(op OpCode) int {
+	switch op {
+	case opStepConst, opStepLoadSig, opLoadSig2, opStoreSigEnd,
+		opLoadSigBitK, opBrCmpK:
+		return 2
+	case opStepConstStore, opStepCopy, opStepCopyNB:
+		return 3
+	}
+	return 1
+}
+
+// fuseBlocks is the Tier A pass: after the peephole and the exact-size
+// code copy, it discovers maximal straight-line runs of eligible
+// instructions whose interiors are free of branch targets, and fuses
+// each long-enough run into one closure chain, replacing the head slot
+// with opSuper. Interior slots stay in place (dead — opSuper jumps to
+// the block end), so no pc moves. Runs a branch target truncated below
+// the threshold are counted in nFuseSkip, like the peephole's skips.
+func (lw *lowerer) fuseBlocks() {
+	code := lw.prog.code
+	if len(code) < superMinLive+1 {
+		return
+	}
+	lw.markScratch = resizeBools(lw.markScratch, len(code)+1)
+	isTarget := lw.markScratch
+	mark := func(t int32) {
+		if t >= 0 && int(t) < len(isTarget) {
+			isTarget[t] = true
+		}
+	}
+	// Dead slots are scanned too: a stale branch in a fused pair's dead
+	// slot marks a target its live fusion also encodes — a harmless,
+	// conservative duplicate.
+	for i := range code {
+		switch code[i].Op {
+		case opJump:
+			mark(code[i].A)
+		case opBranchFalse, opBranchTrue, opWaitArm, opRepeatLoop:
+			mark(code[i].B)
+		case opTernBranch, opTernMid, opCaseBr, opBrCmpK:
+			mark(code[i].C)
+		}
+	}
+	i := 0
+	for i < len(code) {
+		op := code[i].Op
+		if !superEligible[op] {
+			i += arrayStride(op)
+			continue
+		}
+		start := i
+		live := 0
+		truncated := false
+		j := i
+		for j < len(code) {
+			if j > start && isTarget[j] {
+				truncated = true
+				break
+			}
+			if !superEligible[code[j].Op] {
+				break
+			}
+			live++
+			j += arrayStride(code[j].Op)
+		}
+		if hot := lw.depths[start] > 0; hot && live >= superMinLive {
+			lw.synthBlock(start, j, live)
+		} else if hot && truncated && live >= 2 {
+			lw.prog.nFuseSkip++
+		}
+		i = j
+	}
+}
+
+// synthBlock compiles the live instructions of code[start:end] into a
+// superBlock and installs the opSuper head.
+func (lw *lowerer) synthBlock(start, end, live int) {
+	prog := lw.prog
+	code := prog.code
+	pcs := lw.pcScratch[:0]
+	for i := start; i < end; i += arrayStride(code[i].Op) {
+		pcs = append(pcs, i)
+	}
+	lw.pcScratch = pcs
+	maxStack := int32(lw.maxStack)
+	// Allocation-free pre-scan: a fused block only beats the dispatch
+	// switch when at least one statement template compresses a whole
+	// assign into a single call. A block of purely per-op closures is
+	// strictly slower than the switch (same work, plus an indirect call
+	// per op), so those runs are left as ordinary bytecode.
+	nt := 0
+	for k := 0; k < len(pcs); {
+		if _, used := matchTemplate(code, pcs[k:], maxStack); used > 0 {
+			nt++
+			k += used
+		} else {
+			k++
+		}
+	}
+	if nt == 0 {
+		return
+	}
+	var spec []bool
+	var gate []SignalID
+	anySpec := false
+	if enableTwoState {
+		spec, gate, anySpec = lw.analyzeTwoState(pcs)
+	}
+	// The closure emitter walks the live instructions with a statement-
+	// template matcher in front: whole assign statements (charge + loads
+	// + operator + store) collapse into one closure, so dispatching a
+	// fused statement costs a single indirect call instead of one per
+	// instruction. Instructions no template covers fall back to one
+	// closure each, an exact transcription of their vmRun case.
+	fns := make([]superFn, 0, len(pcs))
+	var two []superFn
+	if anySpec {
+		two = make([]superFn, 0, len(pcs))
+	}
+	for k := 0; k < len(pcs); {
+		if fn, sp, specIdx, used := genTemplate(prog, code, pcs[k:], maxStack); used > 0 {
+			fns = append(fns, fn)
+			if anySpec {
+				if sp != nil && spec[k+specIdx] {
+					two = append(two, sp)
+				} else {
+					two = append(two, fn)
+				}
+			}
+			k += used
+			continue
+		}
+		g := genInstr(prog, code[pcs[k]])
+		fns = append(fns, g)
+		if anySpec {
+			if spec[k] {
+				two = append(two, genSpec(prog, code[pcs[k]]))
+			} else {
+				two = append(two, g)
+			}
+		}
+		k++
+	}
+	sb := superBlock{fns: fns, end: int32(end), n: int32(live)}
+	if anySpec {
+		sb.two, sb.gate = two, gate
+	}
+	prog.super = append(prog.super, sb)
+	prog.nSuper++
+	code[start] = Instr{Op: opSuper, A: int32(len(prog.super) - 1), Line: code[start].Line}
+}
+
+// vmBinaryOp/vmUnaryOp classify the operator opcodes the statement
+// templates accept (reg-reg binaries, K-binaries, and the pure unary
+// set — everything vmBinary/vmUnary implement).
+func vmBinaryOp(op OpCode) bool {
+	return op >= opAdd && op <= opLogOr
+}
+
+func vmBinaryKOp(op OpCode) bool {
+	return op >= opAddK && op <= opGeK
+}
+
+func vmUnaryOp(op OpCode) bool {
+	return op >= opNot && op <= opRedXnor
+}
+
+// specBinary is vmBinary with the operand Unknown-mask branches removed:
+// callers guarantee (via the two-state gate and the proven-dataflow
+// analysis) that both operands are X-free. Division still checks the
+// zero divisor — that X source is a value property, not a mask property.
+func specBinary(op OpCode, x, y Value) Value {
+	switch op {
+	case opAdd, opAddK:
+		w := max(x.Width, y.Width)
+		if w < 64 {
+			w++
+		}
+		return NewValue(x.Bits+y.Bits, w)
+	case opSub, opSubK:
+		return NewValue(x.Bits-y.Bits, max(x.Width, y.Width))
+	case opMul, opMulK:
+		w := x.Width + y.Width
+		if w > 64 {
+			w = 64
+		}
+		return NewValue(x.Bits*y.Bits, w)
+	case opDiv:
+		w := max(x.Width, y.Width)
+		if y.Bits == 0 {
+			return AllX(w)
+		}
+		return NewValue(x.Bits/y.Bits, w)
+	case opMod:
+		w := max(x.Width, y.Width)
+		if y.Bits == 0 {
+			return AllX(w)
+		}
+		return NewValue(x.Bits%y.Bits, w)
+	case opEq, opEqK:
+		return cmpBool(x.Bits == y.Bits)
+	case opNe, opNeK:
+		return cmpBool(x.Bits != y.Bits)
+	case opLt, opLtK:
+		return cmpBool(x.Bits < y.Bits)
+	case opGt, opGtK:
+		return cmpBool(y.Bits < x.Bits)
+	case opLe, opLeK:
+		return cmpBool(!(y.Bits < x.Bits))
+	case opGe, opGeK:
+		return cmpBool(!(x.Bits < y.Bits))
+	}
+	return vmBinary(op, x, y) // mask-free ops share the general body
+}
+
+// Statement-template kinds recognized by matchTemplate.
+const (
+	tmplNone = iota
+	tmplTU   // opStepLoadSig · unary · store
+	tmplTK   // opStepLoadSig · binary-K · store
+	tmplTB   // opStepLoadSig · opLoadSig · binary · store
+)
+
+// matchTemplate checks whether the head of the remaining live
+// instructions is one whole fused-assign statement, without allocating
+// anything. Used both by the pre-scan that decides if a run is worth
+// fusing at all and by genTemplate to pick the closure shape.
+func matchTemplate(code []Instr, pcs []int, maxStack int32) (kind, used int) {
+	if len(pcs) < 3 {
+		return tmplNone, 0
+	}
+	i0 := code[pcs[0]]
+	if i0.Op != opStepLoadSig || i0.A >= maxStack {
+		return tmplNone, 0
+	}
+	if len(pcs) >= 4 {
+		i1, i2, i3 := code[pcs[1]], code[pcs[2]], code[pcs[3]]
+		if i1.Op == opLoadSig && i1.A < maxStack &&
+			vmBinaryOp(i2.Op) && i2.A == i0.A && i2.B == i1.A &&
+			(i3.Op == opStoreSig || i3.Op == opStoreSigNB) && i3.A == i2.A {
+			return tmplTB, 4
+		}
+	}
+	i1, i2 := code[pcs[1]], code[pcs[2]]
+	if i1.A != i0.A || (i2.Op != opStoreSig && i2.Op != opStoreSigNB) || i2.A != i1.A {
+		return tmplNone, 0
+	}
+	switch {
+	case vmUnaryOp(i1.Op):
+		return tmplTU, 3
+	case vmBinaryKOp(i1.Op):
+		return tmplTK, 3
+	}
+	return tmplNone, 0
+}
+
+// genTemplate matches one whole fused-assign statement at the head of
+// the remaining live instructions and compiles it to a single closure:
+//
+//	TU: opStepLoadSig x · unary       · opStoreSig[NB] dst   (3 ops)
+//	TK: opStepLoadSig x · binary-K    · opStoreSig[NB] dst   (3 ops)
+//	TB: opStepLoadSig x · opLoadSig y · binary · store dst   (4 ops)
+//
+// These are the post-peephole shapes of `dst (<)= x`, `dst (<)= x op k`
+// and `dst (<)= x op y` — the bulk of always-body statements. The
+// closure reads the operand signals directly from the store and skips
+// the intermediate register writes; that is sound because the matched
+// registers are expression-stack slots (guarded < maxStack), which the
+// lowering's stack discipline always writes before reading in any later
+// statement. specIdx names the operator position in the analysis order;
+// the caller swaps in the returned spec closure when the two-state pass
+// proved that operator (sp is nil when no specialization exists).
+func genTemplate(prog *Program, code []Instr, pcs []int, maxStack int32) (fn, sp superFn, specIdx, used int) {
+	kind, n := matchTemplate(code, pcs, maxStack)
+	if kind == tmplNone {
+		return nil, nil, 0, 0
+	}
+	used = n
+	i0 := code[pcs[0]]
+	x := i0.B
+
+	// TB: second load, reg-reg binary, store.
+	if kind == tmplTB {
+		i1, i2, i3 := code[pcs[1]], code[pcs[2]], code[pcs[3]]
+		{
+			y, op := i1.B, i2.Op
+			dst := SignalID(i3.B)
+			w := int(i3.C)
+			m := maskFor(w)
+			nb := i3.Op == opStoreSigNB
+			fn = func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+				s.steps++
+				if s.steps > s.opts.MaxSteps {
+					return errBudget
+				}
+				wo := s.design.wordOffset
+				v := vmBinary(op, s.store[wo[x]], s.store[wo[y]]).Resize(w)
+				if nb {
+					s.nba = append(s.nba, nbaUpdate{sig: dst, mask: m, value: v})
+				} else {
+					s.commitFull(dst, wo[dst], v)
+				}
+				return nil
+			}
+			sp = func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+				s.steps++
+				if s.steps > s.opts.MaxSteps {
+					return errBudget
+				}
+				wo := s.design.wordOffset
+				v := specBinary(op, s.store[wo[x]], s.store[wo[y]]).Resize(w)
+				if nb {
+					s.nba = append(s.nba, nbaUpdate{sig: dst, mask: m, value: v})
+				} else {
+					s.commitFull(dst, wo[dst], v)
+				}
+				return nil
+			}
+			return fn, sp, 2, 4
+		}
+	}
+
+	// TU / TK: unary or binary-with-constant, then store.
+	i1, i2 := code[pcs[1]], code[pcs[2]]
+	dst := SignalID(i2.B)
+	w := int(i2.C)
+	m := maskFor(w)
+	nb := i2.Op == opStoreSigNB
+	if kind == tmplTU {
+		op := i1.Op
+		fn = func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			wo := s.design.wordOffset
+			v := vmUnary(op, s.store[wo[x]]).Resize(w)
+			if nb {
+				s.nba = append(s.nba, nbaUpdate{sig: dst, mask: m, value: v})
+			} else {
+				s.commitFull(dst, wo[dst], v)
+			}
+			return nil
+		}
+		return fn, nil, 0, used
+	}
+	{ // tmplTK
+		op := i1.Op
+		k := prog.consts[i1.B]
+		fn = func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			wo := s.design.wordOffset
+			v := vmBinary(op, s.store[wo[x]], k).Resize(w)
+			if nb {
+				s.nba = append(s.nba, nbaUpdate{sig: dst, mask: m, value: v})
+			} else {
+				s.commitFull(dst, wo[dst], v)
+			}
+			return nil
+		}
+		sp = func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			wo := s.design.wordOffset
+			v := specBinary(op, s.store[wo[x]], k).Resize(w)
+			if nb {
+				s.nba = append(s.nba, nbaUpdate{sig: dst, mask: m, value: v})
+			} else {
+				s.commitFull(dst, wo[dst], v)
+			}
+			return nil
+		}
+		return fn, sp, 1, used
+	}
+}
+
+// analyzeTwoState runs the proven-two-state dataflow over a block's
+// live instructions. A register is proven when its value provably has
+// an empty Unknown mask given that every gate signal is X-free at block
+// entry; an instruction is specialized (spec[k]) when it is one of the
+// arithmetic/comparison ops whose vmRun case branches on the operand
+// Unknown masks and all its inputs are proven. Soundness notes:
+//   - Signal loads are proven (and gated) only before the first
+//     blocking store in the block: a blocking store triggers the
+//     propagation wave, which may rewrite any other signal — possibly
+//     to X — behind the entry-time gate check.
+//   - Ops that can introduce X from two-state inputs (division by
+//     zero, out-of-range selects, memory reads) leave their outputs
+//     unproven; their closures are the general ones either way.
+//   - The gate is checked per dispatch, so the monotone latch never
+//     needs clearing: a gated signal that returned to X simply fails
+//     the live Unknown check and the block falls back to the general
+//     variant.
+func (lw *lowerer) analyzeTwoState(pcs []int) (spec []bool, gate []SignalID, any bool) {
+	prog := lw.prog
+	code := prog.code
+	lw.deadScratch = resizeBools(lw.deadScratch, prog.numRegs)
+	proven := lw.deadScratch
+	lw.specScratch = resizeBools(lw.specScratch, len(pcs))
+	spec = lw.specScratch
+	stored := false // a blocking store has executed
+	addGate := func(sig int32) {
+		id := SignalID(sig)
+		for _, g := range gate {
+			if g == id {
+				return
+			}
+		}
+		gate = append(gate, id)
+	}
+	kKnown := func(b int32) bool { return prog.consts[b].Unknown == 0 }
+	for k, pc := range pcs {
+		ins := &code[pc]
+		switch ins.Op {
+		case opStep, opDisplay, opCheck, opCheckEq, opRepCheck:
+			// No register outputs.
+		case opConst:
+			proven[ins.A] = kKnown(ins.B)
+		case opStepConst:
+			proven[ins.A] = kKnown(ins.B)
+		case opLoadSig, opStepLoadSig:
+			proven[ins.A] = !stored
+			if !stored {
+				addGate(ins.B)
+			}
+		case opLoadSig2:
+			proven[ins.A] = !stored
+			proven[ins.C] = !stored
+			if !stored {
+				addGate(ins.B)
+				addGate(ins.D)
+			}
+		case opLoadSigBitK:
+			// The signal width is pinned by the bound-body memo's
+			// scope-equality, so the range check resolves statically.
+			w := lw.d.Signals[ins.B].Width
+			in := int(ins.C) >= 0 && int(ins.C) < w
+			proven[ins.A] = in && !stored
+			if in && !stored {
+				addGate(ins.B)
+			}
+		case opLoadMem, opBitSel, opBitSelK, opTernEnd:
+			proven[ins.A] = false
+		case opTime, opRandom, opConcatZero:
+			proven[ins.A] = true
+		case opClog2:
+			// in-place: proven iff input proven
+		case opNot, opNeg, opLogNot, opRedAnd, opRedOr, opRedXor,
+			opRedNand, opRedNor, opRedXnor:
+			// in-place unary: known input -> known output
+		case opAdd, opSub, opMul, opEq, opNe, opLt, opGt, opLe, opGe:
+			ok := proven[ins.A] && proven[ins.B]
+			spec[k] = ok
+			proven[ins.A] = ok
+		case opDiv, opMod:
+			spec[k] = proven[ins.A] && proven[ins.B]
+			proven[ins.A] = false // division by zero yields X
+		case opAnd, opOr, opXor, opXnor, opNand, opNor, opShl, opShr,
+			opLogAnd, opLogOr:
+			proven[ins.A] = proven[ins.A] && proven[ins.B]
+		case opCaseEq, opCaseNe:
+			proven[ins.A] = true // === never yields X
+		case opAddK, opSubK, opMulK, opEqK, opNeK, opLtK, opGtK,
+			opLeK, opGeK:
+			ok := proven[ins.A] && kKnown(ins.B)
+			spec[k] = ok
+			proven[ins.A] = ok
+		case opAndK, opOrK, opXorK, opShlK, opShrK:
+			proven[ins.A] = proven[ins.A] && kKnown(ins.B)
+		case opConcatAcc:
+			proven[ins.A] = proven[ins.A] && proven[ins.B]
+		case opReplicate:
+			proven[ins.A] = proven[ins.B] && proven[ins.C]
+		case opPartSelK:
+			// in-place shift+mask: provenness preserved
+		case opPartSel:
+			proven[ins.A] = proven[ins.A] && proven[ins.B] && proven[ins.C]
+		case opSlice:
+			proven[ins.A] = proven[ins.B]
+		case opRepeatInit:
+			proven[ins.B] = true // counter slot holds bits only
+		case opStoreSig, opStoreMem, opStoreBit, opStorePartK,
+			opStorePart, opStepConstStore, opStepCopy:
+			stored = true // the wave may rewrite any signal behind the gate
+		case opStoreSigNB, opStoreMemNB, opStoreBitNB, opStorePartKNB,
+			opStorePartNB, opStepCopyNB:
+			// NBA stores defer: the store is untouched until the NBA
+			// region, so later loads in this block are unaffected.
+		}
+		any = any || spec[k]
+	}
+	if !any {
+		return nil, nil, false
+	}
+	return spec, gate, true
+}
+
+// genInstr compiles one instruction into its general closure — an exact
+// replica of the corresponding vmRun case. Keep the bodies in sync with
+// vm.go (the fused-vs-unfused property test cross-checks them).
+func genInstr(prog *Program, ins Instr) superFn {
+	a, b, c, d, line := ins.A, ins.B, ins.C, ins.D, ins.Line
+	switch ins.Op {
+	case opStep:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			return nil
+		}
+	case opConst:
+		k := prog.consts[b]
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = k
+			return nil
+		}
+	case opLoadSig:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = s.store[s.design.wordOffset[b]]
+			return nil
+		}
+	case opLoadMem:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			sig := s.design.Signals[b]
+			idx := regs[c]
+			if !idx.IsFullyKnown() {
+				regs[a] = AllX(sig.Width)
+			} else if w := int(idx.Uint()); w < 0 || w >= sig.Words {
+				regs[a] = AllX(sig.Width)
+			} else {
+				regs[a] = s.words(sig.ID)[w]
+			}
+			return nil
+		}
+	case opTime:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = NewValue(s.now, 64)
+			return nil
+		}
+	case opRandom:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = NewValue(s.random()&0xFFFFFFFF, 32)
+			return nil
+		}
+	case opClog2:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			v := regs[a]
+			if !v.IsFullyKnown() {
+				regs[a] = AllX(32)
+			} else {
+				x := v.Uint()
+				n := 0
+				for n < 64 && (uint64(1)<<uint(n)) < x {
+					n++
+				}
+				regs[a] = NewValue(uint64(n), 32)
+			}
+			return nil
+		}
+
+	// --- unary ----------------------------------------------------------
+	case opNot:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			regs[a] = Not(x, x.Width)
+			return nil
+		}
+	case opNeg:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			regs[a] = Sub(NewValue(0, x.Width), x, x.Width)
+			return nil
+		}
+	case opLogNot, opRedAnd, opRedOr, opRedXor, opRedNand, opRedNor, opRedXnor:
+		op := ins.Op
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = vmUnary(op, regs[a])
+			return nil
+		}
+
+	// --- binary ---------------------------------------------------------
+	case opAdd, opSub, opMul, opDiv, opMod, opAnd, opOr, opXor, opXnor,
+		opNand, opNor, opShl, opShr, opEq, opNe, opCaseEq, opCaseNe,
+		opLt, opGt, opLe, opGe, opLogAnd, opLogOr:
+		op := ins.Op
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = vmBinary(op, regs[a], regs[b])
+			return nil
+		}
+	case opAddK, opSubK, opMulK, opAndK, opOrK, opXorK, opShlK, opShrK,
+		opEqK, opNeK, opLtK, opGtK, opLeK, opGeK:
+		op := ins.Op
+		k := prog.consts[b]
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = vmBinary(op, regs[a], k)
+			return nil
+		}
+
+	// --- compound expressions -------------------------------------------
+	case opTernEnd:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			if regs[b].Bits == 2 {
+				regs[a] = AllX(max(regs[a].Width, regs[c].Width))
+			} else {
+				regs[a] = regs[c]
+			}
+			return nil
+		}
+	case opConcatZero:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = Value{}
+			return nil
+		}
+	case opConcatAcc:
+		cc := prog.fbExprs[c].(*Concat)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			v := regs[b]
+			out := regs[a]
+			if out.Width+v.Width > 64 {
+				return superFail(r, line, fmt.Errorf("verilog: concatenation width %d exceeds 64", concatWidth(ev, cc)))
+			}
+			m := maskFor(v.Width)
+			out.Bits = out.Bits<<uint(v.Width) | v.Bits&m
+			out.Unknown = out.Unknown<<uint(v.Width) | v.Unknown&m
+			out.Width += v.Width
+			regs[a] = out
+			return nil
+		}
+	case opRepCheck:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			if !regs[a].IsFullyKnown() {
+				return superFail(r, line, fmt.Errorf("replication count is unknown"))
+			}
+			return nil
+		}
+	case opReplicate:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			cnt := regs[b]
+			x := regs[c]
+			k := int(cnt.Uint())
+			if k <= 0 || x.Width <= 0 || k > 64/x.Width {
+				return superFail(r, line, fmt.Errorf("replication {%d{...}} of width %d unsupported", k, x.Width))
+			}
+			m := maskFor(x.Width)
+			var out Value
+			for i := 0; i < k; i++ {
+				out.Bits = out.Bits<<uint(x.Width) | x.Bits&m
+				out.Unknown = out.Unknown<<uint(x.Width) | x.Unknown&m
+				out.Width += x.Width
+			}
+			regs[a] = out
+			return nil
+		}
+	case opBitSel:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x, idx := regs[a], regs[b]
+			if !idx.IsFullyKnown() {
+				regs[a] = AllX(1)
+			} else if i := int(idx.Uint()); i < 0 || i >= x.Width {
+				regs[a] = AllX(1)
+			} else {
+				regs[a] = x.Bit(i)
+			}
+			return nil
+		}
+	case opBitSelK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			if i := int(c); i < 0 || i >= x.Width {
+				regs[a] = AllX(1)
+			} else {
+				regs[a] = x.Bit(i)
+			}
+			return nil
+		}
+	case opPartSelK:
+		w := int(d)
+		m := maskFor(w)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			regs[a] = Value{
+				Bits:    (x.Bits >> uint(c)) & m,
+				Unknown: (x.Unknown >> uint(c)) & m,
+				Width:   w,
+			}
+			return nil
+		}
+	case opPartSel:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			msbV, lsbV := regs[b], regs[c]
+			if !msbV.IsFullyKnown() || !lsbV.IsFullyKnown() {
+				return superFail(r, line, fmt.Errorf("part-select bounds are unknown at line %d", d))
+			}
+			msb, lsb := int(msbV.Uint()), int(lsbV.Uint())
+			if msb < lsb || msb-lsb+1 > 64 {
+				return superFail(r, line, fmt.Errorf("bad part-select [%d:%d] at line %d", msb, lsb, d))
+			}
+			x := regs[a]
+			w := msb - lsb + 1
+			m := maskFor(w)
+			regs[a] = Value{
+				Bits:    (x.Bits >> uint(lsb)) & m,
+				Unknown: (x.Unknown >> uint(lsb)) & m,
+				Width:   w,
+			}
+			return nil
+		}
+
+	// --- stores ---------------------------------------------------------
+	case opStoreSig:
+		sig := SignalID(b)
+		w := int(c)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.commitFull(sig, s.design.wordOffset[sig], regs[a].Resize(w))
+			return nil
+		}
+	case opStoreSigNB:
+		sig := SignalID(b)
+		w := int(c)
+		m := maskFor(w)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.nba = append(s.nba, nbaUpdate{sig: sig, mask: m, value: regs[a].Resize(w)})
+			return nil
+		}
+	case opStoreMem, opStoreMemNB:
+		nb := ins.Op == opStoreMemNB
+		sig := SignalID(b)
+		w := int(d)
+		m := maskFor(w)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			idx := regs[c]
+			if idx.IsFullyKnown() {
+				i := int(idx.Uint())
+				v := regs[a].Resize(w)
+				if nb {
+					s.nba = append(s.nba, nbaUpdate{sig: sig, word: i, mask: m, value: v})
+				} else {
+					s.commitWrite(sig, i, m, v)
+				}
+			}
+			return nil
+		}
+	case opStoreBit, opStoreBitNB:
+		nb := ins.Op == opStoreBitNB
+		sig := SignalID(b)
+		w := int(d)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			idx := regs[c]
+			if idx.IsFullyKnown() {
+				i := int(idx.Uint())
+				if i >= 0 && i < w {
+					v := regs[a]
+					shifted := Value{Bits: (v.Bits & 1) << uint(i), Unknown: (v.Unknown & 1) << uint(i), Width: w}
+					if nb {
+						s.nba = append(s.nba, nbaUpdate{sig: sig, mask: uint64(1) << uint(i), value: shifted})
+					} else {
+						s.commitWrite(sig, 0, uint64(1)<<uint(i), shifted)
+					}
+				}
+			}
+			return nil
+		}
+	case opStorePartK, opStorePartKNB:
+		nb := ins.Op == opStorePartKNB
+		lsb, w := int(c), int(d)
+		m := maskFor(w)
+		mask := m << uint(lsb)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			sig := s.design.Signals[b]
+			v := regs[a]
+			shifted := Value{
+				Bits:    (v.Bits & m) << uint(lsb),
+				Unknown: (v.Unknown & m) << uint(lsb),
+				Width:   sig.Width,
+			}
+			if nb {
+				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted})
+			} else {
+				s.commitWrite(sig.ID, 0, mask, shifted)
+			}
+			return nil
+		}
+	case opStorePart, opStorePartNB:
+		nb := ins.Op == opStorePartNB
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			msb, lsb := int(regs[c].Uint()), int(regs[d].Uint())
+			sig := s.design.Signals[b]
+			if msb < lsb || lsb < 0 || msb >= sig.Width {
+				return superFail(r, line, fmt.Errorf("part-select [%d:%d] out of range for %q", msb, lsb, sig.Name))
+			}
+			w := msb - lsb + 1
+			v := regs[a]
+			mask := maskFor(w) << uint(lsb)
+			shifted := Value{
+				Bits:    (v.Bits & maskFor(w)) << uint(lsb),
+				Unknown: (v.Unknown & maskFor(w)) << uint(lsb),
+				Width:   sig.Width,
+			}
+			if nb {
+				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted})
+			} else {
+				s.commitWrite(sig.ID, 0, mask, shifted)
+			}
+			return nil
+		}
+	case opSlice:
+		w := int(d)
+		m := maskFor(w)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			src := regs[b]
+			regs[a] = Value{
+				Bits:    (src.Bits >> uint(c)) & m,
+				Unknown: (src.Unknown >> uint(c)) & m,
+				Width:   w,
+			}
+			return nil
+		}
+	case opRepeatInit:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			cnt := regs[a]
+			if !cnt.IsFullyKnown() {
+				return superFail(r, line, fmt.Errorf("repeat count is unknown"))
+			}
+			regs[b] = Value{Bits: cnt.Uint()}
+			return nil
+		}
+
+	// --- system tasks ---------------------------------------------------
+	case opDisplay:
+		dd := &prog.disp[a]
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			r.renderDisplay(dd, regs)
+			return nil
+		}
+	case opCheck:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.checks++
+			if !regs[a].IsTrue() {
+				s.failures++
+				if s.out.Len() < maxSimOutput {
+					buf := appendCheckFailed(r.scratch[:0], s.now, line)
+					buf = append(buf, '\n')
+					s.out.Write(buf)
+					r.scratch = buf[:0]
+				}
+			}
+			return nil
+		}
+	case opCheckEq:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x, y := regs[a], regs[b]
+			s.checks++
+			w := max(x.Width, y.Width)
+			ra, rb := x.Resize(w), y.Resize(w)
+			if !ra.Equal(rb) {
+				s.failures++
+				if s.out.Len() < maxSimOutput {
+					buf := appendCheckFailed(r.scratch[:0], s.now, line)
+					buf = append(buf, ": got "...)
+					buf = ra.appendString(buf)
+					buf = append(buf, ", want "...)
+					buf = rb.appendString(buf)
+					buf = append(buf, '\n')
+					s.out.Write(buf)
+					r.scratch = buf[:0]
+				}
+			}
+			return nil
+		}
+
+	// --- peephole fusions -----------------------------------------------
+	case opStepConst:
+		k := prog.consts[b]
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			regs[a] = k
+			return nil
+		}
+	case opStepLoadSig:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			regs[a] = s.store[s.design.wordOffset[b]]
+			return nil
+		}
+	case opLoadSig2:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			wo := s.design.wordOffset
+			regs[a] = s.store[wo[b]]
+			regs[c] = s.store[wo[d]]
+			return nil
+		}
+	case opLoadSigBitK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := s.store[s.design.wordOffset[b]]
+			if i := int(c); i < 0 || i >= x.Width {
+				regs[a] = AllX(1)
+			} else {
+				regs[a] = x.Bit(i)
+			}
+			return nil
+		}
+	case opStepConstStore:
+		sig := SignalID(b)
+		k := prog.consts[a]
+		w := int(c)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			s.commitFull(sig, s.design.wordOffset[sig], k.Resize(w))
+			return nil
+		}
+	case opStepCopy:
+		src := SignalID(a)
+		sig := SignalID(b)
+		w := int(c)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			v := s.store[s.design.wordOffset[src]]
+			s.commitFull(sig, s.design.wordOffset[sig], v.Resize(w))
+			return nil
+		}
+	case opStepCopyNB:
+		src := SignalID(a)
+		sig := SignalID(b)
+		w := int(c)
+		m := maskFor(w)
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			s.steps++
+			if s.steps > s.opts.MaxSteps {
+				return errBudget
+			}
+			v := s.store[s.design.wordOffset[src]]
+			s.nba = append(s.nba, nbaUpdate{sig: sig, mask: m, value: v.Resize(w)})
+			return nil
+		}
+	}
+	// Unreachable: superEligible and this switch cover the same set.
+	panic(fmt.Sprintf("verilog: no closure generator for opcode %d", ins.Op))
+}
+
+// genSpec compiles the Tier B specialized closure for an instruction
+// the analysis proved two-state: identical arithmetic with the operand
+// Unknown-mask branch removed. Only the ops analyzeTwoState marks spec
+// reach here.
+func genSpec(prog *Program, ins Instr) superFn {
+	a, b := ins.A, ins.B
+	op := ins.Op
+	var k Value
+	switch op {
+	case opAddK, opSubK, opMulK, opEqK, opNeK, opLtK, opGtK, opLeK, opGeK:
+		k = prog.consts[b]
+	}
+	switch op {
+	case opAdd, opAddK:
+		if op == opAdd {
+			return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+				x, y := regs[a], regs[b]
+				w := max(x.Width, y.Width)
+				if w < 64 {
+					w++
+				}
+				regs[a] = NewValue(x.Bits+y.Bits, w)
+				return nil
+			}
+		}
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			w := max(x.Width, k.Width)
+			if w < 64 {
+				w++
+			}
+			regs[a] = NewValue(x.Bits+k.Bits, w)
+			return nil
+		}
+	case opSub, opSubK:
+		if op == opSub {
+			return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+				x, y := regs[a], regs[b]
+				regs[a] = NewValue(x.Bits-y.Bits, max(x.Width, y.Width))
+				return nil
+			}
+		}
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			regs[a] = NewValue(x.Bits-k.Bits, max(x.Width, k.Width))
+			return nil
+		}
+	case opMul, opMulK:
+		if op == opMul {
+			return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+				x, y := regs[a], regs[b]
+				w := x.Width + y.Width
+				if w > 64 {
+					w = 64
+				}
+				regs[a] = NewValue(x.Bits*y.Bits, w)
+				return nil
+			}
+		}
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x := regs[a]
+			w := x.Width + k.Width
+			if w > 64 {
+				w = 64
+			}
+			regs[a] = NewValue(x.Bits*k.Bits, w)
+			return nil
+		}
+	case opDiv:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x, y := regs[a], regs[b]
+			w := max(x.Width, y.Width)
+			if y.Bits == 0 {
+				regs[a] = AllX(w)
+			} else {
+				regs[a] = NewValue(x.Bits/y.Bits, w)
+			}
+			return nil
+		}
+	case opMod:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			x, y := regs[a], regs[b]
+			w := max(x.Width, y.Width)
+			if y.Bits == 0 {
+				regs[a] = AllX(w)
+			} else {
+				regs[a] = NewValue(x.Bits%y.Bits, w)
+			}
+			return nil
+		}
+	case opEq:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits == regs[b].Bits)
+			return nil
+		}
+	case opNe:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits != regs[b].Bits)
+			return nil
+		}
+	case opLt:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits < regs[b].Bits)
+			return nil
+		}
+	case opGt:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[b].Bits < regs[a].Bits)
+			return nil
+		}
+	case opLe:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(!(regs[b].Bits < regs[a].Bits))
+			return nil
+		}
+	case opGe:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(!(regs[a].Bits < regs[b].Bits))
+			return nil
+		}
+	case opEqK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits == k.Bits)
+			return nil
+		}
+	case opNeK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits != k.Bits)
+			return nil
+		}
+	case opLtK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(regs[a].Bits < k.Bits)
+			return nil
+		}
+	case opGtK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(k.Bits < regs[a].Bits)
+			return nil
+		}
+	case opLeK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(!(k.Bits < regs[a].Bits))
+			return nil
+		}
+	case opGeK:
+		return func(s *Simulator, regs []Value, r *runner, ev *evaluator) error {
+			regs[a] = cmpBool(!(regs[a].Bits < k.Bits))
+			return nil
+		}
+	}
+	panic(fmt.Sprintf("verilog: no specialized generator for opcode %d", op))
+}

@@ -1,0 +1,90 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// tierCSource builds a design with one wide independent combinational
+// cone: a single driver signal fanning out to well over coneParMin
+// specialized continuous assigns, re-driven many times by a $random
+// stimulus loop so every sweep re-evaluates the whole cone.
+func tierCSource(fanout int) string {
+	var b strings.Builder
+	b.WriteString("module tb;\n  reg [31:0] x, i;\n")
+	for k := 0; k < fanout; k++ {
+		fmt.Fprintf(&b, "  wire [31:0] w%d;\n", k)
+	}
+	for k := 0; k < fanout; k++ {
+		switch k % 3 {
+		case 0:
+			fmt.Fprintf(&b, "  assign w%d = x ^ 32'd%d;\n", k, uint32(k)*2654435761)
+		case 1:
+			fmt.Fprintf(&b, "  assign w%d = x + 32'd%d;\n", k, uint32(k)*40503)
+		default:
+			fmt.Fprintf(&b, "  assign w%d = ~x;\n", k)
+		}
+	}
+	b.WriteString(`  initial begin
+    x = 0;
+    for (i = 0; i < 50; i = i + 1) begin
+      x = $random;
+      #1 ;
+    end
+    $display("x=%h w0=%h w95=%h", x, w0, w` + fmt.Sprint(fanout-1) + `);
+    $finish;
+  end
+endmodule
+`)
+	return b.String()
+}
+
+// TestTierCParallelSweepDeterminism is the Tier C contract: for any
+// worker count, a seeded simulation of a parallel-swept cone is
+// byte-identical to the single-worker (fully serial) evaluation —
+// worker scheduling may only change wall-clock time, never results.
+// Fifty seeds × worker counts {1, 4, 7} all reduce to one fingerprint
+// per seed. Runs under -race in `make test-race`, so cross-goroutine
+// commits are also checked for data races, not just for value equality.
+func TestTierCParallelSweepDeterminism(t *testing.T) {
+	const fanout = 96
+	cd, err := Compile(tierCSource(fanout), "tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cone must actually be marked for the parallel sweep, or the
+	// workers>1 runs silently degrade to the serial path and the test
+	// proves nothing.
+	marked := false
+	for _, ok := range cd.Design.parSweep {
+		marked = marked || ok
+	}
+	if !marked {
+		t.Fatalf("no signal marked parSweep: fan-out %d below coneParMin %d or cone not specialized", fanout, coneParMin)
+	}
+
+	oldOverride := coneWorkersOverride
+	defer func() { coneWorkersOverride = oldOverride }()
+
+	fingerprint := func(seed uint64, workers int) string {
+		coneWorkersOverride = workers
+		res, err := cd.Run(SimOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+		}
+		if res.RuntimeErr != nil || !res.Finished {
+			t.Fatalf("seed %d workers %d: run diverged: %+v", seed, workers, res)
+		}
+		return res.Output + FormatSignals(res, "tb.")
+	}
+
+	for seed := uint64(0); seed < 50; seed++ {
+		want := fingerprint(seed, 1)
+		for _, workers := range []int{4, 7} {
+			if got := fingerprint(seed, workers); got != want {
+				t.Fatalf("seed %d: workers=%d diverged from serial\n want %q\n  got %q", seed, workers, got, want)
+			}
+		}
+	}
+}

@@ -51,6 +51,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 	}
 	for {
 		ins := &code[pc]
+		s.nGeneric++ // generic dispatch count (VMStats); opSuper re-books below
 		switch ins.Op {
 		case opStep:
 			s.steps++
@@ -565,7 +566,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			if ins.Op == opStoreSigNB {
 				s.nba = append(s.nba, nbaUpdate{sig: sig, mask: maskFor(w), value: v})
 			} else {
-				s.commitWrite(sig, 0, maskFor(w), v)
+				// C is always the declared width, so this is a full-width
+				// word-0 store: the specialized commit applies.
+				s.commitFull(sig, s.design.wordOffset[sig], v)
 			}
 			pc++
 
@@ -771,7 +774,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 
 		case opStoreSigEnd:
 			w := int(ins.C)
-			s.commitWrite(SignalID(ins.B), 0, maskFor(w), regs[ins.A].Resize(w))
+			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], regs[ins.A].Resize(w))
 			return vmEnd, nil
 
 		case opLoadSigBitK:
@@ -789,7 +792,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 				return vmErr, errBudget
 			}
 			w := int(ins.C)
-			s.commitWrite(SignalID(ins.B), 0, maskFor(w), prog.consts[ins.A].Resize(w))
+			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], prog.consts[ins.A].Resize(w))
 			pc += 3
 
 		case opStepCopy:
@@ -799,7 +802,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			}
 			w := int(ins.C)
 			v := s.store[s.design.wordOffset[ins.A]]
-			s.commitWrite(SignalID(ins.B), 0, maskFor(w), v.Resize(w))
+			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], v.Resize(w))
 			pc += 3
 
 		case opStepCopyNB:
@@ -836,6 +839,26 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			} else {
 				pc = int(ins.C)
 			}
+
+		// --- Tier A/B superinstructions (see super.go) ------------------
+		case opSuper:
+			sb := &prog.super[ins.A]
+			fns := sb.fns
+			if sb.two != nil && s.twoStateGate(sb) {
+				fns = sb.two
+				s.nTierB += uint64(sb.n)
+			} else {
+				s.nTierA += uint64(sb.n)
+			}
+			s.nGeneric-- // covered ops are booked in their tier, not as generic
+			for i := range fns {
+				if err := fns[i](s, regs, r, ev); err != nil {
+					// Closures wrap diagnostics with their own statement
+					// line (and return errBudget raw), matching fail().
+					return vmErr, err
+				}
+			}
+			pc = int(sb.end)
 
 		default:
 			return vmErr, fmt.Errorf("verilog: corrupt bytecode at pc %d (op %d)", pc, ins.Op)

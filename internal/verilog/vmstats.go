@@ -1,0 +1,112 @@
+package verilog
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Tiered-VM kill switches. Each tier is independently disableable so
+// property tests can force a configuration off and assert byte-identical
+// results against the default; they are read at compile time (fusion,
+// superinstruction synthesis) or simulator construction (workers), so
+// toggling between compiles is safe. Not intended for production use.
+var (
+	// enableFusion gates the finish-time peephole (pair/triple fusion).
+	enableFusion = true
+	// enableSuper gates Tier A superinstruction block synthesis.
+	enableSuper = true
+	// enableTwoState gates Tier B two-state specialized block variants.
+	enableTwoState = true
+	// coneWorkersOverride forces the Tier C worker count when > 0.
+	coneWorkersOverride = 0
+)
+
+// SetConeWorkersForTest forces the Tier C worker count; the returned
+// func restores the previous setting. Exported for the external golden
+// tests, which must prove simulation output is byte-identical with
+// parallel cone evaluation enabled (workers > 1) — the Tier C
+// determinism contract, checked against the same committed fixtures as
+// the serial run.
+func SetConeWorkersForTest(n int) (restore func()) {
+	old := coneWorkersOverride
+	coneWorkersOverride = n
+	return func() { coneWorkersOverride = old }
+}
+
+// coneWorkerCount is the Tier C worker bound for a new simulator.
+func coneWorkerCount() int {
+	if n := coneWorkersOverride; n > 0 {
+		return n
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// VMStats reports tiered-VM coverage: for one run on SimResult.VM, or
+// summed across a batch in simfarm.FarmStats. Op counts are dispatch
+// units — one executed instruction of the underlying program — so the
+// Tier A/B vs Generic split shows where dispatch time actually goes.
+type VMStats struct {
+	// SuperBlocks counts superinstructions synthesized across the
+	// design's compiled programs (static, per design).
+	SuperBlocks int64
+	// FuseSkipped counts fusion candidates dropped because a branch
+	// target split them (static, per design) — the peephole's
+	// previously silent truncation, now observable.
+	FuseSkipped int64
+	// TierAOps counts instructions executed inside general
+	// superinstruction closures.
+	TierAOps int64
+	// TierBOps counts instructions executed inside two-state
+	// specialized closures.
+	TierBOps int64
+	// GenericOps counts instructions dispatched by the generic
+	// switch loop.
+	GenericOps int64
+	// Promotions counts signals promoted to proven-two-state.
+	Promotions int64
+}
+
+// Add accumulates o into v and returns the sum.
+func (v VMStats) Add(o VMStats) VMStats {
+	v.SuperBlocks += o.SuperBlocks
+	v.FuseSkipped += o.FuseSkipped
+	v.TierAOps += o.TierAOps
+	v.TierBOps += o.TierBOps
+	v.GenericOps += o.GenericOps
+	v.Promotions += o.Promotions
+	return v
+}
+
+// Sub returns v minus o, field-wise — the traffic between two snapshots.
+func (v VMStats) Sub(o VMStats) VMStats {
+	v.SuperBlocks -= o.SuperBlocks
+	v.FuseSkipped -= o.FuseSkipped
+	v.TierAOps -= o.TierAOps
+	v.TierBOps -= o.TierBOps
+	v.GenericOps -= o.GenericOps
+	v.Promotions -= o.Promotions
+	return v
+}
+
+// String renders the stats as a single diagnostic line, with the tier
+// split as a share of all dispatched instructions.
+func (v VMStats) String() string {
+	total := v.TierAOps + v.TierBOps + v.GenericOps
+	pct := func(n int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(total)
+	}
+	return fmt.Sprintf(
+		"superblocks=%d fuse_skipped=%d dispatch: tierA=%d (%.1f%%) tierB=%d (%.1f%%) generic=%d (%.1f%%) promotions=%d",
+		v.SuperBlocks, v.FuseSkipped,
+		v.TierAOps, pct(v.TierAOps),
+		v.TierBOps, pct(v.TierBOps),
+		v.GenericOps, pct(v.GenericOps),
+		v.Promotions)
+}
