@@ -34,11 +34,12 @@ test-short:
 # Race-check the concurrent batch-simulation engine, every package whose
 # scoring runs on worker pools, the front-door API (its event sinks
 # receive from worker goroutines), the simulator kernel (its bound-
-# body memo and compiled designs are shared across concurrent runs), and
+# body memo and compiled designs are shared across concurrent runs), the
+# cross-level debugger (its cosimulation fan-out runs on the farm), and
 # the job service (queue shards, SSE broadcasters and the report store
 # all cross goroutines).
 test-race:
-	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/xdebug ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -84,7 +85,8 @@ bench-smoke:
 
 # Service-layer smoke: boot `llm4eda serve`, drive one quick job through
 # the typed client (submit, SSE stream, report, cached resubmission,
-# stats), then SIGTERM and require a clean drained exit. The port is
+# stats), require the xdebug job's per-round diagnosis frames to arrive
+# over SSE, then SIGTERM and require a clean drained exit. The port is
 # fixed; override SERVE_SMOKE_ADDR when it clashes.
 SERVE_SMOKE_ADDR ?= 127.0.0.1:18372
 serve-smoke:
@@ -95,9 +97,14 @@ serve-smoke:
 	$(GO) build -o "$$tmp/servedemo" ./examples/servedemo; \
 	"$$tmp/llm4eda" serve -addr $(SERVE_SMOKE_ADDR) > "$$tmp/serve.log" 2>&1 & \
 	pid=$$!; \
-	if ! "$$tmp/servedemo" -addr http://$(SERVE_SMOKE_ADDR); then \
-	  echo "serve-smoke: client run failed; server log:" >&2; \
+	if ! "$$tmp/servedemo" -addr http://$(SERVE_SMOKE_ADDR) > "$$tmp/client.log" 2>&1; then \
+	  echo "serve-smoke: client run failed; client log:" >&2; \
+	  cat "$$tmp/client.log" >&2; echo "server log:" >&2; \
 	  cat "$$tmp/serve.log" >&2; kill "$$pid" 2>/dev/null || true; exit 1; fi; \
+	cat "$$tmp/client.log"; \
+	grep -q "xdebug diagnosis events over SSE" "$$tmp/client.log" || { \
+	  echo "serve-smoke: SSE stream carried no xdebug diagnosis marker" >&2; \
+	  kill "$$pid" 2>/dev/null || true; exit 1; }; \
 	kill -TERM "$$pid"; \
 	if ! wait "$$pid"; then \
 	  echo "serve-smoke: server did not exit cleanly; log:" >&2; \

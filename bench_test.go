@@ -67,6 +67,10 @@ func BenchmarkSec2VRank(b *testing.B) { runExperiment(b, "E9") }
 // BenchmarkSec2LLSM regenerates the LLSM synthesis-assist result (E10).
 func BenchmarkSec2LLSM(b *testing.B) { runExperiment(b, "E10") }
 
+// BenchmarkSec6CrossLevelDebug regenerates the cross-level debugging
+// evaluation (E11).
+func BenchmarkSec6CrossLevelDebug(b *testing.B) { runExperiment(b, "E11") }
+
 // --- compile-once/run-many engine benchmarks ---------------------------
 //
 // The pair below measures the tentpole refactor on a VRank-style workload:
@@ -292,6 +296,58 @@ module tb;
   end
 endmodule`)
 }
+
+// BenchmarkKernelProbeOff / BenchmarkKernelProbeOn bound the cost of the
+// commit-probe hook (the trace-capture layer under internal/xdebug) on a
+// commit-heavy sequential workload. Off is the zero-overhead-when-off
+// guard: with no probe attached the hot paths add only a nil check per
+// commit and a dead line store per VM store opcode, so this point must
+// track the other Kernel benchmarks. On measures the attached-probe tax
+// (serial cone evaluation plus one indirect call per transition) that
+// xdebug runs pay; it is diagnostic, not a regression gate.
+func runKernelProbeBench(b *testing.B, probe bool) {
+	cd := compileKernelBench(b, `
+module tb;
+  reg clk;
+  reg [15:0] q0, q1;
+  reg [15:0] mix;
+  always #1 clk = ~clk;
+  always @(posedge clk) q0 <= q0 + 1;
+  always @(posedge clk) q1 <= q1 + 3;
+  always @(q0 or q1) mix = q0 ^ q1;
+  initial begin
+    clk = 0; q0 = 0; q1 = 0; mix = 0;
+    #4000;
+    $check_eq(q0, 16'd2000);
+    $check_eq(mix, q0 ^ q1);
+    $finish;
+  end
+endmodule`)
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := verilog.NewSimulator(cd.Design, verilog.SimOptions{})
+		if probe {
+			sim.SetProbe(func(t uint64, sig verilog.SignalID, word int, line int32, v verilog.Value) {
+				events++
+			})
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatalf("run: %v", err)
+		}
+		if res.RuntimeErr != nil || !res.Finished || res.Failures != 0 {
+			b.Fatalf("bad run: %+v", res)
+		}
+	}
+	if probe && events == 0 {
+		b.Fatal("probe attached but saw no transitions")
+	}
+}
+
+func BenchmarkKernelProbeOff(b *testing.B) { runKernelProbeBench(b, false) }
+
+func BenchmarkKernelProbeOn(b *testing.B) { runKernelProbeBench(b, true) }
 
 // BenchmarkCompile measures the full front end — lex, parse, elaborate,
 // and the bytecode lowering pass — on a representative DUT+testbench

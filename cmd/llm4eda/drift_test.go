@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"llm4eda/eda"
+)
+
+// TestRegistryDocsDrift enumerates the framework registry and fails when
+// any registered framework is missing from the CLI dispatch table, the
+// DESIGN.md inventory, or the EXPERIMENTS.md scenario coverage — the
+// drift that silently orphans a subsystem from its documentation. Adding
+// a framework means adding it everywhere this test looks.
+func TestRegistryDocsDrift(t *testing.T) {
+	frameworks := eda.Frameworks()
+	if len(frameworks) == 0 {
+		t.Fatal("empty framework registry")
+	}
+
+	cmds := map[string]bool{}
+	for _, c := range commandTable() {
+		cmds[c.name] = true
+	}
+
+	docs := map[string]string{}
+	for _, path := range []string{"../../DESIGN.md", "../../EXPERIMENTS.md"} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %s: %v", path, err)
+		}
+		docs[path] = strings.ToLower(string(raw))
+	}
+
+	for _, fw := range frameworks {
+		if !cmds[fw] {
+			t.Errorf("framework %q has no CLI subcommand (commandTable)", fw)
+		}
+		for path, body := range docs {
+			if !strings.Contains(body, strings.ToLower(fw)) {
+				t.Errorf("framework %q not mentioned in %s", fw, path)
+			}
+		}
+	}
+}

@@ -5,7 +5,10 @@
 // testing (Fig. 3), AutoChip-style feedback-driven Verilog generation
 // (Fig. 4), the SLT power-maximization loop with its genetic-programming
 // baseline (Fig. 5, §V), VRank self-consistency ranking, LLSM-style
-// synthesis assist, and the Fig. 6 end-to-end EDA agent — together with
+// synthesis assist, the Fig. 6 end-to-end EDA agent, and the §VI
+// cross-level RTL debugger (internal/xdebug: C-vs-RTL commit-trace
+// alignment, first-divergence localization, diagnosis-guided repair;
+// demo in examples/xdebug) — together with
 // every substrate they need: a Verilog-subset event-driven simulator, a C
 // frontend/interpreter, an HLS compiler with pragma-aware PPA models, a
 // gate-level synthesis estimator, an RV32-like ISA with a compiler

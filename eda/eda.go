@@ -1,6 +1,6 @@
 // Package eda is the single front door to every LLM-for-EDA framework in
 // the reproduction (the paper's Fig. 6 vision of one intelligent agent
-// orchestrating all capabilities). Instead of eight bespoke entry points,
+// orchestrating all capabilities). Instead of nine bespoke entry points,
 // callers describe what to run as an eda.Spec — a framework name, an
 // optional problem/kernel payload and a shared core.RunSpec execution
 // envelope — and call

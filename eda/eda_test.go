@@ -15,7 +15,7 @@ import (
 )
 
 // quickSpecs returns one minimal-budget spec per registered framework —
-// the acceptance matrix proving all eight are invocable through the
+// the acceptance matrix proving all nine are invocable through the
 // front door.
 func quickSpecs() map[string]eda.Spec {
 	return map[string]eda.Spec{
@@ -26,6 +26,8 @@ func quickSpecs() map[string]eda.Spec {
 			Params: map[string]float64{"k": 3}},
 		"crosscheck": {Framework: "crosscheck", Problem: "adder4",
 			Params: map[string]float64{"vectors": 8}},
+		"xdebug": {Framework: "xdebug", Problem: "mux2",
+			Params: map[string]float64{"vectors": 8, "rounds": 4}},
 		"repair": {Framework: "repair"},
 		"hlstest": {Framework: "hlstest",
 			Params: map[string]float64{"budget": 10}},
@@ -36,7 +38,7 @@ func quickSpecs() map[string]eda.Spec {
 	}
 }
 
-// TestEveryFrameworkInvocable drives all eight frameworks through
+// TestEveryFrameworkInvocable drives all nine frameworks through
 // eda.Run and asserts the uniform contract: a report with a summary and
 // metrics, and an event stream bracketed by run-start/run-end that
 // carries the per-cache counters.
@@ -229,8 +231,8 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("custom pipeline run: %v %+v", err, report)
 	}
 
-	// The default registry holds exactly the eight paper frameworks.
-	want := []string{"agent", "autochip", "crosscheck", "gp", "hlstest", "repair", "slt", "vrank"}
+	// The default registry holds exactly the nine paper frameworks.
+	want := []string{"agent", "autochip", "crosscheck", "gp", "hlstest", "repair", "slt", "vrank", "xdebug"}
 	got := eda.Frameworks()
 	if len(got) != len(want) {
 		t.Fatalf("Frameworks() = %v", got)

@@ -9,7 +9,7 @@ import (
 
 // ExampleRun drives the AutoChip framework on one benchmark problem
 // through the unified front door: a Spec in, a uniform Report out. The
-// same call shape reaches all eight frameworks — swap Framework and the
+// same call shape reaches all nine frameworks — swap Framework and the
 // knobs in Params.
 func ExampleRun() {
 	report, err := eda.Run(context.Background(), eda.Spec{

@@ -16,6 +16,7 @@ import (
 	"llm4eda/internal/repair"
 	"llm4eda/internal/slt"
 	"llm4eda/internal/vrank"
+	"llm4eda/internal/xdebug"
 )
 
 // simModel builds the spec's simulated model (tier and seed both come
@@ -86,7 +87,7 @@ int scale(int a, int b) {
     return acc;
 }`
 
-// builtinPipelines returns the eight framework adapters behind the front
+// builtinPipelines returns the nine framework adapters behind the front
 // door. Each one translates a Spec into the framework's native options
 // (embedding the shared RunSpec), runs it under ctx, and folds the native
 // result into a uniform Report with the result attached as Detail.
@@ -119,6 +120,13 @@ func builtinPipelines() []Pipeline {
 			Params: []string{"vectors"},
 			Check:  checkProblem,
 			Run:    runCrosscheck,
+		},
+		{
+			Name:   "xdebug",
+			Doc:    "cross-level C-vs-RTL trace alignment, divergence localization, guided repair (§VI)",
+			Params: []string{"rounds", "vectors", "mutant", "temperature"},
+			Check:  checkProblem,
+			Run:    runXDebug,
 		},
 		{
 			Name:   "repair",
@@ -340,6 +348,93 @@ func runCrosscheck(ctx context.Context, spec Spec) (*Report, error) {
 		results = append(results, res)
 		if res.Clean() {
 			clean++
+		}
+	}
+	return report(), nil
+}
+
+// xdebugCandidate builds the debug loop's starting candidate: with
+// mutant > 0 a deterministic single-fault mutant of the reference
+// (indexed by seed+mutant so seeds sweep the corpus), with mutant == 0 a
+// model-generated design. Problems whose reference admits no mutants
+// (e.g. a single unary assign) fall back to the reference itself.
+// Returns the candidate and the injected fault line (0 = none).
+func xdebugCandidate(p *benchset.Problem, model llm.Model, seed uint64, mutant int) (string, int) {
+	if mutant > 0 {
+		if ms := xdebug.Mutants(p.Reference); len(ms) > 0 {
+			m := ms[(int(seed)+mutant-1)%len(ms)]
+			return m.Source, m.Line
+		}
+		return p.Reference, 0
+	}
+	resp, err := model.Generate(llm.Request{
+		System: llm.SystemVerilogDesigner,
+		Prompt: llm.BuildDesignPrompt(p.Spec),
+		Task: llm.VerilogGen{ProblemID: p.ID, Spec: p.Spec,
+			Reference: p.Reference, Difficulty: p.Difficulty},
+	})
+	if err != nil {
+		return p.Reference, 0
+	}
+	return resp.Text, 0
+}
+
+func runXDebug(ctx context.Context, spec Spec) (*Report, error) {
+	model, err := simModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	var problems []*benchset.Problem
+	if spec.Problem != "" {
+		problems = []*benchset.Problem{benchset.ByID(spec.Problem)}
+	} else {
+		for _, p := range benchset.Suite() {
+			if p.CModel != "" && len(p.Ports) > 0 {
+				problems = append(problems, p)
+			}
+		}
+	}
+	opts := xdebug.Options{
+		RunSpec: spec.Run, Model: model,
+		Rounds:      int(spec.Param("rounds", 6)),
+		Vectors:     int(spec.Param("vectors", 24)),
+		Temperature: spec.Param("temperature", 0),
+	}
+	mutant := int(spec.Param("mutant", 1))
+	var results []*xdebug.Result
+	converged, localized, injectedHit, rounds := 0, 0, 0, 0
+	report := func() *Report {
+		rep := &Report{Detail: results}
+		rep.Metric("converged", float64(converged))
+		rep.Metric("localized", float64(localized))
+		rep.Metric("injected_hit", float64(injectedHit))
+		rep.Metric("total", float64(len(problems)))
+		rep.Metric("rounds", float64(rounds))
+		rep.OK = converged == len(problems)
+		rep.Summary = fmt.Sprintf("repaired %d/%d designs to trace-identical RTL in %d rounds (localized %d, injected-fault hits %d)",
+			converged, len(problems), rounds, localized, injectedHit)
+		return rep
+	}
+	for _, p := range problems {
+		cand, inj := xdebugCandidate(p, model, spec.Run.Seed, mutant)
+		res, err := xdebug.Debug(ctx, p, cand, opts)
+		if res != nil {
+			results = append(results, res)
+			rounds += len(res.Rounds)
+			if res.Converged {
+				converged++
+			}
+			if res.Localized {
+				localized++
+			}
+			if inj > 0 && len(res.Rounds) > 0 && res.Rounds[0].Diag != nil &&
+				res.Rounds[0].Diag.SuspectLine == inj {
+				injectedHit++
+			}
+		}
+		if err != nil {
+			// Partial report travels with the error (cancellation contract).
+			return report(), fmt.Errorf("%s: %w", p.ID, err)
 		}
 	}
 	return report(), nil

@@ -97,7 +97,7 @@ var (
 	defaultRegistryOnce sync.Once
 )
 
-// DefaultRegistry returns the process-wide registry holding the eight
+// DefaultRegistry returns the process-wide registry holding the nine
 // built-in framework pipelines.
 func DefaultRegistry() *Registry {
 	defaultRegistryOnce.Do(func() {

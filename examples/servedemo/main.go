@@ -2,7 +2,9 @@
 // it submits one quick-scale job through the typed eda/client package,
 // streams the job's progress events live over SSE, waits for the final
 // report, resubmits the identical spec to demonstrate the cross-request
-// report cache, and prints the server's queue/cache statistics. The
+// report cache, runs a second job through the cross-level debugger while
+// counting its per-round diagnosis frames off the SSE stream, and prints
+// the server's queue/cache statistics. The
 // `make serve-smoke` CI target runs exactly this against a freshly
 // started `llm4eda serve`.
 //
@@ -84,6 +86,43 @@ func run(addr, framework, problem string) error {
 	if !again.Cached {
 		return fmt.Errorf("resubmission was not served from the report cache")
 	}
+
+	// A second job through the cross-level debugger: the service layer
+	// inherits xdebug's per-round diagnosis events through the shared
+	// event vocabulary, so the SSE stream carries one "diagnosis"
+	// candidate frame per repair round. Count them off the wire.
+	xspec := eda.Spec{
+		Framework: "xdebug",
+		Problem:   "mux2",
+		Params:    map[string]float64{"vectors": 8, "rounds": 4},
+	}
+	xjob, err := c.Submit(ctx, xspec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (xdebug/mux2, state %s)\n", xjob.ID, xjob.State)
+	diagnoses := 0
+	progress := eda.ProgressPrinter(os.Stdout, true)
+	counting := eda.SinkFunc(func(ev eda.Event) {
+		if ev.Kind == eda.EventCandidate && ev.Framework == "xdebug" && ev.Phase == "diagnosis" {
+			diagnoses++
+		}
+		progress.Emit(ev)
+	})
+	if _, err := c.Events(ctx, xjob.ID, counting); err != nil {
+		return fmt.Errorf("xdebug event stream: %w", err)
+	}
+	xjob, err = c.Wait(ctx, xjob.ID)
+	if err != nil {
+		return err
+	}
+	if xjob.State != "done" {
+		return fmt.Errorf("xdebug job finished %s: %s", xjob.State, xjob.Error)
+	}
+	if diagnoses == 0 {
+		return fmt.Errorf("xdebug SSE stream carried no per-round diagnosis events")
+	}
+	fmt.Printf("xdebug diagnosis events over SSE: %d\n", diagnoses)
 
 	st, err := c.Stats(ctx)
 	if err != nil {

@@ -1,0 +1,83 @@
+// xdebug: the §VI cross-level debugging loop — C-vs-RTL trace alignment,
+// first-divergence localization, and diagnosis-guided repair. The demo
+// first uses the harness directly: a fault injected into an internal
+// pipeline stage of satadd8 is localized to its exact line by aligning
+// the RTL commit trace against the problem's untimed C model (the XAlign
+// table maps the internal stage to a C helper, so the divergence is
+// caught upstream of the output port). It then runs the full repair loop
+// through the eda front door on a mutated alu8, streaming one diagnosis
+// event per round until the design is trace-identical to the model.
+//
+// Run with: go run ./examples/xdebug
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+
+	"llm4eda/eda"
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/xdebug"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "xdebug:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Direct harness use: localize a fault in an internal stage.
+	p := benchset.ByID("satadd8")
+	h, err := xdebug.NewHarness(p, "", 24)
+	if err != nil {
+		return err
+	}
+	buggy := strings.Replace(p.Reference, "a + b", "a - b", 1)
+	diag := h.Diagnose(buggy)
+	fmt.Println("injected fault: satadd8's internal sum computes a - b")
+	fmt.Println("diagnosis:")
+	fmt.Println(indent(diag.Feedback()))
+	fmt.Println()
+
+	// Front door: deterministic mutant of alu8, guided repair until the
+	// traces align. The event stream (-v equivalent) shows one
+	// "diagnosis" candidate event per round.
+	spec := eda.Spec{
+		Framework: "xdebug",
+		Problem:   "alu8",
+		Run:       eda.RunSpec{Tier: "frontier", Seed: 1},
+		Params:    map[string]float64{"mutant": 1, "rounds": 8},
+	}
+	report, err := eda.Run(context.Background(), spec,
+		eda.WithSink(eda.ProgressPrinter(os.Stdout, true)))
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(report.Render())
+
+	res := report.Detail.([]*xdebug.Result)[0]
+	fmt.Printf("\nrepair trajectory for %s:\n", res.Problem)
+	for _, r := range res.Rounds {
+		verdict := "diverged"
+		if r.Diag == nil {
+			verdict = "traces aligned"
+		} else if r.Diag.Outcome == xdebug.OutcomeDiverged {
+			verdict = fmt.Sprintf("diverged at vector %d (%s), suspect line %d",
+				r.Diag.Epoch, r.Diag.Variable, r.Diag.SuspectLine)
+		} else {
+			verdict = r.Diag.Outcome
+		}
+		fmt.Printf("  round %d: %s (testbench pass=%v)\n", r.N, verdict, r.TBPassed)
+	}
+	fmt.Printf("converged=%v after %d rounds\n", res.Converged, len(res.Rounds))
+	return nil
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ")
+}

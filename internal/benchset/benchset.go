@@ -46,6 +46,13 @@ type Problem struct {
 	// output port, named like the port) used by the high-level-guided
 	// debugging extension; empty when not provided.
 	CModel string
+	// XAlign maps extra C model functions to RTL signal names inside the
+	// DUT (relative to the instance) for cross-level trace alignment:
+	// name matching covers the output ports automatically, and this
+	// per-problem override table extends the alignment to internal
+	// signals the C model also exposes (e.g. satadd8's 9-bit "full"
+	// intermediate). Nil when port-name matching is sufficient.
+	XAlign map[string]string
 
 	// tb memoizes the concatenated testbench: every framework scores
 	// whole candidate batches against it, and rebuilding the multi-KB

@@ -68,10 +68,13 @@ int y(int a, int b) { return a > b ? a - b : b - a; }`,
 int mn(int a, int b) { return a < b ? a : b; }
 int mx(int a, int b) { return a < b ? b : a; }`,
 	"barrel8": `
+int s1(int a, int sh) { return (sh & 1) ? (a << 1) & 255 : a; }
+int s2(int a, int sh) { int t = s1(a, sh); return (sh & 2) ? (t << 2) & 255 : t; }
 int y(int a, int sh) { return (a << sh) & 255; }`,
 	"gray4": `
 int g(int b) { return (b ^ (b >> 1)) & 15; }`,
 	"satadd8": `
+int full(int a, int b) { return (a + b) & 511; }
 int y(int a, int b) {
     int t = a + b;
     if (t > 255) t = 255;
@@ -81,12 +84,25 @@ int y(int a, int b) {
 int p(int a, int b) { return (a * b) & 255; }`,
 }
 
+// xAligns is the per-problem cross-level alignment override table: extra
+// C model functions (beyond the output ports, which align by name) and
+// the internal RTL signal each one models. The cross-level debugger
+// traces these signals too, so a divergence inside a multi-stage design
+// localizes to the first wrong *stage*, not just the final output.
+var xAligns = map[string]map[string]string{
+	"barrel8": {"s1": "s1", "s2": "s2"},
+	"satadd8": {"full": "full"},
+}
+
 // attachCModels wires the C models onto the suite (called from combSuite
 // consumers via Suite()).
 func attachCModels(ps []*Problem) []*Problem {
 	for _, p := range ps {
 		if m, ok := cModels[p.ID]; ok {
 			p.CModel = m
+		}
+		if a, ok := xAligns[p.ID]; ok {
+			p.XAlign = a
 		}
 	}
 	return ps

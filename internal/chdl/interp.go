@@ -74,6 +74,9 @@ type Interp struct {
 	Trace func(line int, name string, v int64)
 	// TraceVars selects which variables to trace (nil = none).
 	TraceVars map[string]bool
+	// TraceAll traces every variable regardless of TraceVars — the
+	// cross-level debugger's statement-level C trace (internal/xdebug).
+	TraceAll bool
 	// BranchCount records taken-branch counts by line for spectra.
 	BranchCount map[int]int64
 }
@@ -318,7 +321,7 @@ func (fr *frame) exec(st Stmt) (ctrlKind, error) {
 			if err := fr.declare(d); err != nil {
 				return ctrlNone, err
 			}
-			if fr.in.Trace != nil && fr.in.TraceVars[d.Name] {
+			if fr.in.Trace != nil && (fr.in.TraceAll || fr.in.TraceVars[d.Name]) {
 				if s, ok := fr.lookup(d.Name); ok && s.buf != nil {
 					fr.in.Trace(d.Line, d.Name, s.buf.data[0])
 				}
@@ -563,10 +566,10 @@ func (fr *frame) assignTo(lhs Expr, v RtVal, line int) (RtVal, error) {
 	}
 	buf.data[off] = stored
 	if fr.in.Trace != nil {
-		if vr, ok := lhs.(*VarRef); ok && fr.in.TraceVars[vr.Name] {
+		if vr, ok := lhs.(*VarRef); ok && (fr.in.TraceAll || fr.in.TraceVars[vr.Name]) {
 			fr.in.Trace(line, vr.Name, stored)
 		} else if ix, ok := lhs.(*IndexExpr); ok {
-			if vr, ok := ix.X.(*VarRef); ok && fr.in.TraceVars[vr.Name] {
+			if vr, ok := ix.X.(*VarRef); ok && (fr.in.TraceAll || fr.in.TraceVars[vr.Name]) {
 				fr.in.Trace(line, vr.Name, stored)
 			}
 		}

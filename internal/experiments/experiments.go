@@ -24,6 +24,7 @@ import (
 	"llm4eda/internal/synth"
 	"llm4eda/internal/verilog"
 	"llm4eda/internal/vrank"
+	"llm4eda/internal/xdebug"
 )
 
 // Scale selects experiment budgets.
@@ -51,7 +52,7 @@ func (r Runner) pick(quick, full int) int {
 
 // IDs lists every experiment identifier in run order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 }
 
 // All runs every experiment in order. A cancelled ctx stops between
@@ -68,7 +69,7 @@ func (r Runner) All(ctx context.Context) []*core.Experiment {
 	return out
 }
 
-// ByID runs a single experiment ("E1".."E10").
+// ByID runs a single experiment ("E1".."E11").
 func (r Runner) ByID(ctx context.Context, id string) (*core.Experiment, error) {
 	switch id {
 	case "E1":
@@ -91,8 +92,10 @@ func (r Runner) ByID(ctx context.Context, id string) (*core.Experiment, error) {
 		return r.E9Sec2VRank(ctx), nil
 	case "E10":
 		return r.E10Sec2LLSM(ctx), nil
+	case "E11":
+		return r.E11Sec6CrossLevelDebug(ctx), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (E1..E10)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (E1..E11)", id)
 	}
 }
 
@@ -504,6 +507,90 @@ func (r Runner) E10Sec2LLSM(ctx context.Context) *core.Experiment {
 	exp.AddFinding("LLM rewrites cut total area to %.0f%% of baseline across the suite",
 		100*llmTotal/baseTotal)
 	return exp
+}
+
+// E11Sec6CrossLevelDebug evaluates the §VI cross-level debugger: first,
+// mutation-corpus localization accuracy (does the first divergent
+// statement match the injected fault line?); then guided-repair
+// convergence of one mutant per problem under the round budget.
+func (r Runner) E11Sec6CrossLevelDebug(ctx context.Context) *core.Experiment {
+	exp := &core.Experiment{ID: "E11", Artifact: "§VI — cross-level RTL debugging: trace alignment, localization, guided repair"}
+	var problems []*benchset.Problem
+	for _, p := range benchset.Suite() {
+		if p.CModel != "" && len(p.Ports) > 0 {
+			problems = append(problems, p)
+		}
+	}
+	vectors := r.pick(16, 32)
+
+	// Localization accuracy over the deterministic mutation corpus.
+	divergent, hits := 0, 0
+	for i, p := range problems {
+		h, err := xdebug.NewHarness(p, "", vectors)
+		if err != nil {
+			exp.AddFinding("%s: harness failed: %v", p.ID, err)
+			return exp
+		}
+		pd, ph := 0, 0
+		for _, m := range xdebug.Mutants(p.Reference) {
+			if ctx.Err() != nil {
+				return exp
+			}
+			diag := h.Diagnose(m.Source)
+			if diag == nil {
+				continue
+			}
+			pd++
+			if diag.SuspectLine == m.Line {
+				ph++
+			}
+		}
+		divergent += pd
+		hits += ph
+		if pd > 0 {
+			exp.AddRow("localize:"+p.ID, float64(i), float64(ph)/float64(pd),
+				fmt.Sprintf("%d/%d divergent mutants localized to the injected line", ph, pd))
+		}
+	}
+
+	// Guided-repair convergence: the first mutant of each problem, under
+	// the default round budget.
+	model := llm.NewSimModel(llm.TierFrontier, r.Seed+67)
+	converged, attempted, rounds := 0, 0, 0
+	for _, p := range problems {
+		ms := xdebug.Mutants(p.Reference)
+		if len(ms) == 0 {
+			continue
+		}
+		res, err := xdebug.Debug(ctx, p, ms[0].Source, xdebug.Options{
+			RunSpec: core.RunSpec{Seed: r.Seed + 67}, Model: model,
+			Rounds: 6, Vectors: vectors,
+		})
+		if err != nil {
+			exp.AddFinding("%s: debug failed: %v", p.ID, err)
+			return exp
+		}
+		attempted++
+		rounds += len(res.Rounds)
+		if res.Converged {
+			converged++
+		}
+	}
+	exp.AddRow("localization-accuracy", 0, ratio(hits, divergent),
+		fmt.Sprintf("%d/%d divergent mutants", hits, divergent))
+	exp.AddRow("repair-convergence", 1, ratio(converged, attempted),
+		fmt.Sprintf("%d/%d mutants back to trace-identical RTL, %.1f rounds mean", converged, attempted,
+			float64(rounds)/float64(max(attempted, 1))))
+	exp.AddFinding("first-divergence localization hits the injected fault on %.0f%% of mutants; guided repair converges %d/%d within budget",
+		100*ratio(hits, divergent), converged, attempted)
+	return exp
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }
 
 func boolTo01(b bool) float64 {

@@ -8,7 +8,7 @@ import (
 	"testing"
 )
 
-// TestGoldenQuickScaleRows locks the E1–E10 quick-scale output to the
+// TestGoldenQuickScaleRows locks the E1–E11 quick-scale output to the
 // fixture captured immediately before the eda front-door redesign: the
 // experiment rows must stay byte-identical, so API work can never
 // silently change scientific results. Regenerate the fixture (only after

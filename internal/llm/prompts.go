@@ -69,6 +69,18 @@ func BuildRepairPrompt(source string, diagnostics, templates []string) string {
 	return b.String()
 }
 
+// BuildTraceRepairPrompt renders the cross-level guided-repair request
+// (internal/xdebug): the structured divergence diagnosis — divergent
+// variable, expected-vs-actual waveform window, suspect statement —
+// plus the current candidate.
+func BuildTraceRepairPrompt(spec, candidate, diagnosis string) string {
+	return fmt.Sprintf("A cross-level trace comparison against a C behavioral model "+
+		"shows this RTL diverging.\n\nSpecification:\n%s\n\n"+
+		"Current RTL:\n```verilog\n%s\n```\n\nDiagnosis:\n%s\n\n"+
+		"Fix the design. Return only the corrected Verilog source.",
+		spec, candidate, diagnosis)
+}
+
 // BuildSCoTPrompt renders the two-stage structured chain-of-thought prompt
 // of the SLT generator: examples with measured power, pseudocode first,
 // then code.

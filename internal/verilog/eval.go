@@ -430,7 +430,7 @@ func checkWriteLegality(sig *Signal, procedural bool) error {
 // commit routes a masked write either immediately or to the NBA region.
 func (ev *evaluator) commit(sig *Signal, word int, mask uint64, v Value, nonBlocking bool) {
 	if nonBlocking {
-		ev.sim.nba = append(ev.sim.nba, nbaUpdate{sig: sig.ID, word: word, mask: mask, value: v})
+		ev.sim.nba = append(ev.sim.nba, nbaUpdate{sig: sig.ID, word: word, mask: mask, value: v, line: ev.sim.probeLine})
 		return
 	}
 	ev.sim.commitWrite(sig.ID, word, mask, v)

@@ -1,0 +1,80 @@
+package verilog_test
+
+import (
+	"reflect"
+	"testing"
+
+	"llm4eda/internal/benchset"
+	"llm4eda/internal/verilog"
+)
+
+// TestProbeObserverSoundness pins the probe's pure-observer contract:
+// attaching a commit probe must not change a single observable outcome
+// of a simulation. For every benchset problem across several seeds the
+// reference DUT runs against its full testbench twice — once plain,
+// once with a counting probe attached — and the two runs must agree on
+// every field the kernel golden suite records. The probed run must also
+// actually see commits; a probe that never fires would pass the
+// equivalence check vacuously.
+func TestProbeObserverSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchset sweep")
+	}
+	for _, p := range benchset.Suite() {
+		cd, err := verilog.CompileSources("tb", p.Reference, p.Testbench())
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.ID, err)
+		}
+		for seed := uint64(1); seed <= 3; seed++ {
+			plain := probeRun(t, cd, seed, false)
+			probed := probeRun(t, cd, seed, true)
+			if !reflect.DeepEqual(plain.run, probed.run) {
+				t.Errorf("%s seed %d: probe perturbed the simulation\nplain:  %+v\nprobed: %+v",
+					p.ID, seed, plain.run, probed.run)
+			}
+			if probed.events == 0 {
+				t.Errorf("%s seed %d: probe attached but observed no commits", p.ID, seed)
+			}
+			if probed.lined == 0 {
+				t.Errorf("%s seed %d: no probe event carried a source line", p.ID, seed)
+			}
+		}
+	}
+}
+
+type probedRun struct {
+	run    goldenRun
+	events int
+	lined  int
+}
+
+func probeRun(t *testing.T, cd *verilog.CompiledDesign, seed uint64, probe bool) probedRun {
+	t.Helper()
+	sim := verilog.NewSimulator(cd.Design, verilog.SimOptions{Seed: seed})
+	var pr probedRun
+	if probe {
+		sim.SetProbe(func(tm uint64, sig verilog.SignalID, word int, line int32, v verilog.Value) {
+			pr.events++
+			if line > 0 {
+				pr.lined++
+			}
+		})
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if res.RuntimeErr != nil {
+		t.Fatalf("seed %d: runtime error %v", seed, res.RuntimeErr)
+	}
+	pr.run = goldenRun{
+		Output:   res.Output,
+		Signals:  verilog.FormatSignals(res, ""),
+		EndTime:  res.EndTime,
+		Checks:   res.Checks,
+		Failures: res.Failures,
+		Finished: res.Finished,
+		TimedOut: res.TimedOut,
+	}
+	return pr
+}

@@ -169,6 +169,9 @@ type nbaUpdate struct {
 	word  int
 	mask  uint64
 	value Value // pre-shifted into position described by mask
+	// line is the scheduling statement's source line, carried to the NBA
+	// drain so probe attribution survives the deferred commit.
+	line int32
 }
 
 // timedEvent is one scheduled process resume on the event heap. seq is a
@@ -306,6 +309,13 @@ type Simulator struct {
 	timedOut bool
 	rtErr    error
 
+	// probe, when non-nil, observes every committed store (probe.go);
+	// probeLine is the 1-based source line of the statement currently
+	// committing, maintained by the store dispatch sites so commitWrite/
+	// commitFull can attribute the transition without a signature change.
+	probe     ProbeFunc
+	probeLine int32
+
 	// Tiered-VM dispatch accounting (see VMStats).
 	nTierA   uint64 // instructions covered by general superinstructions
 	nTierB   uint64 // instructions covered by two-state variants
@@ -442,6 +452,9 @@ func (s *Simulator) mainLoop() {
 			// assigns commit blocking), so in-place iteration is safe.
 			for i := range s.nba {
 				u := s.nba[i]
+				if s.probe != nil {
+					s.probeLine = u.line
+				}
 				s.commitWrite(u.sig, u.word, u.mask, u.value)
 			}
 			s.nba = s.nba[:0]
@@ -572,6 +585,9 @@ func (s *Simulator) commitWrite(sig SignalID, word int, mask uint64, v Value) {
 		return
 	}
 	*slot = nw
+	if s.probe != nil {
+		s.probe(s.now, sig, word, s.probeLine, nw)
+	}
 	if word != 0 {
 		return // memory word writes have no sensitivity in the subset
 	}
@@ -611,6 +627,9 @@ func (s *Simulator) commitFull(sig SignalID, off int32, v Value) {
 		return
 	}
 	*slot = v
+	if s.probe != nil {
+		s.probe(s.now, sig, 0, s.probeLine, v)
+	}
 	if v.Unknown == 0 && !s.twoState[sig] {
 		s.twoState[sig] = true
 		s.nPromote++
@@ -764,6 +783,13 @@ func (s *Simulator) wakeWatchers(c changeRec) {
 // evaluator (identical semantics, just slower).
 func (s *Simulator) evalContAssign(idx int) {
 	ca := s.design.assigns[idx]
+	if s.probe != nil {
+		// Attribute every commit of this evaluation — fast-path, compiled
+		// program and tree fallback alike — to the assign's source line.
+		// (Store opcodes re-set the line, to the same value, from their
+		// own debug info.)
+		s.probeLine = int32(ca.line)
+	}
 	if f := &ca.fast; f.kind != caFastNone {
 		// Specialized simple shapes (port copies, one-operator RHSes):
 		// the bulk of real propagation waves, computed without entering

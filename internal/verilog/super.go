@@ -32,6 +32,12 @@ type superBlock struct {
 	gate []SignalID
 	end  int32 // pc after the block
 	n    int32 // live instructions covered (dispatch accounting)
+	// head preserves the original first instruction that the opSuper
+	// install overwrites. When a commit probe is attached (probe.go) the
+	// dispatch loop re-executes the block from this head through the
+	// generic switch — interior slots are left in place by synthesis —
+	// so every store keeps its exact statement-line attribution.
+	head Instr
 }
 
 // superFail wraps a diagnostic with the raising instruction's statement
@@ -252,7 +258,7 @@ func (lw *lowerer) synthBlock(start, end, live int) {
 		}
 		k++
 	}
-	sb := superBlock{fns: fns, end: int32(end), n: int32(live)}
+	sb := superBlock{fns: fns, end: int32(end), n: int32(live), head: code[start]}
 	if anySpec {
 		sb.two, sb.gate = two, gate
 	}

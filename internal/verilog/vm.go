@@ -51,6 +51,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 	}
 	for {
 		ins := &code[pc]
+	again:
 		s.nGeneric++ // generic dispatch count (VMStats); opSuper re-books below
 		switch ins.Op {
 		case opStep:
@@ -563,8 +564,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			w := int(ins.C)
 			v := regs[ins.A].Resize(w)
 			sig := SignalID(ins.B)
+			s.probeLine = ins.Line // probe attribution; dead store when off
 			if ins.Op == opStoreSigNB {
-				s.nba = append(s.nba, nbaUpdate{sig: sig, mask: maskFor(w), value: v})
+				s.nba = append(s.nba, nbaUpdate{sig: sig, mask: maskFor(w), value: v, line: ins.Line})
 			} else {
 				// C is always the declared width, so this is a full-width
 				// word-0 store: the specialized commit applies.
@@ -579,8 +581,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 				w := int(ins.D)
 				v := regs[ins.A].Resize(w)
 				sig := SignalID(ins.B)
+				s.probeLine = ins.Line
 				if ins.Op == opStoreMemNB {
-					s.nba = append(s.nba, nbaUpdate{sig: sig, word: i, mask: maskFor(w), value: v})
+					s.nba = append(s.nba, nbaUpdate{sig: sig, word: i, mask: maskFor(w), value: v, line: ins.Line})
 				} else {
 					s.commitWrite(sig, i, maskFor(w), v)
 				}
@@ -596,8 +599,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 					v := regs[ins.A]
 					shifted := Value{Bits: (v.Bits & 1) << uint(i), Unknown: (v.Unknown & 1) << uint(i), Width: w}
 					sig := SignalID(ins.B)
+					s.probeLine = ins.Line
 					if ins.Op == opStoreBitNB {
-						s.nba = append(s.nba, nbaUpdate{sig: sig, mask: uint64(1) << uint(i), value: shifted})
+						s.nba = append(s.nba, nbaUpdate{sig: sig, mask: uint64(1) << uint(i), value: shifted, line: ins.Line})
 					} else {
 						s.commitWrite(sig, 0, uint64(1)<<uint(i), shifted)
 					}
@@ -615,8 +619,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 				Unknown: (v.Unknown & maskFor(w)) << uint(lsb),
 				Width:   sig.Width,
 			}
+			s.probeLine = ins.Line
 			if ins.Op == opStorePartKNB {
-				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted})
+				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted, line: ins.Line})
 			} else {
 				s.commitWrite(sig.ID, 0, mask, shifted)
 			}
@@ -639,8 +644,9 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 				Unknown: (v.Unknown & maskFor(w)) << uint(lsb),
 				Width:   sig.Width,
 			}
+			s.probeLine = ins.Line
 			if ins.Op == opStorePartNB {
-				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted})
+				s.nba = append(s.nba, nbaUpdate{sig: sig.ID, mask: mask, value: shifted, line: ins.Line})
 			} else {
 				s.commitWrite(sig.ID, 0, mask, shifted)
 			}
@@ -774,6 +780,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 
 		case opStoreSigEnd:
 			w := int(ins.C)
+			s.probeLine = ins.Line
 			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], regs[ins.A].Resize(w))
 			return vmEnd, nil
 
@@ -792,6 +799,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 				return vmErr, errBudget
 			}
 			w := int(ins.C)
+			s.probeLine = ins.Line
 			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], prog.consts[ins.A].Resize(w))
 			pc += 3
 
@@ -802,6 +810,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			}
 			w := int(ins.C)
 			v := s.store[s.design.wordOffset[ins.A]]
+			s.probeLine = ins.Line
 			s.commitFull(SignalID(ins.B), s.design.wordOffset[ins.B], v.Resize(w))
 			pc += 3
 
@@ -812,7 +821,7 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 			}
 			w := int(ins.C)
 			v := s.store[s.design.wordOffset[ins.A]]
-			s.nba = append(s.nba, nbaUpdate{sig: SignalID(ins.B), mask: maskFor(w), value: v.Resize(w)})
+			s.nba = append(s.nba, nbaUpdate{sig: SignalID(ins.B), mask: maskFor(w), value: v.Resize(w), line: ins.Line})
 			pc += 3
 
 		case opBrCmpK:
@@ -843,6 +852,16 @@ func vmRun(s *Simulator, prog *Program, regs []Value, r *runner, ev *evaluator, 
 		// --- Tier A/B superinstructions (see super.go) ------------------
 		case opSuper:
 			sb := &prog.super[ins.A]
+			if s.probe != nil {
+				// Tracing: superinstruction closures commit without per-
+				// statement line attribution, so re-dispatch the block's
+				// preserved head instruction and walk the live interior
+				// slots (left in place by synthBlock) through the generic
+				// switch. Same semantics, exact probe lines.
+				s.nGeneric--
+				ins = &sb.head
+				goto again
+			}
 			fns := sb.fns
 			if sb.two != nil && s.twoStateGate(sb) {
 				fns = sb.two
@@ -1050,6 +1069,9 @@ func (r *runner) renderDisplay(d *dispDesc, regs []Value) {
 func (r *runner) execFallback(st Stmt) error {
 	switch n := st.(type) {
 	case *Assign:
+		if s := r.sim; s.probe != nil {
+			s.probeLine = int32(n.Line)
+		}
 		rhs, err := r.ev.eval(n.RHS)
 		if err != nil {
 			return fmt.Errorf("line %d: %w", n.Line, err)

@@ -1,0 +1,233 @@
+package xdebug
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Mutation is one deterministic single-line fault injected into an RTL
+// source — the localization corpus's ground truth.
+type Mutation struct {
+	// Class is the fault class: "swap-op", "swap-arms", "const-off" or
+	// "drop-reset".
+	Class string
+	// Line is the 1-based mutated source line — the localizer's target.
+	Line   int
+	Detail string
+	// Source is the full mutated RTL.
+	Source string
+}
+
+// opSwaps enumerates operator substitutions in priority order; the first
+// match on a line wins, so every line yields at most one swap-op mutant.
+// Operators are space-delimited as the benchset references write them,
+// which also keeps "<" clear of "<<" and "<=".
+var opSwaps = [][2]string{
+	{" + ", " - "}, {" - ", " + "}, {" * ", " + "},
+	{" & ", " | "}, {" | ", " & "}, {" ^ ", " & "},
+	{" << ", " >> "}, {" >> ", " << "},
+	{" == ", " != "}, {" != ", " == "},
+	{" < ", " > "}, {" > ", " < "},
+}
+
+// Mutants deterministically enumerates single-fault variants of an RTL
+// source: operator swaps, ternary-arm swaps and constant off-by-ones on
+// the right-hand side of assignments, plus dropped-reset faults on
+// `if (rst...)` guards. Mutating only past the assignment's `=` keeps
+// the committing statement identical to the mutated line, which is what
+// lets the corpus test compare the localizer's verdict against the
+// injection site exactly.
+func Mutants(src string) []Mutation {
+	lines := strings.Split(src, "\n")
+	var out []Mutation
+	add := func(class string, i int, nl, detail string) {
+		cp := make([]string, len(lines))
+		copy(cp, lines)
+		cp[i] = nl
+		out = append(out, Mutation{
+			Class: class, Line: i + 1, Detail: detail,
+			Source: strings.Join(cp, "\n"),
+		})
+	}
+	for i, ln := range lines {
+		eq := assignIdx(ln)
+		if eq >= 0 {
+			tail := ln[eq+1:]
+			for _, sw := range opSwaps {
+				j := strings.Index(tail, sw[0])
+				if j < 0 {
+					continue
+				}
+				add("swap-op", i, ln[:eq+1]+tail[:j]+sw[1]+tail[j+len(sw[0]):],
+					fmt.Sprintf("%q -> %q", strings.TrimSpace(sw[0]), strings.TrimSpace(sw[1])))
+				break
+			}
+			if q := strings.Index(tail, " ? "); q >= 0 {
+				if c := ternColon(tail, q+3); c > 0 {
+					if end := strings.LastIndex(tail, ";"); end > c {
+						arm1, arm2 := tail[q+3:c], tail[c+3:end]
+						add("swap-arms", i, ln[:eq+1]+tail[:q+3]+arm2+tail[c:c+3]+arm1+tail[end:],
+							"ternary arms swapped")
+					}
+				}
+			}
+			if sp := firstNum(tail); sp != nil {
+				nk := sp.val - 1
+				if sp.val == 0 {
+					nk = 1
+				}
+				add("const-off", i,
+					ln[:eq+1]+tail[:sp.start]+strconv.FormatUint(nk, 10)+tail[sp.end:],
+					fmt.Sprintf("%d -> %d", sp.val, nk))
+			}
+		}
+		// drop-reset is independent of assignments: it blanks the reset
+		// guard so the register never initializes.
+		if strings.Contains(ln, "rst") {
+			if k := strings.Index(ln, "if ("); k >= 0 {
+				depth, close := 0, -1
+				for j := k + 3; j < len(ln); j++ {
+					if ln[j] == '(' {
+						depth++
+					} else if ln[j] == ')' {
+						depth--
+						if depth == 0 {
+							close = j
+							break
+						}
+					}
+				}
+				if close > 0 {
+					add("drop-reset", i, ln[:k]+"if (1'b0)"+ln[close+1:], "reset guard dropped")
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assignIdx finds the assignment '=' on a line, skipping the comparison
+// and non-blocking forms (==, !=, <=, >=). Returns -1 when the line is
+// not a blocking assignment or continuous assign.
+func assignIdx(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '=' {
+			continue
+		}
+		if i+1 < len(s) && s[i+1] == '=' {
+			i++
+			continue
+		}
+		if i > 0 {
+			switch s[i-1] {
+			case '=', '!', '<', '>':
+				continue
+			}
+		}
+		return i
+	}
+	return -1
+}
+
+// ternColon finds the " : " matching the ternary's " ? ", honoring
+// bracket depth and nested ternaries. Returns -1 when absent.
+func ternColon(s string, from int) int {
+	depth, qd := 0, 0
+	for i := from; i < len(s); i++ {
+		switch s[i] {
+		case '(', '{', '[':
+			depth++
+		case ')', '}', ']':
+			depth--
+		}
+		if depth != 0 || i+3 > len(s) {
+			continue
+		}
+		switch s[i : i+3] {
+		case " ? ":
+			qd++
+		case " : ":
+			if qd == 0 {
+				return i
+			}
+			qd--
+		}
+	}
+	return -1
+}
+
+type numSpan struct {
+	start, end int
+	val        uint64
+}
+
+// firstNum finds the first mutable numeric token: the value digits of a
+// sized decimal literal (8'd255) or a bare decimal (a part-select bound
+// or plain constant). Identifiers and non-decimal based literals (1'b0,
+// 8'hFF) are skipped whole.
+func firstNum(s string) *numSpan {
+	isIdent := func(c byte) bool {
+		return c == '_' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			for i < len(s) && isIdent(s[i]) {
+				i++
+			}
+		case c == '\'':
+			// Unsized based literal: skip base char and value run.
+			i++
+			if i < len(s) {
+				i++
+			}
+			for i < len(s) && isIdent(s[i]) {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			if j < len(s) && s[j] == '\'' {
+				base := byte(0)
+				if j+1 < len(s) {
+					base = s[j+1]
+				}
+				if base == 'd' || base == 'D' {
+					vs := j + 2
+					ve := vs
+					for ve < len(s) && ((s[ve] >= '0' && s[ve] <= '9') || s[ve] == '_') {
+						ve++
+					}
+					if ve > vs {
+						v, err := strconv.ParseUint(strings.ReplaceAll(s[vs:ve], "_", ""), 10, 32)
+						if err == nil {
+							return &numSpan{start: vs, end: ve, val: v}
+						}
+					}
+					i = ve
+					continue
+				}
+				// Binary/hex/octal: skip the whole literal.
+				i = j + 2
+				for i < len(s) && isIdent(s[i]) {
+					i++
+				}
+				continue
+			}
+			v, err := strconv.ParseUint(s[i:j], 10, 32)
+			if err == nil {
+				return &numSpan{start: i, end: j, val: v}
+			}
+			i = j
+		default:
+			i++
+		}
+	}
+	return nil
+}
