@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check test test-short test-race bench bench-engine bench-json bench-smoke serve-smoke ci
+.PHONY: all build vet fmt-check lint-go test test-short test-race bench bench-engine bench-json bench-smoke serve-smoke ci
 
 all: build
 
@@ -16,6 +16,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-invariant lint (cmd/repolint): kernel hot paths stay free of fmt
+# formatting, wall-clock reads and stray goroutines; probe calls stay
+# nil-guarded.
+lint-go:
+	$(GO) run ./cmd/repolint ./internal/verilog
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -37,9 +43,10 @@ test-short:
 # body memo and compiled designs are shared across concurrent runs), the
 # cross-level debugger (its cosimulation fan-out runs on the farm), and
 # the job service (queue shards, SSE broadcasters and the report store
-# all cross goroutines).
+# all cross goroutines), and the lint layer (its memo is shared by every
+# screened farm job).
 test-race:
-	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/xdebug ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vlint ./internal/lintrepair ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/xdebug ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -57,7 +64,7 @@ bench-engine:
 # sequence of BENCH_*.json files is the performance history.
 bench-json:
 	@set -e; out=$$(mktemp); \
-	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkVRank|BenchmarkCompile|BenchmarkVMDispatch' \
+	$(GO) test -run '^$$' -bench 'BenchmarkKernel|BenchmarkVRank|BenchmarkCompile|BenchmarkVMDispatch|BenchmarkLint' \
 	  -benchmem -benchtime 5x . > "$$out" \
 	  || { cat "$$out"; rm -f "$$out"; echo "bench-json: benchmark run failed" >&2; exit 1; }; \
 	awk -v date="$$(date +%F)" 'BEGIN { printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [", date; n=0 } \
@@ -105,6 +112,9 @@ serve-smoke:
 	grep -q "xdebug diagnosis events over SSE" "$$tmp/client.log" || { \
 	  echo "serve-smoke: SSE stream carried no xdebug diagnosis marker" >&2; \
 	  kill "$$pid" 2>/dev/null || true; exit 1; }; \
+	grep -q "lint screen events over SSE" "$$tmp/client.log" || { \
+	  echo "serve-smoke: SSE stream carried no lint screen marker" >&2; \
+	  kill "$$pid" 2>/dev/null || true; exit 1; }; \
 	kill -TERM "$$pid"; \
 	if ! wait "$$pid"; then \
 	  echo "serve-smoke: server did not exit cleanly; log:" >&2; \
@@ -114,4 +124,4 @@ serve-smoke:
 	  cat "$$tmp/serve.log" >&2; exit 1; }; \
 	echo "serve-smoke: ok (submit, stream, cached resubmit, clean drain)"
 
-ci: build vet fmt-check test-short test-race serve-smoke
+ci: build vet fmt-check lint-go test-short test-race serve-smoke

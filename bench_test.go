@@ -17,6 +17,7 @@ import (
 	"llm4eda/internal/simfarm"
 	"llm4eda/internal/slt"
 	"llm4eda/internal/verilog"
+	"llm4eda/internal/vlint"
 	"llm4eda/internal/vrank"
 )
 
@@ -70,6 +71,12 @@ func BenchmarkSec2LLSM(b *testing.B) { runExperiment(b, "E10") }
 // BenchmarkSec6CrossLevelDebug regenerates the cross-level debugging
 // evaluation (E11).
 func BenchmarkSec6CrossLevelDebug(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12LintScreening regenerates the static-analysis evaluation
+// (E12): mutant detection, lint-guided repair, screening savings. (Named
+// so the `BenchmarkLint` micro-benchmark pattern of bench-json does not
+// pull the whole experiment into the trajectory record.)
+func BenchmarkE12LintScreening(b *testing.B) { runExperiment(b, "E12") }
 
 // --- compile-once/run-many engine benchmarks ---------------------------
 //
@@ -390,6 +397,46 @@ endmodule`)
 		}
 		if res.RuntimeErr != nil || !res.Finished || res.Failures != 0 {
 			b.Fatalf("bad run: %+v", res)
+		}
+	}
+}
+
+// BenchmarkLintAnalysis / BenchmarkLintEndToEnd bound the cost of the
+// pre-simulation screen relative to the simulation it replaces.
+// Analysis measures the rule passes alone on a pre-elaborated design —
+// the marginal cost when the farm's parse cache is warm. EndToEnd is
+// the cache-cold path: lex, parse, elaborate, then analyze. Both run on
+// the suite's richest reference (alu8); compare against
+// BenchmarkKernelSeqClock for the screen-vs-simulate ratio recorded in
+// the BENCH_*.json trajectory.
+func BenchmarkLintAnalysis(b *testing.B) {
+	p := benchset.ByID("alu8")
+	file, err := verilog.Parse(p.Reference)
+	if err != nil {
+		b.Fatalf("parse: %v", err)
+	}
+	d, err := verilog.Elaborate(file, p.TopModule)
+	if err != nil {
+		b.Fatalf("elaborate: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := vlint.Lint(file, d); len(vlint.Errors(diags)) != 0 {
+			b.Fatalf("reference has error findings: %v", diags)
+		}
+	}
+}
+
+func BenchmarkLintEndToEnd(b *testing.B) {
+	p := benchset.ByID("alu8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, err := vlint.LintSource(p.Reference, p.TopModule)
+		if err != nil {
+			b.Fatalf("lint: %v", err)
+		}
+		if len(vlint.Errors(diags)) != 0 {
+			b.Fatalf("reference has error findings: %v", diags)
 		}
 	}
 }

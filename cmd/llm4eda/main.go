@@ -9,7 +9,7 @@
 //	llm4eda [-cpuprofile F] [-memprofile F] [-vmstats] <command> ...
 //	llm4eda <framework> [-tier T] [-seed N] [-workers N] [-timeout D]
 //	        [-p k=v ...] [-v] [-json] [problem-id]  run one framework (see list)
-//	llm4eda exp [-full] [-seed N] [-timeout D] [-v] <E1..E11|all>
+//	llm4eda exp [-full] [-seed N] [-timeout D] [-v] <E1..E12|all>
 //	llm4eda list                               frameworks, problems, kernels
 //	llm4eda serve [-addr A] [-workers N] [-queue N]  run the EDA job service
 //
@@ -64,7 +64,7 @@ func commandTable() []command {
 		})
 	}
 	cmds = append(cmds,
-		command{name: "exp", summary: "regenerate paper artifacts (E1..E11|all)", run: cmdExp},
+		command{name: "exp", summary: "regenerate paper artifacts (E1..E12|all)", run: cmdExp},
 		command{name: "list", summary: "list frameworks, benchmark problems and repair kernels", run: func([]string) error { return cmdList() }},
 		command{name: "serve", summary: "run the EDA job service (queued jobs, SSE progress, shared caches)", run: cmdServe},
 	)
@@ -249,7 +249,7 @@ func cmdExp(args []string) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("exp needs one argument: E1..E11 or all")
+		return fmt.Errorf("exp needs one argument: E1..E12 or all")
 	}
 	scale := experiments.ScaleQuick
 	if *full {

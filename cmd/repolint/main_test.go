@@ -1,0 +1,84 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSrc(t *testing.T, base, src string) []finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, base, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lintFile(fset, f, base)
+}
+
+// The real kernel must pass — this is the same gate `make ci` runs.
+func TestKernelIsClean(t *testing.T) {
+	findings, err := lintDir("../../internal/verilog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s", f.pos, f.msg)
+	}
+}
+
+// Every rule must fire on synthetic violations — a linter that cannot
+// find anything is indistinguishable from one that checks nothing.
+func TestRulesFire(t *testing.T) {
+	cases := []struct {
+		name, base, src, want string
+	}{
+		{"fmt-hot", "vm.go",
+			"package v\nimport \"fmt\"\nfunc step() { fmt.Sprintf(\"%d\", 1) }\n",
+			"fmt.Sprintf on kernel hot path"},
+		{"time", "sim.go",
+			"package v\nimport \"time\"\nfunc tick() { _ = time.Now() }\n",
+			"time.Now in kernel file"},
+		{"goroutine", "eval.go",
+			"package v\nfunc eval() { go func() {}() }\n",
+			"goroutine spawned in kernel file"},
+		{"probe-unguarded", "sim.go",
+			"package v\ntype S struct{ probe func(int) }\nfunc (s *S) commit() { s.probe(1) }\n",
+			"without an enclosing"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			findings := lintSrc(t, c.base, c.src)
+			if len(findings) != 1 || !strings.Contains(findings[0].msg, c.want) {
+				t.Fatalf("findings = %+v, want one containing %q", findings, c.want)
+			}
+		})
+	}
+}
+
+// The allowed shapes must stay allowed: fmt.Errorf and cold helpers on
+// hot files, parallelSweep's fan-out, and guarded probe calls.
+func TestAllowlists(t *testing.T) {
+	cases := []struct{ name, base, src string }{
+		{"errorf", "vm.go",
+			"package v\nimport \"fmt\"\nfunc step() error { return fmt.Errorf(\"x\") }\n"},
+		{"cold-func", "value.go",
+			"package v\nimport \"fmt\"\nfunc FormatWords() string { return fmt.Sprintf(\"x\") }\n"},
+		{"fallback", "eval.go",
+			"package v\nimport \"fmt\"\nfunc execSysCall() { fmt.Fprintf(nil, \"x\") }\n"},
+		{"sweep", "sim.go",
+			"package v\nfunc (s *S) parallelSweep() { go func() {}() }\ntype S struct{}\n"},
+		{"guarded-probe", "sim.go",
+			"package v\ntype S struct{ probe func(int) }\nfunc (s *S) commit() { if s.probe != nil { s.probe(1) } }\n"},
+		{"non-kernel", "parser.go",
+			"package v\nimport \"time\"\nfunc parse() { _ = time.Now(); go func() {}() }\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if findings := lintSrc(t, c.base, c.src); len(findings) != 0 {
+				t.Fatalf("unexpected findings: %+v", findings)
+			}
+		})
+	}
+}

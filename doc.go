@@ -8,7 +8,10 @@
 // synthesis assist, the Fig. 6 end-to-end EDA agent, and the §VI
 // cross-level RTL debugger (internal/xdebug: C-vs-RTL commit-trace
 // alignment, first-divergence localization, diagnosis-guided repair;
-// demo in examples/xdebug) — together with
+// demo in examples/xdebug), and the E12 static lint engine
+// (internal/vlint: line-attributed diagnostics over elaborated designs,
+// pre-simulation screening in the farm, lint-guided repair in
+// internal/lintrepair) — together with
 // every substrate they need: a Verilog-subset event-driven simulator, a C
 // frontend/interpreter, an HLS compiler with pragma-aware PPA models, a
 // gate-level synthesis estimator, an RV32-like ISA with a compiler

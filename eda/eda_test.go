@@ -28,6 +28,8 @@ func quickSpecs() map[string]eda.Spec {
 			Params: map[string]float64{"vectors": 8}},
 		"xdebug": {Framework: "xdebug", Problem: "mux2",
 			Params: map[string]float64{"vectors": 8, "rounds": 4}},
+		"lint": {Framework: "lint", Problem: "alu8",
+			Params: map[string]float64{"rounds": 6}},
 		"repair": {Framework: "repair"},
 		"hlstest": {Framework: "hlstest",
 			Params: map[string]float64{"budget": 10}},
@@ -38,7 +40,7 @@ func quickSpecs() map[string]eda.Spec {
 	}
 }
 
-// TestEveryFrameworkInvocable drives all nine frameworks through
+// TestEveryFrameworkInvocable drives all ten frameworks through
 // eda.Run and asserts the uniform contract: a report with a summary and
 // metrics, and an event stream bracketed by run-start/run-end that
 // carries the per-cache counters.
@@ -84,8 +86,8 @@ func TestEveryFrameworkInvocable(t *testing.T) {
 			if n := sink.Count(eda.EventRunEnd); n != 1 {
 				t.Errorf("run-end events = %d", n)
 			}
-			if n := sink.Count(eda.EventCache); n != 3 {
-				t.Errorf("cache events = %d, want 3 (parse/design/result)", n)
+			if n := sink.Count(eda.EventCache); n != 4 {
+				t.Errorf("cache events = %d, want 4 (parse/design/result/lint)", n)
 			}
 			if !strings.Contains(report.Render(), fw) {
 				t.Errorf("render lacks framework name: %s", report.Render())
@@ -231,8 +233,8 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("custom pipeline run: %v %+v", err, report)
 	}
 
-	// The default registry holds exactly the nine paper frameworks.
-	want := []string{"agent", "autochip", "crosscheck", "gp", "hlstest", "repair", "slt", "vrank", "xdebug"}
+	// The default registry holds exactly the ten paper frameworks.
+	want := []string{"agent", "autochip", "crosscheck", "gp", "hlstest", "lint", "repair", "slt", "vrank", "xdebug"}
 	got := eda.Frameworks()
 	if len(got) != len(want) {
 		t.Fatalf("Frameworks() = %v", got)

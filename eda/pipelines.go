@@ -11,10 +11,12 @@ import (
 	"llm4eda/internal/crosscheck"
 	"llm4eda/internal/gp"
 	"llm4eda/internal/hlstest"
+	"llm4eda/internal/lintrepair"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/rag"
 	"llm4eda/internal/repair"
 	"llm4eda/internal/slt"
+	"llm4eda/internal/vlint"
 	"llm4eda/internal/vrank"
 	"llm4eda/internal/xdebug"
 )
@@ -87,7 +89,7 @@ int scale(int a, int b) {
     return acc;
 }`
 
-// builtinPipelines returns the nine framework adapters behind the front
+// builtinPipelines returns the ten framework adapters behind the front
 // door. Each one translates a Spec into the framework's native options
 // (embedding the shared RunSpec), runs it under ctx, and folds the native
 // result into a uniform Report with the result attached as Detail.
@@ -127,6 +129,13 @@ func builtinPipelines() []Pipeline {
 			Params: []string{"rounds", "vectors", "mutant", "temperature"},
 			Check:  checkProblem,
 			Run:    runXDebug,
+		},
+		{
+			Name:   "lint",
+			Doc:    "static lint screening of candidates with lint-guided repair (E12)",
+			Params: []string{"rounds", "mutant", "temperature", "screen"},
+			Check:  checkProblem,
+			Run:    runLint,
 		},
 		{
 			Name:   "repair",
@@ -430,6 +439,95 @@ func runXDebug(ctx context.Context, spec Spec) (*Report, error) {
 			if inj > 0 && len(res.Rounds) > 0 && res.Rounds[0].Diag != nil &&
 				res.Rounds[0].Diag.SuspectLine == inj {
 				injectedHit++
+			}
+		}
+		if err != nil {
+			// Partial report travels with the error (cancellation contract).
+			return report(), fmt.Errorf("%s: %w", p.ID, err)
+		}
+	}
+	return report(), nil
+}
+
+// lintCandidate builds the lint loop's starting candidate: with
+// mutant > 0 a deterministic error-class lint mutant of the reference
+// (indexed by seed+mutant so seeds sweep the corpus), with mutant == 0 a
+// model-generated design. Problems whose reference admits no error-class
+// mutant fall back to the reference itself. Returns the candidate and
+// the injected mutant class ("" = none).
+func lintCandidate(p *benchset.Problem, model llm.Model, seed uint64, mutant int) (string, string) {
+	if mutant > 0 {
+		var errs []vlint.Mutant
+		for _, m := range vlint.Mutants(p.Reference) {
+			if m.IsErrorClass() {
+				errs = append(errs, m)
+			}
+		}
+		if len(errs) > 0 {
+			m := errs[(int(seed)+mutant-1)%len(errs)]
+			return m.Source, m.Class
+		}
+		return p.Reference, ""
+	}
+	resp, err := model.Generate(llm.Request{
+		System: llm.SystemVerilogDesigner,
+		Prompt: llm.BuildDesignPrompt(p.Spec),
+		Task: llm.VerilogGen{ProblemID: p.ID, Spec: p.Spec,
+			Reference: p.Reference, Difficulty: p.Difficulty},
+	})
+	if err != nil {
+		return p.Reference, ""
+	}
+	return resp.Text, ""
+}
+
+func runLint(ctx context.Context, spec Spec) (*Report, error) {
+	model, err := simModel(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := lintrepair.Options{
+		RunSpec: spec.Run, Model: model,
+		Rounds:      int(spec.Param("rounds", 6)),
+		Screen:      spec.Param("screen", 1) != 0,
+		Temperature: spec.Param("temperature", 0),
+	}
+	mutant := int(spec.Param("mutant", 1))
+	problems := problemSweep(spec, suiteIDs())
+	var results []*lintrepair.Result
+	detected, converged, injected, rejects, rounds := 0, 0, 0, 0, 0
+	report := func() *Report {
+		rep := &Report{Detail: results}
+		rep.Metric("detected", float64(detected))
+		rep.Metric("converged", float64(converged))
+		rep.Metric("injected", float64(injected))
+		rep.Metric("rejects", float64(rejects))
+		rep.Metric("total", float64(len(problems)))
+		rep.Metric("rounds", float64(rounds))
+		rep.OK = converged == len(problems) && detected == injected
+		rep.Summary = fmt.Sprintf("screen caught %d/%d injected lint faults pre-simulation; repaired %d/%d designs in %d rounds (%d rejects)",
+			detected, injected, converged, len(problems), rounds, rejects)
+		return rep
+	}
+	for _, p := range problems {
+		cand, class := lintCandidate(p, model, spec.Run.Seed, mutant)
+		res, err := lintrepair.Run(ctx, p, cand, opts)
+		if res != nil {
+			results = append(results, res)
+			rounds += len(res.Rounds)
+			if class != "" {
+				injected++
+			}
+			if res.Detected {
+				detected++
+			}
+			if res.Converged {
+				converged++
+			}
+			for _, r := range res.Rounds {
+				if r.Rejected {
+					rejects++
+				}
 			}
 		}
 		if err != nil {

@@ -97,7 +97,7 @@ var (
 	defaultRegistryOnce sync.Once
 )
 
-// DefaultRegistry returns the process-wide registry holding the nine
+// DefaultRegistry returns the process-wide registry holding the ten
 // built-in framework pipelines.
 func DefaultRegistry() *Registry {
 	defaultRegistryOnce.Do(func() {

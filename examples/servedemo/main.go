@@ -3,8 +3,9 @@
 // streams the job's progress events live over SSE, waits for the final
 // report, resubmits the identical spec to demonstrate the cross-request
 // report cache, runs a second job through the cross-level debugger while
-// counting its per-round diagnosis frames off the SSE stream, and prints
-// the server's queue/cache statistics. The
+// counting its per-round diagnosis frames off the SSE stream, runs a
+// third job through the lint engine while counting its per-round screen
+// verdicts, and prints the server's queue/cache statistics. The
 // `make serve-smoke` CI target runs exactly this against a freshly
 // started `llm4eda serve`.
 //
@@ -123,6 +124,42 @@ func run(addr, framework, problem string) error {
 		return fmt.Errorf("xdebug SSE stream carried no per-round diagnosis events")
 	}
 	fmt.Printf("xdebug diagnosis events over SSE: %d\n", diagnoses)
+
+	// A third job through the lint engine: an error-class mutant is
+	// rejected by the pre-simulation screen, and the per-round screen
+	// verdicts ride the same SSE stream. Count them off the wire.
+	lspec := eda.Spec{
+		Framework: "lint",
+		Problem:   "alu8",
+		Params:    map[string]float64{"rounds": 6},
+	}
+	ljob, err := c.Submit(ctx, lspec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s (lint/alu8, state %s)\n", ljob.ID, ljob.State)
+	screens := 0
+	lprogress := eda.ProgressPrinter(os.Stdout, true)
+	lcounting := eda.SinkFunc(func(ev eda.Event) {
+		if ev.Kind == eda.EventCandidate && ev.Framework == "lint" && ev.Phase == "screen" {
+			screens++
+		}
+		lprogress.Emit(ev)
+	})
+	if _, err := c.Events(ctx, ljob.ID, lcounting); err != nil {
+		return fmt.Errorf("lint event stream: %w", err)
+	}
+	ljob, err = c.Wait(ctx, ljob.ID)
+	if err != nil {
+		return err
+	}
+	if ljob.State != "done" {
+		return fmt.Errorf("lint job finished %s: %s", ljob.State, ljob.Error)
+	}
+	if screens == 0 {
+		return fmt.Errorf("lint SSE stream carried no screen verdict events")
+	}
+	fmt.Printf("lint screen events over SSE: %d\n", screens)
 
 	st, err := c.Stats(ctx)
 	if err != nil {

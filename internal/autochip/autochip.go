@@ -87,7 +87,8 @@ func EvaluateBatch(ctx context.Context, p *benchset.Problem, sources []string, s
 	tb := p.Testbench()
 	jobs := make([]simfarm.Job, len(sources))
 	for i, src := range sources {
-		jobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb", Opts: sim}
+		jobs[i] = simfarm.Job{DUT: src, TB: tb, Top: "tb",
+			DUTTop: p.TopModule, Lint: true, Opts: sim}
 	}
 	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	cands := make([]Candidate, len(sources))

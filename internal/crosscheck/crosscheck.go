@@ -202,7 +202,8 @@ func ValidateBatch(ctx context.Context, candidates []string, p *benchset.Problem
 	sink := core.SinkOf(ctx)
 	jobs := make([]simfarm.Job, len(candidates))
 	for i, cand := range candidates {
-		jobs[i] = simfarm.Job{DUT: cand, TB: h.bench, Top: "xtb", Opts: verilog.SimOptions{}}
+		jobs[i] = simfarm.Job{DUT: cand, TB: h.bench, Top: "xtb",
+			DUTTop: p.TopModule, Lint: true, Opts: verilog.SimOptions{}}
 	}
 	results, err := simfarm.RunManyCtx(ctx, jobs, workers)
 	if err != nil {

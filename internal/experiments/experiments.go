@@ -17,12 +17,15 @@ import (
 	"llm4eda/internal/core"
 	"llm4eda/internal/gp"
 	"llm4eda/internal/hlstest"
+	"llm4eda/internal/lintrepair"
 	"llm4eda/internal/llm"
 	"llm4eda/internal/rag"
 	"llm4eda/internal/repair"
+	"llm4eda/internal/simfarm"
 	"llm4eda/internal/slt"
 	"llm4eda/internal/synth"
 	"llm4eda/internal/verilog"
+	"llm4eda/internal/vlint"
 	"llm4eda/internal/vrank"
 	"llm4eda/internal/xdebug"
 )
@@ -52,7 +55,7 @@ func (r Runner) pick(quick, full int) int {
 
 // IDs lists every experiment identifier in run order.
 func IDs() []string {
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 }
 
 // All runs every experiment in order. A cancelled ctx stops between
@@ -69,7 +72,7 @@ func (r Runner) All(ctx context.Context) []*core.Experiment {
 	return out
 }
 
-// ByID runs a single experiment ("E1".."E11").
+// ByID runs a single experiment ("E1".."E12").
 func (r Runner) ByID(ctx context.Context, id string) (*core.Experiment, error) {
 	switch id {
 	case "E1":
@@ -94,8 +97,10 @@ func (r Runner) ByID(ctx context.Context, id string) (*core.Experiment, error) {
 		return r.E10Sec2LLSM(ctx), nil
 	case "E11":
 		return r.E11Sec6CrossLevelDebug(ctx), nil
+	case "E12":
+		return r.E12LintScreening(ctx), nil
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (E1..E11)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (E1..E12)", id)
 	}
 }
 
@@ -583,6 +588,115 @@ func (r Runner) E11Sec6CrossLevelDebug(ctx context.Context) *core.Experiment {
 			float64(rounds)/float64(max(attempted, 1))))
 	exp.AddFinding("first-divergence localization hits the injected fault on %.0f%% of mutants; guided repair converges %d/%d within budget",
 		100*ratio(hits, divergent), converged, attempted)
+	return exp
+}
+
+// E12LintScreening evaluates the static lint engine: detection rate over
+// the lint-mutant corpus (with the clean-reference dual), lint-guided
+// repair convergence, and the pre-simulation compute savings of
+// screening — the same loop run twice on fresh farms, screen on vs off,
+// comparing design elaborations + simulations actually performed.
+func (r Runner) E12LintScreening(ctx context.Context) *core.Experiment {
+	exp := &core.Experiment{ID: "E12", Artifact: "static lint engine: mutant detection, lint-guided repair, pre-simulation screening savings"}
+	suite := benchset.Suite()
+
+	// Detection over the deterministic lint-mutant corpus, plus the
+	// false-positive dual: every reference must screen clean.
+	total, detected, errTotal, errDetected, cleanRefs := 0, 0, 0, 0, 0
+	for _, p := range suite {
+		if ctx.Err() != nil {
+			return exp
+		}
+		if diags, err := vlint.LintSource(p.Reference, p.TopModule); err == nil && !vlint.HasErrors(diags) {
+			cleanRefs++
+		}
+		for _, m := range vlint.Mutants(p.Reference) {
+			diags, err := vlint.LintSource(m.Source, p.TopModule)
+			if err != nil {
+				continue
+			}
+			total++
+			hit := false
+			for _, d := range diags {
+				if d.Rule == m.WantRule {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				detected++
+			}
+			if m.IsErrorClass() {
+				errTotal++
+				if hit && vlint.HasErrors(diags) {
+					errDetected++
+				}
+			}
+		}
+	}
+	exp.AddRow("mutant-detection", 0, ratio(detected, total),
+		fmt.Sprintf("%d/%d lint mutants flagged with the planted rule", detected, total))
+	exp.AddRow("error-class-detection", 1, ratio(errDetected, errTotal),
+		fmt.Sprintf("%d/%d error-class mutants rejected by the screen", errDetected, errTotal))
+	exp.AddRow("clean-references", 2, ratio(cleanRefs, len(suite)),
+		fmt.Sprintf("%d/%d references screen clean (no false rejects)", cleanRefs, len(suite)))
+
+	// Lint-guided repair over one error-class mutant per problem, run as
+	// two arms on fresh farms: screening on (lint report as feedback)
+	// and off (the control pays compile+simulate for every broken
+	// candidate). Farm computes = design elaborations + simulations.
+	limit := r.pick(8, len(suite))
+	arm := func(screen bool) (converged, attempted, rounds int, rejects int64, computes uint64, failed bool) {
+		model := llm.NewSimModel(llm.TierFrontier, r.Seed+89)
+		farm := simfarm.New(simfarm.Options{})
+		for _, p := range suite {
+			if attempted >= limit || ctx.Err() != nil {
+				break
+			}
+			var start string
+			for _, m := range vlint.Mutants(p.Reference) {
+				if m.IsErrorClass() {
+					start = m.Source
+					break
+				}
+			}
+			if start == "" {
+				continue
+			}
+			res, err := lintrepair.Run(ctx, p, start, lintrepair.Options{
+				RunSpec: core.RunSpec{Seed: r.Seed + 89}, Model: model,
+				Rounds: 6, Screen: screen, Farm: farm,
+			})
+			if err != nil {
+				exp.AddFinding("%s: lint repair failed: %v", p.ID, err)
+				failed = true
+				return
+			}
+			attempted++
+			rounds += len(res.Rounds)
+			if res.Converged {
+				converged++
+			}
+		}
+		st := farm.Stats()
+		return converged, attempted, rounds, st.LintRejects,
+			st.Designs.Computes + st.Results.Computes, false
+	}
+	converged, attempted, rounds, rejects, onComputes, failed := arm(true)
+	if failed {
+		return exp
+	}
+	_, _, _, _, offComputes, failed := arm(false)
+	if failed {
+		return exp
+	}
+	exp.AddRow("repair-convergence", 3, ratio(converged, attempted),
+		fmt.Sprintf("%d/%d lint mutants repaired to passing RTL, %.1f rounds mean", converged, attempted,
+			float64(rounds)/float64(max(attempted, 1))))
+	exp.AddRow("screen-savings", 4, ratio(int(offComputes-onComputes), int(max(int(offComputes), 1))),
+		fmt.Sprintf("%d rejects cut farm computes %d -> %d", rejects, offComputes, onComputes))
+	exp.AddFinding("screen detects %d/%d error-class lint mutants with %d/%d references clean; lint-guided repair converges %d/%d, and screening cuts farm computes %d -> %d",
+		errDetected, errTotal, cleanRefs, len(suite), converged, attempted, offComputes, onComputes)
 	return exp
 }
 

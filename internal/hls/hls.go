@@ -428,6 +428,7 @@ func CoSimulate(d *Design, prog *chdl.Program, fn string, vectors [][]int64) ([]
 	for i, vec := range vectors {
 		jobs[i] = simfarm.Job{
 			DUT: d.Verilog, TB: buildCoSimTB(d, vec), Top: "cosim_tb",
+			DUTTop: d.TopModule, Lint: true,
 			Opts: verilog.SimOptions{MaxTime: 4_000_000, MaxSteps: 8_000_000},
 		}
 	}

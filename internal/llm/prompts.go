@@ -81,6 +81,20 @@ func BuildTraceRepairPrompt(spec, candidate, diagnosis string) string {
 		spec, candidate, diagnosis)
 }
 
+// BuildLintRepairPrompt renders the lint-guided repair request (scenario
+// E12): the static-analysis report — source-line-attributed diagnostics
+// with severities — plus the current candidate. Unlike simulation
+// feedback, the report points at the defective lines directly, so the
+// prompt asks for targeted edits rather than a rewrite.
+func BuildLintRepairPrompt(spec, candidate, report string) string {
+	return fmt.Sprintf("A static lint pass rejected this RTL before simulation.\n\n"+
+		"Specification:\n%s\n\nCurrent RTL:\n```verilog\n%s\n```\n\n"+
+		"Lint report (line numbers refer to the RTL above):\n%s\n\n"+
+		"Fix every reported finding with minimal edits to the flagged lines. "+
+		"Return only the corrected Verilog source.",
+		spec, candidate, report)
+}
+
 // BuildSCoTPrompt renders the two-stage structured chain-of-thought prompt
 // of the SLT generator: examples with measured power, pseudocode first,
 // then code.

@@ -204,8 +204,11 @@ func (m *SimModel) verilogRepair(task VerilogGen) string {
 		}, 0.3)
 	}
 	fb := strings.ToLower(task.Feedback)
+	// Lint feedback is line-attributed like compiler errors, so it earns
+	// the same (higher) repair rate: the model is pointed at the fault,
+	// not left to infer it from a failing waveform.
 	syntaxFB := strings.Contains(fb, "syntax error") || strings.Contains(fb, "lex error") ||
-		strings.Contains(fb, "elaboration error")
+		strings.Contains(fb, "elaboration error") || strings.Contains(fb, "lint:")
 	p := m.prof.funcRepair
 	if syntaxFB {
 		p = m.prof.syntaxRepair

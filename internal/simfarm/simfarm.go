@@ -26,9 +26,11 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"llm4eda/internal/core"
 	"llm4eda/internal/verilog"
+	"llm4eda/internal/vlint"
 )
 
 // Options bound the default cache capacities. Zero values select
@@ -66,6 +68,12 @@ type Farm struct {
 	// across many cache probes (a bench reused by every candidate) is
 	// sha-hashed once, not once per probe.
 	hashes *lru
+	// lints memoizes static-analysis outcomes of standalone DUTs
+	// (keyed by DUT content hash + top), so screening the same candidate
+	// against many benches lints it once. lintRejects counts jobs
+	// rejected by screening — simulations the farm never had to run.
+	lints       *lru
+	lintRejects atomic.Int64
 
 	// vm accumulates tiered-VM dispatch coverage over every simulation
 	// the farm actually executes (cache hits replay a prior run and add
@@ -83,6 +91,7 @@ func New(opts Options) *Farm {
 		designs: newLRU(opts.DesignCap),
 		results: newLRU(opts.ResultCap),
 		hashes:  newLRU(2 * opts.ParseCap),
+		lints:   newLRU(opts.ParseCap),
 	}
 }
 
@@ -108,7 +117,12 @@ func init() {
 // coverage summed over every simulation the farm executed.
 type FarmStats struct {
 	Parses, Designs, Results Stats
-	VM                       verilog.VMStats
+	// Lints is the static-analysis memo's traffic; LintRejects counts
+	// jobs rejected by pre-simulation screening (each one a VM compile +
+	// simulation the farm did not spend).
+	Lints       Stats
+	LintRejects int64
+	VM          verilog.VMStats
 }
 
 // Stats snapshots the farm's counters. The snapshot is lock-free (each
@@ -123,10 +137,12 @@ func (f *Farm) Stats() FarmStats {
 	vm := f.vm
 	f.vmMu.Unlock()
 	return FarmStats{
-		Parses:  f.parses.snapshot(),
-		Designs: f.designs.snapshot(),
-		Results: f.results.snapshot(),
-		VM:      vm,
+		Parses:      f.parses.snapshot(),
+		Designs:     f.designs.snapshot(),
+		Results:     f.results.snapshot(),
+		Lints:       f.lints.snapshot(),
+		LintRejects: f.lintRejects.Load(),
+		VM:          vm,
 	}
 }
 
@@ -137,15 +153,18 @@ func (f *Farm) Purge() {
 	f.designs.purge()
 	f.results.purge()
 	f.hashes.purge()
+	f.lints.purge()
 }
 
 // Delta returns the per-layer traffic between an earlier snapshot and s.
 func (s FarmStats) Delta(earlier FarmStats) FarmStats {
 	return FarmStats{
-		Parses:  s.Parses.delta(earlier.Parses),
-		Designs: s.Designs.delta(earlier.Designs),
-		Results: s.Results.delta(earlier.Results),
-		VM:      s.VM.Sub(earlier.VM),
+		Parses:      s.Parses.delta(earlier.Parses),
+		Designs:     s.Designs.delta(earlier.Designs),
+		Results:     s.Results.delta(earlier.Results),
+		Lints:       s.Lints.delta(earlier.Lints),
+		LintRejects: s.LintRejects - earlier.LintRejects,
+		VM:          s.VM.Sub(earlier.VM),
 	}
 }
 
@@ -173,12 +192,17 @@ func EmitStats(sink core.Sink, stats FarmStats) {
 		{"parse", stats.Parses},
 		{"design", stats.Designs},
 		{"result", stats.Results},
+		{"lint", stats.Lints},
 	} {
+		detail := fmt.Sprintf("entries=%d", layer.s.Len)
+		if layer.name == "lint" {
+			detail = fmt.Sprintf("entries=%d rejects=%d", layer.s.Len, stats.LintRejects)
+		}
 		sink.Emit(core.Event{
 			Kind:      core.EventCache,
 			Framework: "simfarm",
 			Phase:     layer.name,
-			Detail:    fmt.Sprintf("entries=%d", layer.s.Len),
+			Detail:    detail,
 			Hits:      layer.s.Hits,
 			Misses:    layer.s.Misses,
 			Evictions: layer.s.Evictions,
@@ -301,6 +325,60 @@ func (f *Farm) Run(cd *verilog.CompiledDesign, opts verilog.SimOptions) (*verilo
 	return sr.res, sr.err
 }
 
+// lintOutcome caches the static analysis of one standalone DUT.
+type lintOutcome struct {
+	diags []vlint.Diagnostic
+	rej   *vlint.RejectError // non-nil when error-severity findings exist
+	err   error              // parse or standalone-elaboration failure: not lintable
+}
+
+// lint returns the memoized static analysis of dutSrc elaborated
+// standalone under dutTop. Parsing goes through the parse cache (shared
+// with the later DUT+bench compile), but standalone elaboration is done
+// directly rather than through the design cache: the DUT-alone design
+// is never simulated, and keeping it out of the design layer keeps that
+// layer's compute counters an honest measure of simulation work.
+func (f *Farm) lint(dutSrc, dutTop string) *lintOutcome {
+	key := f.sourceHash(dutSrc) + "|" + dutTop
+	return f.lints.getOrCompute(key, func() any {
+		file, err := f.Parse(dutSrc)
+		if err != nil {
+			return &lintOutcome{err: err}
+		}
+		d, err := verilog.Elaborate(file, dutTop)
+		if err != nil {
+			return &lintOutcome{err: err}
+		}
+		out := &lintOutcome{diags: vlint.Lint(file, d)}
+		if errs := vlint.Errors(out.diags); len(errs) > 0 {
+			out.rej = &vlint.RejectError{Top: dutTop, Diags: errs}
+		}
+		return out
+	}).(*lintOutcome)
+}
+
+// Lint returns the full (warning + error) diagnostics of a standalone
+// DUT, memoized by content. The error is the DUT's own parse or
+// elaboration failure.
+func (f *Farm) Lint(dutSrc, dutTop string) ([]vlint.Diagnostic, error) {
+	out := f.lint(dutSrc, dutTop)
+	return out.diags, out.err
+}
+
+// LintScreen decides whether screening rejects a DUT: non-nil (a
+// *vlint.RejectError) exactly when the DUT compiles standalone and has
+// error-severity findings. A DUT that fails to parse or elaborate is
+// NOT rejected here — it falls through so the compile pipeline reports
+// the same error text it always has. Screening is therefore sound:
+// it only ever removes candidates that are structurally broken RTL,
+// never changes what any surviving candidate's simulation reports.
+func (f *Farm) LintScreen(dutSrc, dutTop string) error {
+	if out := f.lint(dutSrc, dutTop); out.rej != nil {
+		return out.rej
+	}
+	return nil
+}
+
 // RunTestbench is the cached equivalent of verilog.RunTestbench: compile
 // DUT+bench once, then memoize the run itself.
 func (f *Farm) RunTestbench(dutSrc, tbSrc, tbTop string, opts verilog.SimOptions) (*verilog.SimResult, error) {
@@ -321,6 +399,13 @@ type Job struct {
 	DUT, TB string
 	// Top is the bench's top module.
 	Top string
+	// DUTTop is the candidate's own top module; required for Lint.
+	DUTTop string
+	// Lint opts the job into pre-simulation screening: a DUT that
+	// compiles standalone and carries error-severity lint findings is
+	// rejected (Result.Err is a *vlint.RejectError) without spending a
+	// VM compile or simulation on the DUT+bench pair.
+	Lint bool
 	// Opts bound the run; Opts.Seed makes the job's $random stream
 	// deterministic regardless of scheduling.
 	Opts verilog.SimOptions
@@ -363,9 +448,7 @@ func (f *Farm) RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Resul
 	started := make([]bool, len(jobs))
 	err := MapCtx(ctx, len(jobs), workers, func(i int) {
 		started[i] = true
-		job := jobs[i]
-		res, jerr := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
-		results[i] = Result{Res: res, Err: jerr}
+		results[i] = f.runJob(jobs[i])
 	})
 	if err != nil {
 		for i := range results {
@@ -375,6 +458,19 @@ func (f *Farm) RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Resul
 		}
 	}
 	return results, err
+}
+
+// runJob executes one job: lint screen first (when opted in), then the
+// cached compile+run path.
+func (f *Farm) runJob(job Job) Result {
+	if job.Lint && job.DUTTop != "" {
+		if rej := f.LintScreen(job.DUT, job.DUTTop); rej != nil {
+			f.lintRejects.Add(1)
+			return Result{Err: rej}
+		}
+	}
+	res, err := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
+	return Result{Res: res, Err: err}
 }
 
 // RunMany runs a batch through the default farm.

@@ -1,0 +1,86 @@
+package verilog
+
+// Read-only introspection over an elaborated Design for static analysis
+// (internal/vlint). The views expose the flattened continuous
+// assignments, the behavioral processes, and the bound identifier leaves
+// of their trees — the same structures the simulator executes — without
+// giving callers a way to mutate the immutable compiled design. Lint
+// therefore reasons about exactly the design the simulator would run,
+// after parameter resolution, hierarchy flattening and name binding.
+
+// DesignAssign is the read-only view of one flattened continuous
+// assignment (an `assign`, a wire initializer, or a synthesized port
+// connection). LHS/RHS are bound trees: identifier leaves are opaque
+// bound nodes, decoded with BoundRef / BoundConst.
+type DesignAssign struct {
+	LHS, RHS Expr
+	Line     int
+}
+
+// NumAssigns returns the number of flattened continuous assignments.
+func (d *Design) NumAssigns() int { return len(d.assigns) }
+
+// AssignAt returns the i-th flattened continuous assignment.
+func (d *Design) AssignAt(i int) DesignAssign {
+	ca := d.assigns[i]
+	return DesignAssign{LHS: ca.lhs, RHS: ca.rhs, Line: ca.line}
+}
+
+// DesignProcess is the read-only view of one flattened behavioral
+// process. Body is the bound tree. SensSigs resolves each sensitivity
+// item's signal name in the process's instance scope (-1 when the name
+// does not resolve — the simulator's runtime diagnostic then owns it).
+type DesignProcess struct {
+	Always   bool // always block (vs initial)
+	Star     bool // @* / @(*) inferred sensitivity
+	Sens     []SensItem
+	SensSigs []SignalID
+	Body     Stmt
+	Line     int
+	Name     string // hierarchical, e.g. "top.always@12"
+}
+
+// NumProcesses returns the number of flattened behavioral processes.
+func (d *Design) NumProcesses() int { return len(d.procs) }
+
+// ProcessAt returns the i-th flattened process.
+func (d *Design) ProcessAt(i int) DesignProcess {
+	pr := d.procs[i]
+	p := DesignProcess{
+		Always: pr.kind == procAlways, Star: pr.star,
+		Sens: pr.sens, Body: pr.body, Line: pr.line, Name: pr.name,
+	}
+	if len(pr.sens) > 0 {
+		p.SensSigs = make([]SignalID, len(pr.sens))
+		for i, s := range pr.sens {
+			p.SensSigs[i] = -1
+			if ent, ok := pr.scope[s.Signal]; ok && !ent.isParam {
+				p.SensSigs[i] = ent.sig
+			}
+		}
+	}
+	return p
+}
+
+// BoundRef decodes a bound identifier leaf: the flattened signal it
+// resolves to and its source position. ok is false for every other node
+// (including identifiers that never resolved — those stay plain *Ident
+// and carry the simulator's runtime diagnostic).
+func BoundRef(ex Expr) (sig SignalID, pos Pos, ok bool) {
+	if r, isRef := ex.(*boundRef); isRef {
+		return r.sig, Pos{Line: r.line}, true
+	}
+	return 0, Pos{}, false
+}
+
+// BoundConst decodes a compile-time-constant leaf: a literal or an
+// identifier bound to a parameter value. ok is false otherwise.
+func BoundConst(ex Expr) (Value, bool) {
+	switch n := ex.(type) {
+	case *Number:
+		return n.Val, true
+	case *boundParam:
+		return n.val, true
+	}
+	return Value{}, false
+}

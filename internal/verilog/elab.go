@@ -6,14 +6,15 @@ import (
 )
 
 // ElabError is a positioned elaboration error (unknown module, bad width,
-// unresolved name); like ParseError it becomes LLM feedback upstream.
+// unresolved name); like ParseError it becomes LLM feedback upstream, and
+// it shares the same Pos type as ParseError and vlint.Diagnostic.
 type ElabError struct {
-	Line int
-	Msg  string
+	Pos Pos
+	Msg string
 }
 
 func (e *ElabError) Error() string {
-	return fmt.Sprintf("elaboration error at line %d: %s", e.Line, e.Msg)
+	return fmt.Sprintf("elaboration error at line %s: %s", e.Pos, e.Msg)
 }
 
 // SignalID indexes a flattened design signal.
@@ -102,6 +103,7 @@ type process struct {
 	body   Stmt
 	scope  scope
 	name   string
+	line   int
 	reads  []SignalID  // inferred sensitivity for @* blocks
 	bcache *boundCache // bound-body + compiled-program memo shared across designs
 	prog   *Program    // the body lowered to VM bytecode (bytecode.go)
@@ -365,7 +367,7 @@ func evalConst(ex Expr, params paramScope) (Value, error) {
 		if v, ok := params[n.Name]; ok {
 			return v, nil
 		}
-		return Value{}, &ElabError{Line: n.Line, Msg: fmt.Sprintf("identifier %q is not a constant", n.Name)}
+		return Value{}, &ElabError{Pos: Pos{Line: n.Line}, Msg: fmt.Sprintf("identifier %q is not a constant", n.Name)}
 	case *Unary:
 		x, err := evalConst(n.X, params)
 		if err != nil {
@@ -426,7 +428,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		for i, ex := range inst.ParamOrder {
 			nonLocal := nonLocalParams(mod)
 			if i >= len(nonLocal) {
-				return &ElabError{Line: inst.Line, Msg: fmt.Sprintf("too many positional parameters for %q", mod.Name)}
+				return &ElabError{Pos: Pos{Line: inst.Line}, Msg: fmt.Sprintf("too many positional parameters for %q", mod.Name)}
 			}
 			overrides[nonLocal[i].Name] = ex
 		}
@@ -461,10 +463,10 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 	// 2. Declare port signals.
 	for _, port := range mod.Ports {
 		if port.Dir == 0 {
-			return &ElabError{Line: port.Line, Msg: fmt.Sprintf("port %q of %q has no direction", port.Name, mod.Name)}
+			return &ElabError{Pos: Pos{Line: port.Line}, Msg: fmt.Sprintf("port %q of %q has no direction", port.Name, mod.Name)}
 		}
 		if port.Dir == DirInout {
-			return &ElabError{Line: port.Line, Msg: "inout ports are not supported by the subset"}
+			return &ElabError{Pos: Pos{Line: port.Line}, Msg: "inout ports are not supported by the subset"}
 		}
 		w := 1
 		if port.Width != nil {
@@ -508,7 +510,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 			}
 			words = int(hi.Uint()) + 1
 			if words <= 0 || words > 1<<20 {
-				return &ElabError{Line: decl.Line, Msg: fmt.Sprintf("memory %q has unsupported word count %d", decl.Name, words)}
+				return &ElabError{Pos: Pos{Line: decl.Line}, Msg: fmt.Sprintf("memory %q has unsupported word count %d", decl.Name, words)}
 			}
 		}
 		id, err := e.newSignal(path+"."+decl.Name, w, decl.IsReg, words)
@@ -523,7 +525,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		conns := map[string]Expr{}
 		if len(inst.ConnOrder) > 0 {
 			if len(inst.ConnOrder) > len(mod.Ports) {
-				return &ElabError{Line: inst.Line, Msg: fmt.Sprintf("too many positional connections for %q", mod.Name)}
+				return &ElabError{Pos: Pos{Line: inst.Line}, Msg: fmt.Sprintf("too many positional connections for %q", mod.Name)}
 			}
 			for i, ex := range inst.ConnOrder {
 				conns[mod.Ports[i].Name] = ex
@@ -538,7 +540,7 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 					}
 				}
 				if !found {
-					return &ElabError{Line: inst.Line, Msg: fmt.Sprintf("module %q has no port %q", mod.Name, name)}
+					return &ElabError{Pos: Pos{Line: inst.Line}, Msg: fmt.Sprintf("module %q has no port %q", mod.Name, name)}
 				}
 				conns[name] = ex
 			}
@@ -576,17 +578,17 @@ func (e *elaborator) instantiate(mod *Module, path string, inst *Instance, paren
 		case *AlwaysBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procAlways, sens: it.Sens, star: it.Star, body: it.Body, scope: sc,
-				name: fmt.Sprintf("%s.always@%d", path, it.Line), bcache: &it.bound,
+				name: fmt.Sprintf("%s.always@%d", path, it.Line), line: it.Line, bcache: &it.bound,
 			})
 		case *InitialBlock:
 			e.design.procs = append(e.design.procs, &process{
 				kind: procInitial, body: it.Body, scope: sc,
-				name: fmt.Sprintf("%s.initial@%d", path, it.Line), bcache: &it.bound,
+				name: fmt.Sprintf("%s.initial@%d", path, it.Line), line: it.Line, bcache: &it.bound,
 			})
 		case *Instance:
 			child := e.file.FindModule(it.ModuleName)
 			if child == nil {
-				return &ElabError{Line: it.Line, Msg: fmt.Sprintf("unknown module %q", it.ModuleName)}
+				return &ElabError{Pos: Pos{Line: it.Line}, Msg: fmt.Sprintf("unknown module %q", it.ModuleName)}
 			}
 			if err := e.instantiate(child, path+"."+it.Name, it, sc); err != nil {
 				return err

@@ -6,14 +6,16 @@ import (
 )
 
 // ParseError is a positioned syntax error; the AutoChip-style loops feed
-// its message back to the (simulated) LLM as compiler feedback.
+// its message back to the (simulated) LLM as compiler feedback. It
+// carries the same Pos type as ElabError and vlint.Diagnostic, so compile
+// errors and lint findings format identically in reports and prompts.
 type ParseError struct {
-	Line, Col int
-	Msg       string
+	Pos Pos
+	Msg string
 }
 
 func (e *ParseError) Error() string {
-	return fmt.Sprintf("syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+	return fmt.Sprintf("syntax error at %s: %s", e.Pos, e.Msg)
 }
 
 // parser is a recursive-descent parser over the token stream.
@@ -66,7 +68,7 @@ func Parse(src string) (*SourceFile, error) {
 		f.Modules = append(f.Modules, m)
 	}
 	if len(f.Modules) == 0 {
-		return nil, &ParseError{1, 1, "no modules in source"}
+		return nil, &ParseError{Pos{Line: 1, Col: 1}, "no modules in source"}
 	}
 	return f, nil
 }
@@ -140,7 +142,7 @@ func (p *parser) expectIdent() (string, error) {
 
 func (p *parser) errorf(format string, args ...any) error {
 	t := p.cur()
-	return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+	return &ParseError{Pos: Pos{Line: t.line, Col: t.col}, Msg: fmt.Sprintf(format, args...)}
 }
 
 // parseModule parses one module ... endmodule.
@@ -1069,7 +1071,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		p.advance()
 		v, err := parseNumberLiteral(t.text)
 		if err != nil {
-			return nil, &ParseError{t.line, t.col, err.Error()}
+			return nil, &ParseError{Pos{Line: t.line, Col: t.col}, err.Error()}
 		}
 		return alloc(&p.numbers, Number{Val: v, Line: t.line}), nil
 

@@ -1,0 +1,40 @@
+package verilog
+
+import "strconv"
+
+// Pos is the one source-position type shared by every positioned
+// diagnostic the front end produces: parser errors, elaboration errors
+// and the static-analysis findings built on top (internal/vlint). Tools
+// that mix compile errors and lint findings in one report can therefore
+// sort and render them uniformly. File is empty for the single-source
+// candidate flows; Col is zero where only a line is known.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col, omitting the empty
+// parts: "adder.v:12:3", "12:3", or just "12".
+func (p Pos) String() string {
+	s := strconv.Itoa(p.Line)
+	if p.Col > 0 {
+		s += ":" + strconv.Itoa(p.Col)
+	}
+	if p.File != "" {
+		s = p.File + ":" + s
+	}
+	return s
+}
+
+// Before orders positions by file, then line, then column — the render
+// order for mixed diagnostic lists.
+func (p Pos) Before(q Pos) bool {
+	if p.File != q.File {
+		return p.File < q.File
+	}
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}

@@ -1,0 +1,138 @@
+// Package vlint is a static RTL lint engine over elaborated designs.
+// It walks the same bound trees the simulator executes (via the verilog
+// package's analysis views), so every finding is reported against the
+// flattened, parameter-resolved design — no separate semantic model to
+// drift out of sync with the simulator. Findings are structured
+// Diagnostics with severities and source positions; error-severity
+// findings are sound rejection evidence (the design is broken RTL by
+// construction: conflicting drivers, a combinational cycle, an inferred
+// latch in a combinational block), while warnings flag style and width
+// hazards that simulate fine but usually hide bugs.
+//
+// The engine feeds three layers: simfarm screens candidates before
+// spending a compile+simulation on them (Farm.LintRejects), the
+// simulated-LLM loop receives diagnostics as repair feedback (scenario
+// E12, llm.BuildLintRepairPrompt), and the mutation corpus in mutate.go
+// provides lint-class ground truth for the detection-rate gate.
+package vlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llm4eda/internal/verilog"
+)
+
+// Severity classifies a finding. Error-severity findings identify RTL
+// that is structurally broken regardless of stimulus; screening rejects
+// on errors only, never on warnings.
+type Severity int
+
+// Severities.
+const (
+	SevWarning Severity = iota + 1
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Rule identifiers. Kept short and stable: they appear in prompts, in
+// experiment tables and in the mutant detection gate.
+const (
+	RuleMultiDriver = "multi-driver"     // error: conflicting continuous/process drivers
+	RuleCombLoop    = "comb-loop"        // error: cycle in the combinational dependency graph
+	RuleLatch       = "inferred-latch"   // error: incomplete if/case in combinational always
+	RuleWidthTrunc  = "width-trunc"      // warning: RHS wider than assignment target
+	RuleUndriven    = "undriven"         // warning: signal read but never driven
+	RuleUnused      = "unused"           // warning: signal never read
+	RuleBlockingSeq = "blocking-in-seq"  // warning: blocking assign in a clocked block
+	RuleNBComb      = "nonblocking-comb" // warning: nonblocking assign in a combinational block
+	RuleConstCond   = "const-cond"       // warning: literal-constant condition (dead branch)
+)
+
+// Diagnostic is one structured lint finding.
+type Diagnostic struct {
+	Rule   string
+	Sev    Severity
+	Pos    verilog.Pos
+	Signal string // hierarchical signal name, "" when not signal-specific
+	Msg    string
+}
+
+// String renders the finding in the fixed "lint:" form shared by repair
+// prompts and farm rejection errors (the simulated LLM routes feedback
+// containing "lint:" to its line-repair behavior).
+func (d Diagnostic) String() string {
+	if d.Pos.Line == 0 && d.Pos.File == "" {
+		return fmt.Sprintf("lint: %s [%s]: %s", d.Sev, d.Rule, d.Msg)
+	}
+	return fmt.Sprintf("lint: %s [%s] line %s: %s", d.Sev, d.Rule, d.Pos, d.Msg)
+}
+
+// Format renders diagnostics one per line, in position order.
+func Format(diags []Diagnostic) string {
+	var b strings.Builder
+	for i, d := range diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// HasErrors reports whether any finding is error-severity.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the error-severity findings.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Sev == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// sortDiags orders findings by position, then rule, then signal — the
+// stable render order for reports and golden tests.
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos != b.Pos {
+			return a.Pos.Before(b.Pos)
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Signal < b.Signal
+	})
+}
+
+// RejectError is the error a lint-screening farm returns for a
+// candidate with error-severity findings: the candidate was rejected
+// statically, before any VM compile or simulation. Its text embeds the
+// formatted diagnostics, so frameworks that surface farm errors as
+// repair feedback hand the LLM the lint report for free.
+type RejectError struct {
+	Top   string
+	Diags []Diagnostic // the error-severity findings that caused rejection
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("lint rejected %s: %d error finding(s)\n%s", e.Top, len(e.Diags), Format(e.Diags))
+}

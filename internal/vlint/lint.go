@@ -1,0 +1,484 @@
+package vlint
+
+import (
+	"fmt"
+
+	"llm4eda/internal/verilog"
+)
+
+// Lint runs every rule over an elaborated design and returns the
+// findings in position order. file must be the source the design was
+// elaborated from (it supplies the top module's port directions, which
+// decide what counts as externally driven/observed).
+func Lint(file *verilog.SourceFile, d *verilog.Design) []Diagnostic {
+	lt := newLinter(file, d)
+	for i := 0; i < d.NumAssigns(); i++ {
+		lt.checkAssign(d.AssignAt(i))
+	}
+	for i := 0; i < d.NumProcesses(); i++ {
+		lt.checkProcess(d.ProcessAt(i))
+	}
+	lt.checkDrivers()
+	lt.checkCombLoops()
+	lt.checkUndrivenUnused()
+	sortDiags(lt.diags)
+	return lt.diags
+}
+
+// LintSource parses and elaborates src standalone under the given top
+// module and lints the result. Parse or elaboration failure is returned
+// as-is — a source that does not compile is not lintable, and screening
+// callers fall through to the simulator's own diagnostics.
+func LintSource(src, top string) ([]Diagnostic, error) {
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := verilog.Elaborate(f, top)
+	if err != nil {
+		return nil, err
+	}
+	return Lint(f, d), nil
+}
+
+// readRef is one signal read site; partial marks reads through a bit or
+// part select (used to suppress same-signal false loops like
+// `assign x[0] = x[1]`).
+type readRef struct {
+	sig     verilog.SignalID
+	line    int
+	partial bool
+}
+
+// target is one assignment destination; whole marks full-signal writes.
+type target struct {
+	sig   verilog.SignalID
+	line  int
+	whole bool
+}
+
+type driverKind int
+
+const (
+	drvContWhole driverKind = iota + 1
+	drvContPart
+	drvProc
+)
+
+type driver struct {
+	kind driverKind
+	line int
+}
+
+type linter struct {
+	f     *verilog.SourceFile
+	d     *verilog.Design
+	diags []Diagnostic
+
+	readLine []int // first-read source line per signal; 0 = never read
+	driven   []bool
+	drivers  [][]driver // per signal, continuous + always-process drivers
+	portDir  []verilog.PortDir
+
+	// combinational dependency edges (read signal -> driven signal),
+	// deduplicated; edgeLine remembers one source line per edge for the
+	// loop report.
+	adj      map[verilog.SignalID]map[verilog.SignalID]int
+	scratch  []readRef
+	scratchT []target
+}
+
+func newLinter(f *verilog.SourceFile, d *verilog.Design) *linter {
+	n := len(d.Signals)
+	lt := &linter{
+		f: f, d: d,
+		readLine: make([]int, n),
+		driven:   make([]bool, n),
+		drivers:  make([][]driver, n),
+		portDir:  make([]verilog.PortDir, n),
+		adj:      map[verilog.SignalID]map[verilog.SignalID]int{},
+	}
+	if mod := f.FindModule(d.Top); mod != nil {
+		for _, p := range mod.Ports {
+			if sig, ok := d.SignalByName(d.Top + "." + p.Name); ok {
+				lt.portDir[sig.ID] = p.Dir
+			}
+		}
+	}
+	return lt
+}
+
+func (lt *linter) addDiag(rule string, sev Severity, line int, sig string, format string, args ...any) {
+	lt.diags = append(lt.diags, Diagnostic{
+		Rule: rule, Sev: sev, Pos: verilog.Pos{Line: line}, Signal: sig,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (lt *linter) sigName(id verilog.SignalID) string { return lt.d.Signals[id].Name }
+
+func (lt *linter) markRead(sig verilog.SignalID, line int) {
+	if lt.readLine[sig] == 0 || (line > 0 && line < lt.readLine[sig]) {
+		lt.readLine[sig] = line
+	}
+}
+
+func (lt *linter) addEdge(from, to verilog.SignalID, line int) {
+	m := lt.adj[from]
+	if m == nil {
+		m = map[verilog.SignalID]int{}
+		lt.adj[from] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = line
+	}
+}
+
+// exprReads appends every bound signal read in ex to out. partial is
+// inherited by reads under an index or part select of that signal;
+// index expressions themselves are whole reads.
+func (lt *linter) exprReads(ex verilog.Expr, partial bool, out []readRef) []readRef {
+	if sig, pos, ok := verilog.BoundRef(ex); ok {
+		return append(out, readRef{sig: sig, line: pos.Line, partial: partial})
+	}
+	switch n := ex.(type) {
+	case *verilog.Unary:
+		out = lt.exprReads(n.X, partial, out)
+	case *verilog.Binary:
+		out = lt.exprReads(n.X, partial, out)
+		out = lt.exprReads(n.Y, partial, out)
+	case *verilog.Ternary:
+		out = lt.exprReads(n.Cond, partial, out)
+		out = lt.exprReads(n.Then, partial, out)
+		out = lt.exprReads(n.Else, partial, out)
+	case *verilog.Concat:
+		for _, p := range n.Parts {
+			out = lt.exprReads(p, partial, out)
+		}
+	case *verilog.Repeat:
+		out = lt.exprReads(n.Count, partial, out)
+		out = lt.exprReads(n.X, partial, out)
+	case *verilog.Index:
+		out = lt.exprReads(n.X, true, out)
+		out = lt.exprReads(n.Idx, false, out)
+	case *verilog.PartSelect:
+		out = lt.exprReads(n.X, true, out)
+		out = lt.exprReads(n.MSB, false, out)
+		out = lt.exprReads(n.LSB, false, out)
+	case *verilog.SysFunc:
+		for _, a := range n.Args {
+			out = lt.exprReads(a, false, out)
+		}
+	}
+	return out
+}
+
+// lhsTargets decomposes an assignment destination into driven signals
+// (whole or partial) and appends embedded index-expression reads to
+// reads. Unresolvable destinations contribute nothing — the simulator's
+// runtime diagnostic owns those.
+func (lt *linter) lhsTargets(ex verilog.Expr, line int, out []target, reads []readRef) ([]target, []readRef) {
+	if sig, pos, ok := verilog.BoundRef(ex); ok {
+		l := pos.Line
+		if l == 0 {
+			l = line
+		}
+		return append(out, target{sig: sig, line: l, whole: true}), reads
+	}
+	switch n := ex.(type) {
+	case *verilog.Index:
+		if sig, pos, ok := verilog.BoundRef(n.X); ok {
+			l := pos.Line
+			if l == 0 {
+				l = line
+			}
+			out = append(out, target{sig: sig, line: l, whole: false})
+		}
+		reads = lt.exprReads(n.Idx, false, reads)
+	case *verilog.PartSelect:
+		if sig, pos, ok := verilog.BoundRef(n.X); ok {
+			l := pos.Line
+			if l == 0 {
+				l = line
+			}
+			out = append(out, target{sig: sig, line: l, whole: false})
+		}
+		reads = lt.exprReads(n.MSB, false, reads)
+		reads = lt.exprReads(n.LSB, false, reads)
+	case *verilog.Concat:
+		for _, p := range n.Parts {
+			out, reads = lt.lhsTargets(p, line, out, reads)
+		}
+	}
+	return out, reads
+}
+
+// widthOf returns the bit width of a width-transparent expression, or
+// -1 when the width is unknown or the operator has carry/growth
+// semantics (arithmetic), which the width rule deliberately skips.
+func (lt *linter) widthOf(ex verilog.Expr) int {
+	if sig, _, ok := verilog.BoundRef(ex); ok {
+		return lt.d.Signals[sig].Width
+	}
+	if v, ok := verilog.BoundConst(ex); ok {
+		return v.Width
+	}
+	switch n := ex.(type) {
+	case *verilog.Unary:
+		switch n.Op {
+		case "~", "-":
+			return lt.widthOf(n.X)
+		case "!", "&", "|", "^", "~&", "~|", "~^":
+			return 1
+		}
+	case *verilog.Binary:
+		switch n.Op {
+		case "&", "|", "^", "~^", "^~":
+			a, b := lt.widthOf(n.X), lt.widthOf(n.Y)
+			if a < 0 || b < 0 {
+				return -1
+			}
+			if b > a {
+				a = b
+			}
+			return a
+		case "==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||":
+			return 1
+		case "<<", ">>", ">>>":
+			return lt.widthOf(n.X)
+		}
+	case *verilog.Ternary:
+		a, b := lt.widthOf(n.Then), lt.widthOf(n.Else)
+		if a < 0 || b < 0 {
+			return -1
+		}
+		if b > a {
+			a = b
+		}
+		return a
+	case *verilog.Concat:
+		sum := 0
+		for _, p := range n.Parts {
+			w := lt.widthOf(p)
+			if w < 0 {
+				return -1
+			}
+			sum += w
+		}
+		return sum
+	case *verilog.Repeat:
+		if c, ok := verilog.BoundConst(n.Count); ok && c.IsFullyKnown() {
+			w := lt.widthOf(n.X)
+			if w < 0 {
+				return -1
+			}
+			return int(c.Uint()) * w
+		}
+	case *verilog.Index:
+		if sig, _, ok := verilog.BoundRef(n.X); ok && lt.d.Signals[sig].Words > 1 {
+			return lt.d.Signals[sig].Width
+		}
+		return 1
+	case *verilog.PartSelect:
+		m, okM := verilog.BoundConst(n.MSB)
+		l, okL := verilog.BoundConst(n.LSB)
+		if okM && okL && m.IsFullyKnown() && l.IsFullyKnown() && m.Uint() >= l.Uint() {
+			return int(m.Uint()-l.Uint()) + 1
+		}
+	}
+	return -1
+}
+
+// lhsWidthOf returns the width of an assignment destination, or -1.
+func (lt *linter) lhsWidthOf(ex verilog.Expr) int {
+	if sig, _, ok := verilog.BoundRef(ex); ok {
+		return lt.d.Signals[sig].Width
+	}
+	switch ex.(type) {
+	case *verilog.Index, *verilog.PartSelect, *verilog.Concat:
+		return lt.widthOf(ex)
+	}
+	return -1
+}
+
+// checkWidth flags a truncating assignment: RHS provably wider than the
+// destination. Widening (zero extension) is idiomatic and not flagged,
+// and arithmetic RHS widths are unknown by design (see widthOf).
+func (lt *linter) checkWidth(lhs, rhs verilog.Expr, line int, sig string) {
+	lw, rw := lt.lhsWidthOf(lhs), lt.widthOf(rhs)
+	if lw > 0 && rw > 0 && rw > lw {
+		lt.addDiag(RuleWidthTrunc, SevWarning, line, sig,
+			"%d-bit expression truncated to %d-bit target %q", rw, lw, sig)
+	}
+}
+
+// checkAssign runs the per-continuous-assignment rules and feeds the
+// driver census and the dependency graph. Port connections are
+// continuous assignments too, so port width mismatches fall out of the
+// same width check.
+func (lt *linter) checkAssign(a verilog.DesignAssign) {
+	reads := lt.exprReads(a.RHS, false, lt.scratch[:0])
+	targets, reads := lt.lhsTargets(a.LHS, a.Line, lt.scratchT[:0], reads)
+	for _, r := range reads {
+		lt.markRead(r.sig, r.line)
+	}
+	name := ""
+	for _, t := range targets {
+		lt.driven[t.sig] = true
+		k := drvContPart
+		if t.whole {
+			k = drvContWhole
+		}
+		lt.drivers[t.sig] = append(lt.drivers[t.sig], driver{kind: k, line: a.Line})
+		if name == "" {
+			name = lt.sigName(t.sig)
+		}
+		for _, r := range reads {
+			if r.sig == t.sig && (r.partial || !t.whole) {
+				continue // x[0] = x[1] style: not a combinational cycle
+			}
+			lt.addEdge(r.sig, t.sig, a.Line)
+		}
+	}
+	lt.checkWidth(a.LHS, a.RHS, a.Line, name)
+	lt.scratch, lt.scratchT = reads[:0], targets[:0]
+}
+
+// hasEdgeSens reports whether the sensitivity list contains an edge
+// specifier (the block is clocked).
+func hasEdgeSens(sens []verilog.SensItem) bool {
+	for _, s := range sens {
+		if s.Edge == verilog.EdgePos || s.Edge == verilog.EdgeNeg {
+			return true
+		}
+	}
+	return false
+}
+
+// checkProcess dispatches one behavioral process: combinational always
+// blocks get the full dataflow walk (latch inference + loop edges),
+// clocked and initial blocks get the flat census plus style checks.
+func (lt *linter) checkProcess(p verilog.DesignProcess) {
+	for _, sig := range p.SensSigs {
+		if sig >= 0 {
+			lt.markRead(sig, p.Line)
+		}
+	}
+	clocked := p.Always && hasEdgeSens(p.Sens)
+	comb := p.Always && !clocked && (p.Star || len(p.Sens) > 0)
+	if comb {
+		lt.checkComb(p)
+		return
+	}
+	w := &flatWalk{lt: lt, proc: p.Always, clocked: clocked}
+	w.stmt(p.Body)
+}
+
+// flatWalk is the census walker for clocked, initial and free-running
+// processes: marks reads and drivers, flags blocking assigns in clocked
+// blocks and literal-constant conditions in always blocks. Style
+// findings are reported once per process to keep reports short.
+type flatWalk struct {
+	lt           *linter
+	proc         bool // always block (drivers count toward conflicts)
+	clocked      bool
+	saidBlocking bool
+	saidConst    bool
+}
+
+func (w *flatWalk) expr(ex verilog.Expr) {
+	w.lt.scratch = w.lt.exprReads(ex, false, w.lt.scratch[:0])
+	for _, r := range w.lt.scratch {
+		w.lt.markRead(r.sig, r.line)
+	}
+}
+
+func (w *flatWalk) assign(a *verilog.Assign, loopClause bool) {
+	if a == nil {
+		return
+	}
+	w.expr(a.RHS)
+	targets, reads := w.lt.lhsTargets(a.LHS, a.Line, w.lt.scratchT[:0], w.lt.scratch[:0])
+	for _, r := range reads {
+		w.lt.markRead(r.sig, r.line)
+	}
+	name := ""
+	for _, t := range targets {
+		w.lt.driven[t.sig] = true
+		if name == "" {
+			name = w.lt.sigName(t.sig)
+		}
+		if w.proc {
+			w.lt.drivers[t.sig] = append(w.lt.drivers[t.sig], driver{kind: drvProc, line: t.line})
+		}
+		if w.clocked && !a.NonBlocking && !loopClause && !w.saidBlocking {
+			w.saidBlocking = true
+			w.lt.addDiag(RuleBlockingSeq, SevWarning, a.Line, w.lt.sigName(t.sig),
+				"blocking assignment to %q in a clocked block (use <=)", w.lt.sigName(t.sig))
+		}
+	}
+	if w.proc {
+		w.lt.checkWidth(a.LHS, a.RHS, a.Line, name)
+	}
+	w.lt.scratchT = targets[:0]
+}
+
+// constCond flags a literal-number condition — a provably dead branch.
+// Parameter-valued conditions are deliberately exempt: selecting an
+// implementation by parameter is idiomatic, a literal 1'b0 is not.
+func (w *flatWalk) constCond(cond verilog.Expr, line int) {
+	if _, isNum := cond.(*verilog.Number); isNum && w.proc && !w.saidConst {
+		w.saidConst = true
+		w.lt.addDiag(RuleConstCond, SevWarning, line, "",
+			"condition is a literal constant: branch is always the same")
+	}
+}
+
+func (w *flatWalk) stmt(s verilog.Stmt) {
+	switch n := s.(type) {
+	case *verilog.Block:
+		for _, st := range n.Stmts {
+			w.stmt(st)
+		}
+	case *verilog.Assign:
+		w.assign(n, false)
+	case *verilog.IfStmt:
+		w.constCond(n.Cond, n.Line)
+		w.expr(n.Cond)
+		w.stmt(n.Then)
+		w.stmt(n.Else)
+	case *verilog.CaseStmt:
+		w.expr(n.Subject)
+		for _, it := range n.Items {
+			for _, e := range it.Exprs {
+				w.expr(e)
+			}
+			w.stmt(it.Body)
+		}
+	case *verilog.ForStmt:
+		w.assign(n.Init, true)
+		w.expr(n.Cond)
+		w.stmt(n.Body)
+		w.assign(n.Step, true)
+	case *verilog.WhileStmt:
+		w.constCond(n.Cond, n.Line)
+		w.expr(n.Cond)
+		w.stmt(n.Body)
+	case *verilog.RepeatStmt:
+		w.expr(n.Count)
+		w.stmt(n.Body)
+	case *verilog.ForeverStmt:
+		w.stmt(n.Body)
+	case *verilog.DelayStmt:
+		w.expr(n.Amount)
+		w.stmt(n.Body)
+	case *verilog.EventStmt:
+		w.stmt(n.Body)
+	case *verilog.WaitStmt:
+		w.expr(n.Cond)
+	case *verilog.SysCall:
+		for _, a := range n.Args {
+			w.expr(a)
+		}
+	}
+}

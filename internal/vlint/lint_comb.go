@@ -1,0 +1,289 @@
+package vlint
+
+import "llm4eda/internal/verilog"
+
+// Combinational dataflow analysis: one walk per combinational always
+// block computes, per path join, which signals MUST be assigned on
+// every path and which MAY be assigned on some path. A signal that may
+// be assigned but is not must-assigned keeps its old value on the
+// missing paths — an inferred latch, which is error-severity: the
+// design is sequential where it claims to be combinational, and
+// simulation timing diverges from the synthesized netlist.
+//
+// The same walk records external reads (signals read before this block
+// must-assigns them); those become the block's dependency-graph edges
+// for the combinational-loop SCC check.
+
+// flowState is the per-path dataflow state. must/may map to the source
+// line of the first relevant assignment; ext maps externally-read
+// signals to the line of the first read.
+type flowState struct {
+	must map[verilog.SignalID]int
+	may  map[verilog.SignalID]int
+	ext  map[verilog.SignalID]int
+}
+
+func newFlowState() *flowState {
+	return &flowState{
+		must: map[verilog.SignalID]int{},
+		may:  map[verilog.SignalID]int{},
+		ext:  map[verilog.SignalID]int{},
+	}
+}
+
+func (st *flowState) clone() *flowState {
+	c := newFlowState()
+	for k, v := range st.must {
+		c.must[k] = v
+	}
+	for k, v := range st.may {
+		c.may[k] = v
+	}
+	for k, v := range st.ext {
+		c.ext[k] = v
+	}
+	return c
+}
+
+// mergeBranches folds the states of alternative paths back into st:
+// must-assigned only if every branch must-assigns, may/ext if any does.
+func (st *flowState) mergeBranches(branches []*flowState) {
+	if len(branches) == 0 {
+		return
+	}
+	for sig, line := range branches[0].must {
+		if _, already := st.must[sig]; already {
+			continue
+		}
+		all := true
+		for _, b := range branches[1:] {
+			if _, ok := b.must[sig]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			st.must[sig] = line
+		}
+	}
+	for _, b := range branches {
+		for sig, line := range b.may {
+			if _, ok := st.may[sig]; !ok {
+				st.may[sig] = line
+			}
+		}
+		for sig, line := range b.ext {
+			if _, ok := st.ext[sig]; !ok {
+				st.ext[sig] = line
+			}
+		}
+	}
+}
+
+// mergeMayOnly folds a path that may execute zero times (loop bodies,
+// timing-control bodies): nothing it assigns is guaranteed.
+func (st *flowState) mergeMayOnly(b *flowState) {
+	for sig, line := range b.may {
+		if _, ok := st.may[sig]; !ok {
+			st.may[sig] = line
+		}
+	}
+	for sig, line := range b.ext {
+		if _, ok := st.ext[sig]; !ok {
+			st.ext[sig] = line
+		}
+	}
+}
+
+// combWalk drives the dataflow walk for one combinational always block.
+type combWalk struct {
+	lt        *linter
+	saidConst bool
+	saidNB    bool
+}
+
+// checkComb analyzes one combinational always block: latch inference,
+// nonblocking-style check, loop edges, and the read/driver census.
+func (lt *linter) checkComb(p verilog.DesignProcess) {
+	w := &combWalk{lt: lt}
+	st := newFlowState()
+	w.stmt(p.Body, st)
+
+	for sig, line := range st.may {
+		lt.driven[sig] = true
+		lt.drivers[sig] = append(lt.drivers[sig], driver{kind: drvProc, line: line})
+		// Dependency edges: everything this block reads externally (a
+		// value produced outside the block, or read before the block
+		// overwrites it — including the block's own output, a real
+		// read-before-write cycle) feeds everything it may assign.
+		for src := range st.ext {
+			lt.addEdge(src, sig, line)
+		}
+		if _, ok := st.must[sig]; !ok {
+			lt.addDiag(RuleLatch, SevError, line, lt.sigName(sig),
+				"%q is not assigned on every path through this combinational block: latch inferred", lt.sigName(sig))
+		}
+	}
+}
+
+// reads marks every signal read by ex as externally read unless this
+// path already must-assigned it (an internally produced value).
+func (w *combWalk) reads(ex verilog.Expr, st *flowState) {
+	w.lt.scratch = w.lt.exprReads(ex, false, w.lt.scratch[:0])
+	for _, r := range w.lt.scratch {
+		w.lt.markRead(r.sig, r.line)
+		if _, internal := st.must[r.sig]; internal {
+			continue
+		}
+		if _, ok := st.ext[r.sig]; !ok {
+			st.ext[r.sig] = r.line
+		}
+	}
+}
+
+func (w *combWalk) assign(a *verilog.Assign, st *flowState, loopClause bool) {
+	if a == nil {
+		return
+	}
+	w.reads(a.RHS, st)
+	targets, reads := w.lt.lhsTargets(a.LHS, a.Line, w.lt.scratchT[:0], w.lt.scratch[:0])
+	for _, r := range reads {
+		w.lt.markRead(r.sig, r.line)
+		if _, internal := st.must[r.sig]; internal {
+			continue
+		}
+		if _, ok := st.ext[r.sig]; !ok {
+			st.ext[r.sig] = r.line
+		}
+	}
+	name := ""
+	for _, t := range targets {
+		if name == "" {
+			name = w.lt.sigName(t.sig)
+		}
+		if _, ok := st.may[t.sig]; !ok {
+			st.may[t.sig] = a.Line
+		}
+		// Partial writes count as must: bitwise assembly of a bus across
+		// arms is common and per-bit coverage tracking is out of scope,
+		// so the latch rule stays conservative (no false positives).
+		if _, ok := st.must[t.sig]; !ok {
+			st.must[t.sig] = a.Line
+		}
+		if a.NonBlocking && !loopClause && !w.saidNB {
+			w.saidNB = true
+			w.lt.addDiag(RuleNBComb, SevWarning, a.Line, name,
+				"nonblocking assignment to %q in a combinational block (use =)", name)
+		}
+	}
+	w.lt.checkWidth(a.LHS, a.RHS, a.Line, name)
+	w.lt.scratchT = targets[:0]
+}
+
+func (w *combWalk) constCond(cond verilog.Expr, line int) {
+	if _, isNum := cond.(*verilog.Number); isNum && !w.saidConst {
+		w.saidConst = true
+		w.lt.addDiag(RuleConstCond, SevWarning, line, "",
+			"condition is a literal constant: branch is always the same")
+	}
+}
+
+func (w *combWalk) stmt(s verilog.Stmt, st *flowState) {
+	switch n := s.(type) {
+	case *verilog.Block:
+		for _, sub := range n.Stmts {
+			w.stmt(sub, st)
+		}
+	case *verilog.Assign:
+		w.assign(n, st, false)
+	case *verilog.IfStmt:
+		w.constCond(n.Cond, n.Line)
+		w.reads(n.Cond, st)
+		thenSt, elseSt := st.clone(), st.clone()
+		w.stmt(n.Then, thenSt)
+		if n.Else != nil {
+			w.stmt(n.Else, elseSt)
+		}
+		st.mergeBranches([]*flowState{thenSt, elseSt})
+	case *verilog.CaseStmt:
+		w.reads(n.Subject, st)
+		branches := make([]*flowState, 0, len(n.Items)+1)
+		hasDefault := false
+		for _, it := range n.Items {
+			if it.IsDefault {
+				hasDefault = true
+			}
+			for _, e := range it.Exprs {
+				w.reads(e, st)
+			}
+			b := st.clone()
+			w.stmt(it.Body, b)
+			branches = append(branches, b)
+		}
+		if !hasDefault && !w.fullCoverage(n) {
+			// The no-arm-taken path keeps every value: an empty branch.
+			branches = append(branches, st.clone())
+		}
+		st.mergeBranches(branches)
+	case *verilog.ForStmt:
+		w.assign(n.Init, st, true)
+		w.reads(n.Cond, st)
+		body := st.clone()
+		w.stmt(n.Body, body)
+		w.assign(n.Step, body, true)
+		st.mergeMayOnly(body)
+	case *verilog.WhileStmt:
+		w.constCond(n.Cond, n.Line)
+		w.reads(n.Cond, st)
+		body := st.clone()
+		w.stmt(n.Body, body)
+		st.mergeMayOnly(body)
+	case *verilog.RepeatStmt:
+		w.reads(n.Count, st)
+		body := st.clone()
+		w.stmt(n.Body, body)
+		st.mergeMayOnly(body)
+	case *verilog.ForeverStmt:
+		body := st.clone()
+		w.stmt(n.Body, body)
+		st.mergeMayOnly(body)
+	case *verilog.DelayStmt:
+		w.reads(n.Amount, st)
+		body := st.clone()
+		w.stmt(n.Body, body)
+		st.mergeMayOnly(body)
+	case *verilog.EventStmt:
+		body := st.clone()
+		w.stmt(n.Body, body)
+		st.mergeMayOnly(body)
+	case *verilog.WaitStmt:
+		w.reads(n.Cond, st)
+	case *verilog.SysCall:
+		for _, a := range n.Args {
+			w.reads(a, st)
+		}
+	}
+}
+
+// fullCoverage reports whether a case without a default still covers
+// every subject value: all labels are fully known constants and the
+// distinct label values exhaust the subject's 2^w space (w capped so
+// the count stays cheap). Casez wildcard labels contain x/z bits and
+// are never fully known, so they land on the conservative side.
+func (w *combWalk) fullCoverage(n *verilog.CaseStmt) bool {
+	sw := w.lt.widthOf(n.Subject)
+	if sw <= 0 || sw > 16 {
+		return false
+	}
+	seen := map[uint64]bool{}
+	for _, it := range n.Items {
+		for _, e := range it.Exprs {
+			v, ok := verilog.BoundConst(e)
+			if !ok || !v.IsFullyKnown() {
+				return false
+			}
+			seen[v.Resize(sw).Uint()] = true
+		}
+	}
+	return len(seen) == 1<<uint(sw)
+}

@@ -1,0 +1,151 @@
+package vlint
+
+import (
+	"sort"
+	"strings"
+
+	"llm4eda/internal/verilog"
+)
+
+// Whole-design rules that run after the per-assign/per-process census:
+// driver conflicts, combinational-loop SCCs, and undriven/unused
+// signals.
+
+// checkDrivers flags conflicting drivers. A conflict requires a
+// whole-signal continuous driver on one side: two whole continuous
+// assignments, a whole continuous assignment plus a partial one, or a
+// continuous assignment (whole or partial) fighting an always process.
+// Partial+partial (bit-sliced bus assembly) and process+process are
+// deliberately not flagged — per-bit overlap tracking is out of scope
+// and the conservative side of a screening rule is silence.
+func (lt *linter) checkDrivers() {
+	for id := range lt.drivers {
+		ds := lt.drivers[id]
+		if len(ds) < 2 {
+			continue
+		}
+		var contWhole, contPart, proc int
+		line := 0
+		for _, d := range ds {
+			switch d.kind {
+			case drvContWhole:
+				contWhole++
+			case drvContPart:
+				contPart++
+			case drvProc:
+				proc++
+			}
+			if line == 0 || (d.line > 0 && d.line < line) {
+				line = d.line
+			}
+		}
+		cont := contWhole + contPart
+		conflict := contWhole >= 2 ||
+			(contWhole >= 1 && contPart >= 1) ||
+			(cont >= 1 && proc >= 1)
+		if !conflict {
+			continue
+		}
+		name := lt.sigName(verilog.SignalID(id))
+		lt.addDiag(RuleMultiDriver, SevError, line, name,
+			"%q has %d conflicting drivers (%d continuous, %d process)", name, len(ds), cont, proc)
+	}
+}
+
+// checkCombLoops runs Tarjan's SCC over the combinational dependency
+// graph (continuous assignments and combinational always blocks; clocked
+// blocks contribute no edges — a register legally closes a feedback
+// path). Every non-trivial SCC, including a self-edge, is a zero-delay
+// cycle: the simulator would chase it to its delta limit, so this is
+// error-severity and worth rejecting before a simulation is spent.
+func (lt *linter) checkCombLoops() {
+	n := len(lt.d.Signals)
+	index := make([]int, n) // 0 = unvisited; else order+1
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	var stack []int32
+	next := 0
+
+	var sccs [][]int32
+	var connect func(v int32)
+	connect = func(v int32) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, v)
+		onStack[v] = true
+		for wSig := range lt.adj[verilog.SignalID(v)] {
+			w := int32(wSig)
+			if index[w] == 0 {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] == 0 {
+			connect(int32(v))
+		}
+	}
+
+	for _, comp := range sccs {
+		if len(comp) == 1 {
+			v := verilog.SignalID(comp[0])
+			if _, self := lt.adj[v][v]; !self {
+				continue
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		names := make([]string, 0, len(comp)+1)
+		line := 0
+		inComp := map[verilog.SignalID]bool{}
+		for _, v := range comp {
+			inComp[verilog.SignalID(v)] = true
+		}
+		for _, v := range comp {
+			names = append(names, lt.sigName(verilog.SignalID(v)))
+			for to, l := range lt.adj[verilog.SignalID(v)] {
+				if inComp[to] && (line == 0 || (l > 0 && l < line)) {
+					line = l
+				}
+			}
+		}
+		names = append(names, names[0]) // close the cycle in the report
+		lt.addDiag(RuleCombLoop, SevError, line, lt.sigName(verilog.SignalID(comp[0])),
+			"combinational loop: %s", strings.Join(names, " -> "))
+	}
+}
+
+// checkUndrivenUnused flags signals read but never driven (top-level
+// inputs are driven by the environment and exempt) and signals never
+// read (top-level outputs are observed by the environment and exempt).
+// Both are warnings: an undriven read yields X rather than breaking the
+// simulation, and dead signals cost nothing but attention.
+func (lt *linter) checkUndrivenUnused() {
+	for id, s := range lt.d.Signals {
+		dir := lt.portDir[id]
+		if rl := lt.readLine[id]; rl != 0 && !lt.driven[id] && dir != verilog.DirInput && dir != verilog.DirInout {
+			lt.addDiag(RuleUndriven, SevWarning, rl, s.Name,
+				"%q is read but never driven (always X)", s.Name)
+		}
+		if lt.readLine[id] == 0 && dir != verilog.DirOutput && dir != verilog.DirInout {
+			lt.addDiag(RuleUnused, SevWarning, 0, s.Name, "%q is never read", s.Name)
+		}
+	}
+}

@@ -1,0 +1,384 @@
+package vlint
+
+import (
+	"strings"
+	"testing"
+)
+
+// lintOf lints src with the given top and fails the test on compile errors.
+func lintOf(t *testing.T, src, top string) []Diagnostic {
+	t.Helper()
+	diags, err := LintSource(src, top)
+	if err != nil {
+		t.Fatalf("LintSource(%s): %v", top, err)
+	}
+	return diags
+}
+
+func hasRule(diags []Diagnostic, rule string) bool {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func ruleDiag(diags []Diagnostic, rule string) (Diagnostic, bool) {
+	for _, d := range diags {
+		if d.Rule == rule {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+func TestMultiDriver(t *testing.T) {
+	src := `module m(input a, input b, output y);
+  assign y = a;
+  assign y = b;
+endmodule
+`
+	diags := lintOf(t, src, "m")
+	d, ok := ruleDiag(diags, RuleMultiDriver)
+	if !ok {
+		t.Fatalf("no multi-driver finding in:\n%s", Format(diags))
+	}
+	if d.Sev != SevError {
+		t.Errorf("multi-driver severity = %v, want error", d.Sev)
+	}
+	if d.Signal != "m.y" {
+		t.Errorf("multi-driver signal = %q, want m.y", d.Signal)
+	}
+}
+
+func TestMultiDriverContVsProc(t *testing.T) {
+	src := `module m(input a, input clk, output reg y);
+  always @(posedge clk) y <= a;
+endmodule
+
+module wrap(input a, input clk, output y);
+  m u(.a(a), .clk(clk), .y(y));
+  assign y = 1'b0;
+endmodule
+`
+	diags := lintOf(t, src, "wrap")
+	if !hasRule(diags, RuleMultiDriver) {
+		t.Fatalf("cont+proc conflict through a port not flagged:\n%s", Format(diags))
+	}
+}
+
+func TestMultiDriverPartialPartialNotFlagged(t *testing.T) {
+	src := `module m(input a, input b, output [1:0] y);
+  assign y[0] = a;
+  assign y[1] = b;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleMultiDriver) {
+		t.Fatalf("bit-sliced assembly falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestCombLoop(t *testing.T) {
+	src := `module m(input a, output y);
+  assign y = a ^ y;
+endmodule
+`
+	d, ok := ruleDiag(lintOf(t, src, "m"), RuleCombLoop)
+	if !ok {
+		t.Fatal("self-feeding assign not flagged as comb-loop")
+	}
+	if d.Sev != SevError {
+		t.Errorf("comb-loop severity = %v, want error", d.Sev)
+	}
+	if !strings.Contains(d.Msg, "m.y") {
+		t.Errorf("loop report %q does not name m.y", d.Msg)
+	}
+}
+
+func TestCombLoopTwoAssigns(t *testing.T) {
+	src := `module m(input a, output x, output y);
+  assign x = a & y;
+  assign y = x | a;
+endmodule
+`
+	if !hasRule(lintOf(t, src, "m"), RuleCombLoop) {
+		t.Fatal("two-assign cycle not flagged")
+	}
+}
+
+func TestRegisterBreaksLoop(t *testing.T) {
+	src := `module m(input clk, input a, output reg q, output y);
+  assign y = q ^ a;
+  always @(posedge clk) q <= y;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleCombLoop) {
+		t.Fatalf("clocked feedback falsely flagged as comb loop:\n%s", Format(diags))
+	}
+}
+
+func TestPartialSelfAssignNotLoop(t *testing.T) {
+	src := `module m(input a, output [1:0] y);
+  assign y[0] = a;
+  assign y[1] = y[0];
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleCombLoop) {
+		t.Fatalf("bit-to-bit copy falsely flagged as loop:\n%s", Format(diags))
+	}
+}
+
+func TestInferredLatch(t *testing.T) {
+	src := `module m(input c, input a, output reg y);
+  always @(*) begin
+    if (c) y = a;
+  end
+endmodule
+`
+	d, ok := ruleDiag(lintOf(t, src, "m"), RuleLatch)
+	if !ok {
+		t.Fatal("if-without-else in comb always not flagged as latch")
+	}
+	if d.Sev != SevError || d.Signal != "m.y" {
+		t.Errorf("latch finding = %+v, want error on m.y", d)
+	}
+}
+
+func TestNoLatchWithElse(t *testing.T) {
+	src := `module m(input c, input a, input b, output reg y);
+  always @(*) begin
+    if (c) y = a;
+    else y = b;
+  end
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleLatch) {
+		t.Fatalf("complete if/else falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestNoLatchWithPreAssign(t *testing.T) {
+	src := `module m(input c, input a, output reg y);
+  always @(*) begin
+    y = 1'b0;
+    if (c) y = a;
+  end
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleLatch) {
+		t.Fatalf("default-then-override falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestLatchFromDroppedDefault(t *testing.T) {
+	src := `module m(input [1:0] s, input a, input b, output reg y);
+  always @(*) begin
+    case (s)
+      2'd0: y = a;
+      2'd1: y = b;
+    endcase
+  end
+endmodule
+`
+	if !hasRule(lintOf(t, src, "m"), RuleLatch) {
+		t.Fatal("under-covered case without default not flagged as latch")
+	}
+}
+
+func TestNoLatchFullConstantCoverage(t *testing.T) {
+	src := `module m(input s, input a, input b, output reg y);
+  always @(*) begin
+    case (s)
+      1'b0: y = a;
+      1'b1: y = b;
+    endcase
+  end
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleLatch) {
+		t.Fatalf("exhaustive constant case falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestNoLatchWithDefault(t *testing.T) {
+	src := `module m(input [1:0] s, input a, output reg y);
+  always @(*) begin
+    case (s)
+      2'd0: y = a;
+      default: y = 1'b0;
+    endcase
+  end
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleLatch) {
+		t.Fatalf("case with default falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestWidthTruncation(t *testing.T) {
+	src := `module m(input [7:0] a, input [7:0] b, output [3:0] y);
+  assign y = a & b;
+endmodule
+`
+	d, ok := ruleDiag(lintOf(t, src, "m"), RuleWidthTrunc)
+	if !ok {
+		t.Fatal("8-bit -> 4-bit truncation not flagged")
+	}
+	if d.Sev != SevWarning {
+		t.Errorf("width-trunc severity = %v, want warning", d.Sev)
+	}
+}
+
+func TestWidthArithmeticExempt(t *testing.T) {
+	src := `module m(input [7:0] a, input [7:0] b, output [7:0] y);
+  assign y = a + b;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleWidthTrunc) {
+		t.Fatalf("modular arithmetic falsely flagged for carry growth:\n%s", Format(diags))
+	}
+}
+
+func TestWidthWideningNotFlagged(t *testing.T) {
+	src := `module m(input [3:0] a, output [7:0] y);
+  assign y = a;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleWidthTrunc) {
+		t.Fatalf("zero extension falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestUndrivenRead(t *testing.T) {
+	src := `module m(input a, output y);
+  wire ghost;
+  assign y = a & ghost;
+endmodule
+`
+	d, ok := ruleDiag(lintOf(t, src, "m"), RuleUndriven)
+	if !ok {
+		t.Fatal("read of undriven wire not flagged")
+	}
+	if d.Signal != "m.ghost" {
+		t.Errorf("undriven signal = %q, want m.ghost", d.Signal)
+	}
+}
+
+func TestInputPortNotUndriven(t *testing.T) {
+	src := `module m(input a, output y);
+  assign y = a;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleUndriven) {
+		t.Fatalf("top-level input falsely flagged as undriven:\n%s", Format(diags))
+	}
+}
+
+func TestUnusedSignal(t *testing.T) {
+	src := `module m(input a, output y);
+  wire dead;
+  assign dead = ~a;
+  assign y = a;
+endmodule
+`
+	d, ok := ruleDiag(lintOf(t, src, "m"), RuleUnused)
+	if !ok {
+		t.Fatal("never-read wire not flagged as unused")
+	}
+	if d.Signal != "m.dead" {
+		t.Errorf("unused signal = %q, want m.dead", d.Signal)
+	}
+}
+
+func TestOutputPortNotUnused(t *testing.T) {
+	src := `module m(input a, output y);
+  assign y = a;
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleUnused) {
+		t.Fatalf("top-level output falsely flagged as unused:\n%s", Format(diags))
+	}
+}
+
+func TestBlockingInClockedBlock(t *testing.T) {
+	src := `module m(input clk, input d, output reg q);
+  always @(posedge clk) begin
+    q = d;
+  end
+endmodule
+`
+	if !hasRule(lintOf(t, src, "m"), RuleBlockingSeq) {
+		t.Fatal("blocking assign in clocked block not flagged")
+	}
+}
+
+func TestNonblockingInCombBlock(t *testing.T) {
+	src := `module m(input a, input b, output reg y);
+  always @(*) begin
+    y <= a & b;
+  end
+endmodule
+`
+	if !hasRule(lintOf(t, src, "m"), RuleNBComb) {
+		t.Fatal("nonblocking assign in comb block not flagged")
+	}
+}
+
+func TestConstCondition(t *testing.T) {
+	src := `module m(input clk, input d, output reg q);
+  always @(posedge clk) begin
+    if (1'b0) q <= 1'b0;
+    else q <= d;
+  end
+endmodule
+`
+	if !hasRule(lintOf(t, src, "m"), RuleConstCond) {
+		t.Fatal("literal-constant condition not flagged")
+	}
+}
+
+func TestParamConditionExempt(t *testing.T) {
+	src := `module m(input clk, input d, output reg q);
+  parameter USE_RST = 1;
+  always @(posedge clk) begin
+    if (USE_RST) q <= d;
+    else q <= ~d;
+  end
+endmodule
+`
+	if diags := lintOf(t, src, "m"); hasRule(diags, RuleConstCond) {
+		t.Fatalf("parameter condition falsely flagged:\n%s", Format(diags))
+	}
+}
+
+func TestDiagnosticStringStartsWithLint(t *testing.T) {
+	src := `module m(input a, output y);
+  assign y = a;
+  assign y = 1'b1;
+endmodule
+`
+	diags := lintOf(t, src, "m")
+	for _, d := range diags {
+		if !strings.HasPrefix(d.String(), "lint: ") {
+			t.Errorf("diagnostic %q does not start with the lint: routing prefix", d.String())
+		}
+	}
+	errs := Errors(diags)
+	if len(errs) == 0 || !HasErrors(diags) {
+		t.Fatal("expected error-severity findings")
+	}
+	re := &RejectError{Top: "m", Diags: errs}
+	if !strings.Contains(re.Error(), "lint: error") {
+		t.Errorf("RejectError text lacks embedded diagnostics: %q", re.Error())
+	}
+}
+
+func TestLintSourcePropagatesCompileErrors(t *testing.T) {
+	if _, err := LintSource("module m(; endmodule", "m"); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := LintSource("module m(input a, output y); assign y = a; endmodule", "nope"); err == nil {
+		t.Fatal("want elaboration error for missing top")
+	}
+}

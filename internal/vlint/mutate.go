@@ -1,0 +1,426 @@
+package vlint
+
+import (
+	"fmt"
+	"strings"
+
+	"llm4eda/internal/verilog"
+)
+
+// Lint-class mutation corpus: parse-guided, line-local text surgery that
+// plants exactly the defect families the lint rules claim to catch.
+// Every mutant replaces one source line (keeping the line count, so the
+// simulated LLM's line-level repair model applies) and is re-validated
+// to parse and elaborate — a mutant that breaks compilation is a syntax
+// mutant, not a lint mutant, and is dropped. Detection expectations are
+// structural (the generator only plants a defect where the rule's
+// trigger conditions provably hold), so the detection-rate gate
+// exercises the real analysis rather than a tautology.
+
+// Mutant is one lint-class mutation of a source.
+type Mutant struct {
+	Class    string // dup-driver, comb-loop, drop-case-arm, width-narrow, width-widen, blocking-swap, nonblocking-swap
+	Line     int    // 1-based line that was rewritten
+	Detail   string
+	WantRule string // lint rule expected to fire on the mutant
+	Source   string // full mutated source, same line count as the input
+}
+
+// IsErrorClass reports whether the planted defect is error-severity
+// (and therefore screenable); the repair experiment uses these.
+func (m Mutant) IsErrorClass() bool {
+	switch m.WantRule {
+	case RuleMultiDriver, RuleCombLoop, RuleLatch:
+		return true
+	}
+	return false
+}
+
+// Mutants generates every applicable lint-class mutant of src. Returns
+// nil if src does not parse.
+func Mutants(src string) []Mutant {
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(src, "\n")
+	g := &mutgen{src: src, lines: lines}
+	for _, m := range f.Modules {
+		g.module(m)
+	}
+	return g.out
+}
+
+type declInfo struct {
+	msb  int // constant MSB of [msb:0]; -1 for scalar or non-constant
+	line int
+}
+
+type mutgen struct {
+	src   string
+	lines []string
+	out   []Mutant
+}
+
+// line returns the 1-based source line, or "" when out of range.
+func (g *mutgen) line(n int) string {
+	if n < 1 || n > len(g.lines) {
+		return ""
+	}
+	return g.lines[n-1]
+}
+
+// emit validates the mutant (must still parse and elaborate under the
+// mutated module's top) and appends it.
+func (g *mutgen) emit(top string, lineNo int, newLine, class, wantRule, detail string) {
+	if g.line(lineNo) == "" {
+		return
+	}
+	mut := make([]string, len(g.lines))
+	copy(mut, g.lines)
+	mut[lineNo-1] = newLine
+	src := strings.Join(mut, "\n")
+	f, err := verilog.Parse(src)
+	if err != nil {
+		return
+	}
+	if _, err := verilog.Elaborate(f, top); err != nil {
+		return
+	}
+	g.out = append(g.out, Mutant{Class: class, Line: lineNo, Detail: detail, WantRule: wantRule, Source: src})
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// assignEq returns the index of the assignment '=' in a statement line
+// (skipping ==, !=, <= and >= comparison operators), or -1.
+func assignEq(s string) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '=':
+			if i+1 < len(s) && s[i+1] == '=' {
+				i++ // ==, skip both
+				continue
+			}
+			if i > 0 && (s[i-1] == '<' || s[i-1] == '>' || s[i-1] == '!' || s[i-1] == '=') {
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// rewriteDeclWidth rewrites the "[msb:0] name" fragment of a
+// declaration line to a new MSB. The name is part of the pattern, so a
+// header declaring several ports on one line stays unambiguous.
+func rewriteDeclWidth(line, name string, oldMsb, newMsb int) (string, bool) {
+	pat := fmt.Sprintf("[%d:0] %s", oldMsb, name)
+	idx := strings.Index(line, pat)
+	if idx < 0 {
+		return "", false
+	}
+	end := idx + len(pat)
+	if end < len(line) && isWordChar(line[end]) {
+		return "", false
+	}
+	return line[:idx] + fmt.Sprintf("[%d:0] %s", newMsb, name) + line[end:], true
+}
+
+// numberMSB extracts the constant MSB of a width expression, or -1.
+func numberMSB(ex verilog.Expr) int {
+	n, ok := ex.(*verilog.Number)
+	if !ok || !n.Val.IsFullyKnown() {
+		return -1
+	}
+	return int(n.Val.Uint())
+}
+
+func (g *mutgen) module(m *verilog.Module) {
+	decls := map[string]declInfo{}
+	inputs := map[string]bool{}
+	for _, p := range m.Ports {
+		msb := -1
+		if p.Width != nil {
+			msb = numberMSB(p.Width)
+		}
+		decls[p.Name] = declInfo{msb: msb, line: p.Line}
+		if p.Dir == verilog.DirInput {
+			inputs[p.Name] = true
+		}
+	}
+	for _, it := range m.Items {
+		if d, ok := it.(*verilog.NetDecl); ok && d.ArrayHi == nil {
+			msb := -1
+			if d.Width != nil {
+				msb = numberMSB(d.Width)
+			}
+			decls[d.Name] = declInfo{msb: msb, line: d.Line}
+		}
+	}
+
+	for _, it := range m.Items {
+		switch n := it.(type) {
+		case *verilog.ContAssign:
+			g.contAssign(m, n, decls)
+		case *verilog.AlwaysBlock:
+			if hasEdgeSens(n.Sens) {
+				g.clockedAlways(m, n)
+			} else if n.Star || len(n.Sens) > 0 {
+				g.combAlways(m, n, decls)
+			}
+		}
+	}
+}
+
+// contAssign plants dup-driver, comb-loop and width mutants at
+// `assign <ident> = <rhs>;` sites.
+func (g *mutgen) contAssign(m *verilog.Module, ca *verilog.ContAssign, decls map[string]declInfo) {
+	lhs, ok := ca.LHS.(*verilog.Ident)
+	if !ok {
+		return
+	}
+	line := g.line(ca.Line)
+	trimmed := strings.TrimRight(line, " \t")
+	if !strings.Contains(line, "assign") || !strings.HasSuffix(trimmed, ";") {
+		return
+	}
+
+	// dup-driver: a second whole-signal continuous driver on the same line.
+	g.emit(m.Name, ca.Line, trimmed+" assign "+lhs.Name+" = 1'b0;",
+		"dup-driver", RuleMultiDriver,
+		fmt.Sprintf("second continuous driver of %q", lhs.Name))
+
+	// comb-loop: feed the target back into its own right-hand side.
+	if eq, semi := assignEq(line), strings.LastIndex(trimmed, ";"); eq >= 0 && eq < semi {
+		rhs := strings.TrimSpace(line[eq+1 : semi])
+		if !containsWord(rhs, lhs.Name) {
+			g.emit(m.Name, ca.Line,
+				line[:eq+1]+" ("+rhs+") ^ "+lhs.Name+";"+line[semi+1:],
+				"comb-loop", RuleCombLoop,
+				fmt.Sprintf("%q fed back into its own driver", lhs.Name))
+		}
+	}
+
+	// Width mutants need a width-transparent RHS so the rule's width
+	// computation is structural: a plain identifier or a bitwise
+	// combination of identifiers, all declared the same width as the LHS.
+	lw := decls[lhs.Name].msb
+	operands := bitwiseOperands(ca.RHS)
+	if lw < 1 || operands == nil {
+		return
+	}
+	sameWidth := true
+	for _, op := range operands {
+		if op == lhs.Name || decls[op].msb != lw {
+			sameWidth = false
+			break
+		}
+	}
+	if !sameWidth {
+		return
+	}
+	if nl, ok := rewriteDeclWidth(g.line(decls[lhs.Name].line), lhs.Name, lw, lw-1); ok {
+		g.emit(m.Name, decls[lhs.Name].line, nl, "width-narrow", RuleWidthTrunc,
+			fmt.Sprintf("target %q narrowed to %d bits", lhs.Name, lw))
+	}
+	src := operands[0]
+	if lw+2 <= 63 && inputsOnly(operands, decls) {
+		if nl, ok := rewriteDeclWidth(g.line(decls[src].line), src, lw, lw+1); ok {
+			g.emit(m.Name, decls[src].line, nl, "width-widen", RuleWidthTrunc,
+				fmt.Sprintf("source %q widened to %d bits", src, lw+2))
+		}
+	}
+}
+
+// inputsOnly reports whether decls knows every operand's line (the
+// widen mutant rewrites a declaration, so it must exist and be found).
+func inputsOnly(ops []string, decls map[string]declInfo) bool {
+	for _, op := range ops {
+		if decls[op].line == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bitwiseOperands returns the identifier operands of a width-transparent
+// RHS (an identifier, ~identifier, or a &/|/^ tree of identifiers), or
+// nil when the shape is anything else (arithmetic, selects, concats).
+func bitwiseOperands(ex verilog.Expr) []string {
+	switch n := ex.(type) {
+	case *verilog.Ident:
+		return []string{n.Name}
+	case *verilog.Unary:
+		if n.Op == "~" {
+			return bitwiseOperands(n.X)
+		}
+	case *verilog.Binary:
+		switch n.Op {
+		case "&", "|", "^":
+			a, b := bitwiseOperands(n.X), bitwiseOperands(n.Y)
+			if a != nil && b != nil {
+				return append(a, b...)
+			}
+		}
+	}
+	return nil
+}
+
+// containsWord reports whether name occurs in s as a whole identifier.
+func containsWord(s, name string) bool {
+	for idx := strings.Index(s, name); idx >= 0; {
+		end := idx + len(name)
+		if (idx == 0 || !isWordChar(s[idx-1])) && (end == len(s) || !isWordChar(s[end])) {
+			return true
+		}
+		next := strings.Index(s[idx+1:], name)
+		if next < 0 {
+			return false
+		}
+		idx += 1 + next
+	}
+	return false
+}
+
+// clockedAlways plants blocking-swap mutants: one nonblocking
+// assignment rewritten to blocking inside an edge-triggered block.
+func (g *mutgen) clockedAlways(m *verilog.Module, ab *verilog.AlwaysBlock) {
+	for _, a := range stmtAssigns(ab.Body) {
+		if !a.NonBlocking {
+			continue
+		}
+		line := g.line(a.Line)
+		if strings.Count(line, "<=") != 1 {
+			continue // a comparison shares the line: surgery would be ambiguous
+		}
+		g.emit(m.Name, a.Line, strings.Replace(line, "<=", "=", 1),
+			"blocking-swap", RuleBlockingSeq, "nonblocking assignment made blocking in clocked block")
+	}
+}
+
+// combAlways plants nonblocking-swap and drop-case-arm mutants inside a
+// combinational always block.
+func (g *mutgen) combAlways(m *verilog.Module, ab *verilog.AlwaysBlock, decls map[string]declInfo) {
+	for _, a := range stmtAssigns(ab.Body) {
+		if a.NonBlocking {
+			continue
+		}
+		line := g.line(a.Line)
+		eq := assignEq(line)
+		if eq < 0 || strings.Contains(line, "<=") {
+			continue
+		}
+		g.emit(m.Name, a.Line, line[:eq]+"<="+line[eq+1:],
+			"nonblocking-swap", RuleNBComb, "blocking assignment made nonblocking in combinational block")
+	}
+
+	// drop-case-arm: blank the default arm of a case whose explicit arms
+	// do not already cover the whole subject space — the uncovered paths
+	// then latch the target.
+	cs := firstCase(ab.Body)
+	if cs == nil {
+		return
+	}
+	var defAssign *verilog.Assign
+	hasDefault := false
+	labels := map[uint64]bool{}
+	covered := -1
+	if subj, ok := cs.Subject.(*verilog.Ident); ok {
+		if di, found := decls[subj.Name]; found {
+			if di.msb >= 0 && di.msb < 16 {
+				covered = 1 << uint(di.msb+1)
+			} else if di.msb == -1 {
+				covered = 2 // scalar subject
+			}
+		}
+	}
+	for _, it := range cs.Items {
+		if it.IsDefault {
+			hasDefault = true
+			defAssign, _ = it.Body.(*verilog.Assign)
+			continue
+		}
+		for _, e := range it.Exprs {
+			if n, ok := e.(*verilog.Number); ok && n.Val.IsFullyKnown() {
+				labels[n.Val.Uint()] = true
+			} else {
+				covered = -1 // non-constant label: coverage unknown, stay safe
+			}
+		}
+	}
+	// Only plant where the remaining arms provably under-cover the
+	// subject — otherwise the mutant would not latch and the detection
+	// gate would (rightly) count it as a miss.
+	if !hasDefault || defAssign == nil || covered <= 0 || len(labels) >= covered {
+		return
+	}
+	line := g.line(defAssign.Line)
+	idx := strings.Index(line, "default")
+	if idx < 0 {
+		return
+	}
+	detail := "default case arm emptied"
+	if lhs, ok := defAssign.LHS.(*verilog.Ident); ok {
+		detail = fmt.Sprintf("default case arm for %q emptied", lhs.Name)
+	}
+	g.emit(m.Name, defAssign.Line, line[:idx]+"default: ;", "drop-case-arm", RuleLatch, detail)
+}
+
+// firstCase returns the case statement if it is the block's first (or
+// only) statement — the shape where dropping the default provably
+// latches (no unconditional assignment precedes it).
+func firstCase(s verilog.Stmt) *verilog.CaseStmt {
+	switch n := s.(type) {
+	case *verilog.CaseStmt:
+		return n
+	case *verilog.Block:
+		if len(n.Stmts) > 0 {
+			if cs, ok := n.Stmts[0].(*verilog.CaseStmt); ok {
+				return cs
+			}
+		}
+	}
+	return nil
+}
+
+// stmtAssigns collects every statement-position assignment in a body
+// (for-loop init/step clauses excluded: blocking loop bookkeeping is
+// idiomatic even in clocked blocks).
+func stmtAssigns(s verilog.Stmt) []*verilog.Assign {
+	var out []*verilog.Assign
+	var walk func(verilog.Stmt)
+	walk = func(s verilog.Stmt) {
+		switch n := s.(type) {
+		case *verilog.Block:
+			for _, st := range n.Stmts {
+				walk(st)
+			}
+		case *verilog.Assign:
+			out = append(out, n)
+		case *verilog.IfStmt:
+			walk(n.Then)
+			walk(n.Else)
+		case *verilog.CaseStmt:
+			for _, it := range n.Items {
+				walk(it.Body)
+			}
+		case *verilog.ForStmt:
+			walk(n.Body)
+		case *verilog.WhileStmt:
+			walk(n.Body)
+		case *verilog.RepeatStmt:
+			walk(n.Body)
+		case *verilog.ForeverStmt:
+			walk(n.Body)
+		case *verilog.DelayStmt:
+			walk(n.Body)
+		case *verilog.EventStmt:
+			walk(n.Body)
+		}
+	}
+	walk(s)
+	return out
+}

@@ -108,6 +108,7 @@ func (h *Harness) Debug(ctx context.Context, candidate string, opts Options) (*R
 		// suite, beyond trace identity).
 		tbRes, err := simfarm.RunManyCtx(ctx, []simfarm.Job{{
 			DUT: candidate, TB: h.Problem.Testbench(), Top: "tb",
+			DUTTop: h.Problem.TopModule, Lint: true,
 			Opts: verilog.SimOptions{Seed: opts.RunSpec.Seed},
 		}}, 1)
 		if err != nil {
