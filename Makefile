@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet fmt-check lint-go test test-short test-race bench bench-engine bench-json bench-smoke serve-smoke ci
+.PHONY: all build vet fmt-check lint-go test test-short test-race bench bench-engine bench-json bench-smoke serve-smoke chaos-test chaos-smoke ci
 
 all: build
 
@@ -19,9 +19,10 @@ vet:
 
 # Repo-invariant lint (cmd/repolint): kernel hot paths stay free of fmt
 # formatting, wall-clock reads and stray goroutines; probe calls stay
-# nil-guarded.
+# nil-guarded; fault-injection hooks stay behind `!= nil` guards in every
+# layer that carries one (zero overhead when chaos is off).
 lint-go:
-	$(GO) run ./cmd/repolint ./internal/verilog
+	$(GO) run ./cmd/repolint ./internal/verilog ./internal/edaserver ./internal/simfarm ./eda
 
 # Fail when any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -46,7 +47,7 @@ test-short:
 # all cross goroutines), and the lint layer (its memo is shared by every
 # screened farm job).
 test-race:
-	$(GO) test -race -short ./eda ./internal/edaserver ./internal/verilog ./internal/simfarm ./internal/vlint ./internal/lintrepair ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/xdebug ./internal/gp ./internal/slt ./internal/hls
+	$(GO) test -race -short ./eda ./eda/client ./internal/edaserver ./internal/faultinject ./internal/verilog ./internal/simfarm ./internal/vlint ./internal/lintrepair ./internal/vrank ./internal/autochip ./internal/crosscheck ./internal/xdebug ./internal/gp ./internal/slt ./internal/hls
 
 # Regenerate every paper artifact at quick scale.
 bench:
@@ -124,4 +125,18 @@ serve-smoke:
 	  cat "$$tmp/serve.log" >&2; exit 1; }; \
 	echo "serve-smoke: ok (submit, stream, cached resubmit, clean drain)"
 
-ci: build vet fmt-check lint-go test-short test-race serve-smoke
+# Chaos acceptance: mixed realistic traffic against the seeded fault
+# plan (worker/pipeline panics, transient errors, wedged stages, slow
+# simulations, SSE disconnects, report-store write failures). Asserts
+# every job reaches a terminal state, the resilience counters account
+# for the injected faults, cached reports stay byte-consistent, and
+# shutdown restores the goroutine baseline.
+chaos-test:
+	$(GO) test -race -run TestChaosSurvival -v -timeout 300s ./internal/edaserver
+
+# The same storm at reduced scale with a fixed seed — a deterministic
+# few-second gate, part of `make ci`.
+chaos-smoke:
+	$(GO) test -run TestChaosSurvival -short -timeout 120s ./internal/edaserver
+
+ci: build vet fmt-check lint-go test-short test-race chaos-smoke serve-smoke

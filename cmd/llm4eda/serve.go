@@ -9,10 +9,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"llm4eda/internal/edaserver"
+	"llm4eda/internal/faultinject"
+	"llm4eda/internal/simfarm"
 )
 
 // cmdServe runs the EDA job service: the eda registry behind a queued,
@@ -26,11 +29,31 @@ func cmdServe(args []string) error {
 	queue := fs.Int("queue", 0, "queued-job bound before 429 backpressure (0 = default 64)")
 	reports := fs.Int("reports", 0, "content-addressed report-store entries (0 = default 256)")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
+	watchdog := fs.Duration("watchdog", 0, "per-job event-staleness window; a running job silent this long is cancelled as wedged (0 = off)")
+	faults := fs.String("faults", "", "chaos fault plan, inline JSON or @file (testing only; see internal/faultinject)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
+	}
+	var injector *faultinject.Injector
+	if *faults != "" {
+		raw := []byte(*faults)
+		if name, ok := strings.CutPrefix(*faults, "@"); ok {
+			b, err := os.ReadFile(name)
+			if err != nil {
+				return fmt.Errorf("serve: -faults: %w", err)
+			}
+			raw = b
+		}
+		plan, err := faultinject.ParsePlan(raw)
+		if err != nil {
+			return fmt.Errorf("serve: -faults: %w", err)
+		}
+		injector = faultinject.New(plan)
+		fmt.Printf("llm4eda serve: WARNING fault injection armed (%d faults, seed %d) — this server WILL misbehave on purpose\n",
+			len(plan.Faults), plan.Seed)
 	}
 
 	// Listen before spawning the worker pool: a bad address must not
@@ -43,7 +66,14 @@ func cmdServe(args []string) error {
 		Workers:    *workers,
 		QueueDepth: *queue,
 		ReportCap:  *reports,
+		Watchdog:   *watchdog,
+		Faults:     injector,
 	})
+	if injector != nil {
+		// eda.Run executes on the process-default farm, so the farm-layer
+		// fault point arms there too.
+		simfarm.Default().SetFaults(injector)
+	}
 	httpSrv := &http.Server{Handler: srv}
 	fmt.Printf("llm4eda serve: listening on http://%s (POST /v1/jobs, GET /v1/stats)\n", ln.Addr())
 

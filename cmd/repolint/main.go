@@ -22,7 +22,15 @@
 //     an `... .probe != nil` guard, keeping the zero-overhead-when-off
 //     contract (and nil safety) visible at each call site.
 //
-// Usage: repolint [pkgdir]   (default ./internal/verilog)
+// Rules (every linted directory):
+//
+//   - fault-guard: every call of a fault-injection hook (a method named
+//     Fire) must sit under an enclosing `... != nil` guard, so a
+//     production build with no injector configured pays a nil check and
+//     nothing else. The call's own `if err := x.Fire(...); err != nil`
+//     error check does not count — the guard must dominate the call.
+//
+// Usage: repolint [pkgdir ...]   (default ./internal/verilog)
 package main
 
 import (
@@ -73,10 +81,9 @@ func lintFile(fset *token.FileSet, f *ast.File, base string) []finding {
 	report := func(n ast.Node, format string, args ...any) {
 		out = append(out, finding{fset.Position(n.Pos()), fmt.Sprintf(format, args...)})
 	}
+	// The verilog-kernel rules are filename-scoped; the fault-guard rule
+	// applies to every linted file, so no early return on a cold file.
 	hot, kernel := hotFiles[base], kernelFiles[base]
-	if !hot && !kernel {
-		return nil
-	}
 
 	// stack tracks enclosing nodes so each check can see its function
 	// and its guards; ast.Inspect signals pop with nil.
@@ -103,6 +110,39 @@ func lintFile(fset *token.FileSet, f *ast.File, base string) []finding {
 				}
 				for _, side := range []ast.Expr{be.X, be.Y} {
 					if sel, ok := side.(*ast.SelectorExpr); ok && sel.Sel.Name == "probe" {
+						guarded = true
+					}
+				}
+				return true
+			})
+			if guarded {
+				return true
+			}
+		}
+		return false
+	}
+	// nilGuarded reports whether call sits inside the BODY of an IfStmt
+	// whose condition contains a `!= nil` comparison. An IfStmt whose
+	// init/cond region contains the call itself is skipped: the hook's
+	// own `if err := x.Fire(...); err != nil` error check must not
+	// satisfy the guard that is supposed to dominate the call.
+	nilGuarded := func(call ast.Node) bool {
+		for i := len(stack) - 1; i >= 0; i-- {
+			ifst, ok := stack[i].(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			if call.Pos() < ifst.Body.Pos() {
+				continue // the call is in this if's init or condition
+			}
+			guarded := false
+			ast.Inspect(ifst.Cond, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || be.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if id, ok := side.(*ast.Ident); ok && id.Name == "nil" {
 						guarded = true
 					}
 				}
@@ -144,11 +184,18 @@ func lintFile(fset *token.FileSet, f *ast.File, base string) []finding {
 			}
 		case *ast.CallExpr:
 			sel, ok := node.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "probe" {
+			if !ok {
 				return true
 			}
-			if kernel && !probeGuarded() {
-				report(node, "probe called without an enclosing `.probe != nil` guard in %s", base)
+			switch sel.Sel.Name {
+			case "probe":
+				if kernel && !probeGuarded() {
+					report(node, "probe called without an enclosing `.probe != nil` guard in %s", base)
+				}
+			case "Fire":
+				if !nilGuarded(node) {
+					report(node, "fault hook Fire called without a dominating `!= nil` guard in %s: injection must be zero-overhead when off", base)
+				}
 			}
 		}
 		return true
@@ -180,14 +227,18 @@ func lintDir(dir string) ([]finding, error) {
 }
 
 func main() {
-	dir := "./internal/verilog"
-	if len(os.Args) > 1 {
-		dir = os.Args[1]
+	dirs := os.Args[1:]
+	if len(dirs) == 0 {
+		dirs = []string{"./internal/verilog"}
 	}
-	findings, err := lintDir(dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
-		os.Exit(2)
+	var findings []finding
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
 	}
 	for _, f := range findings {
 		fmt.Printf("repolint: %s: %s\n", f.pos, f.msg)

@@ -82,3 +82,53 @@ func TestAllowlists(t *testing.T) {
 		})
 	}
 }
+
+// TestFaultGuardRule pins the repo-wide Fire-guard contract: the fault
+// hook call must sit under a dominating `!= nil` guard, and the hook's
+// own error check does not count as one. Unlike the kernel rules this
+// applies to every linted file.
+func TestFaultGuardRule(t *testing.T) {
+	cases := []struct {
+		name, src string
+		want      int
+	}{
+		{"guarded fire is clean",
+			"package p\nfunc f() {\n\tif in != nil {\n\t\tin.Fire(ctx, \"pt\")\n\t}\n}\n", 0},
+		{"guarded fire with inner error check is clean",
+			"package p\nfunc f() error {\n\tif s.faults != nil {\n\t\tif err := s.faults.Fire(ctx, \"pt\"); err != nil {\n\t\t\treturn err\n\t\t}\n\t}\n\treturn nil\n}\n", 0},
+		{"bare fire is flagged",
+			"package p\nfunc f() {\n\tin.Fire(ctx, \"pt\")\n}\n", 1},
+		{"own error check alone does not satisfy the guard",
+			"package p\nfunc f() error {\n\tif err := in.Fire(ctx, \"pt\"); err != nil {\n\t\treturn err\n\t}\n\treturn nil\n}\n", 1},
+		{"sibling nil guard does not leak in",
+			"package p\nfunc f() {\n\tif other != nil {\n\t\tuse(other)\n\t}\n\tin.Fire(ctx, \"pt\")\n}\n", 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// handlers.go: a service file, outside the kernel scope.
+			findings := lintSrc(t, "handlers.go", c.src)
+			if len(findings) != c.want {
+				t.Fatalf("findings = %+v, want %d", findings, c.want)
+			}
+			for _, f := range findings {
+				if !strings.Contains(f.msg, "Fire") {
+					t.Errorf("unexpected finding: %s", f.msg)
+				}
+			}
+		})
+	}
+}
+
+// TestServiceDirsAreClean runs the same multi-directory gate `make ci`
+// runs over the fault-hook call sites.
+func TestServiceDirsAreClean(t *testing.T) {
+	for _, dir := range []string{"../../internal/edaserver", "../../internal/simfarm", "../../eda"} {
+		findings, err := lintDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", f.pos, f.msg)
+		}
+	}
+}

@@ -52,6 +52,16 @@
 // jobs share one simulation farm. The CLI's -json flag prints the same
 // report wire format for one-shot runs.
 //
+// The service is hardened against its own failure modes: pipeline and
+// worker panics are isolated per job, a -watchdog window cancels wedged
+// jobs, transient failures retry with classified backoff at every layer
+// (candidate loops, HTTP client, SSE reconnect-with-resume), and the
+// whole stack is provable under chaos — internal/faultinject injects
+// deterministic seeded fault storms through nil-guarded hooks, and
+// `make chaos-test` asserts every job still terminates, caches stay
+// byte-consistent and no goroutine leaks. See DESIGN.md "Resilience and
+// fault injection".
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
 // bench_test.go regenerates every figure and in-text result; the same

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +38,9 @@ type Job struct {
 	Error  string `json:"error,omitempty"`
 	// Created is the server-side submission time (RFC 3339).
 	Created string `json:"created"`
+	// EventsDropped counts events evicted from the job's server-side
+	// replay ring before any subscriber (or resume) could see them.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 	// Report is the raw shared-wire-format report ((*eda.Report).JSON)
 	// once the job produced one; DecodeReport types it.
 	Report json.RawMessage `json:"report,omitempty"`
@@ -75,16 +80,24 @@ type FarmStats = simfarm.FarmStats
 
 // Stats mirrors the server's /v1/stats reply.
 type Stats struct {
-	Workers     int            `json:"workers"`
-	QueueDepth  int            `json:"queue_depth"`
-	Draining    bool           `json:"draining,omitempty"`
-	JobStates   map[string]int `json:"job_states"`
-	Submitted   uint64         `json:"submitted"`
-	Completed   uint64         `json:"completed"`
-	Failed      uint64         `json:"failed"`
-	Cancelled   uint64         `json:"cancelled"`
-	Rejected    uint64         `json:"rejected"`
-	ReportCache struct {
+	Workers    int            `json:"workers"`
+	QueueDepth int            `json:"queue_depth"`
+	Draining   bool           `json:"draining,omitempty"`
+	JobStates  map[string]int `json:"job_states"`
+	Submitted  uint64         `json:"submitted"`
+	Completed  uint64         `json:"completed"`
+	Failed     uint64         `json:"failed"`
+	Cancelled  uint64         `json:"cancelled"`
+	Rejected   uint64         `json:"rejected"`
+	// Resilience counters: recovered pipeline panics, watchdog-cancelled
+	// wedged jobs, absorbed transient retries, failed report-store writes,
+	// and replay-ring evictions summed over retained jobs.
+	Panics        uint64 `json:"panics,omitempty"`
+	WatchdogKills uint64 `json:"watchdog_kills,omitempty"`
+	Retries       uint64 `json:"retries,omitempty"`
+	StoreFails    uint64 `json:"store_fails,omitempty"`
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	ReportCache   struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 		Len    int    `json:"len"`
@@ -95,8 +108,9 @@ type Stats struct {
 // APIError is a non-2xx server reply.
 type APIError struct {
 	StatusCode int
-	// RetryAfter is the parsed Retry-After hint on 429 replies (zero
-	// otherwise).
+	// RetryAfter is the server's backoff hint on 429/503 replies: the
+	// parsed Retry-After header (delta-seconds or HTTP-date), or a small
+	// default when the server sent none. Zero on other status codes.
 	RetryAfter time.Duration
 	Message    string
 }
@@ -113,9 +127,12 @@ func IsQueueFull(err error) bool {
 
 // Client talks to one server.
 type Client struct {
-	base string
-	hc   *http.Client
-	poll time.Duration
+	base       string
+	hc         *http.Client
+	poll       time.Duration
+	retries    int           // non-stream requests: extra attempts on 429/503
+	backoff    time.Duration // first retry's backoff (doubles, capped, jittered)
+	sseRetries int           // Events: reconnect attempts after a broken stream
 }
 
 // Option adjusts a Client.
@@ -133,12 +150,46 @@ func WithPollInterval(d time.Duration) Option {
 	return func(c *Client) { c.poll = d }
 }
 
+// WithRetry sets how many times a non-stream request is retried after a
+// retryable reply (429 queue-full, 503 draining) and the first retry's
+// backoff. The wait honors the server's Retry-After hint when it gives
+// one, otherwise doubles from base (capped at maxRetryBackoff) with
+// jitter. WithRetry(0, 0) disables retries — tests asserting on raw
+// backpressure replies want that. Defaults: 3 retries, 50ms base.
+func WithRetry(max int, base time.Duration) Option {
+	return func(c *Client) {
+		if max < 0 {
+			max = 0
+		}
+		c.retries = max
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// WithSSEReconnect sets how many times Events re-dials a broken event
+// stream (transport error or truncation before the terminal end frame),
+// resuming past the last-seen event via Last-Event-ID. 0 disables
+// reconnection. Default: 3.
+func WithSSEReconnect(max int) Option {
+	return func(c *Client) {
+		if max < 0 {
+			max = 0
+		}
+		c.sseRetries = max
+	}
+}
+
 // New builds a client for the server at base (e.g. "http://host:8372").
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{},
-		poll: 50 * time.Millisecond,
+		base:       strings.TrimRight(base, "/"),
+		hc:         &http.Client{},
+		poll:       50 * time.Millisecond,
+		retries:    3,
+		backoff:    50 * time.Millisecond,
+		sseRetries: 3,
 	}
 	for _, o := range opts {
 		o(c)
@@ -146,8 +197,44 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// maxRetryBackoff caps the doubling retry backoff.
+const maxRetryBackoff = 2 * time.Second
+
+// defaultRetryAfterHint stands in for a missing or unparseable
+// Retry-After header on a 429/503 reply: back off a little instead of
+// hammering an overloaded server with zero delay.
+const defaultRetryAfterHint = 250 * time.Millisecond
+
+// do issues one request, retrying retryable server replies (429/503) up
+// to c.retries times. The body is kept as bytes so every attempt
+// resends it from the start.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil || attempt >= c.retries || !retryableReply(err) || ctx.Err() != nil {
+			return err
+		}
+		wait := backoff
+		var ae *APIError
+		if errors.As(err, &ae) && ae.RetryAfter > 0 {
+			wait = ae.RetryAfter
+		}
+		if err := sleepCtx(ctx, jitter(wait)); err != nil {
+			return err
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -168,13 +255,45 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// retryableReply reports whether err is a server reply worth retrying:
+// 429 (queue full) and 503 (draining) are load conditions that clear;
+// everything else — 4xx misuse, transport failures — is not retried
+// here (transport-level resilience belongs to the caller's *http.Client).
+func retryableReply(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.StatusCode == http.StatusTooManyRequests ||
+		ae.StatusCode == http.StatusServiceUnavailable
+}
+
+// jitter spreads a wait by up to +25% so synchronized clients desync.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 func decodeError(resp *http.Response) error {
-	ae := &APIError{StatusCode: resp.StatusCode}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		var secs int
-		if _, err := fmt.Sscanf(ra, "%d", &secs); err == nil {
-			ae.RetryAfter = time.Duration(secs) * time.Second
-		}
+	ae := &APIError{
+		StatusCode: resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp),
 	}
 	var body struct {
 		Error string `json:"error"`
@@ -187,16 +306,44 @@ func decodeError(resp *http.Response) error {
 	return ae
 }
 
+// parseRetryAfter reads the reply's Retry-After header in both RFC 9110
+// forms — delta-seconds and HTTP-date — clamping negatives (a date in
+// the past, a bogus delta) to zero. A 429/503 without a usable header
+// still yields defaultRetryAfterHint, never zero: "retry immediately"
+// is the one hint an overloaded server cannot mean.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	throttled := resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable
+	if ra := strings.TrimSpace(resp.Header.Get("Retry-After")); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			if secs > 0 {
+				return time.Duration(secs) * time.Second
+			}
+		} else if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				return d
+			}
+		}
+		// Parsed to "now or past", or unparseable: fall through to the
+		// status-code default.
+	}
+	if throttled {
+		return defaultRetryAfterHint
+	}
+	return 0
+}
+
 // Submit validates and enqueues spec on the server, returning the queued
-// (or, for a report-cache hit, already completed) job. Backpressure
-// surfaces as an *APIError with StatusCode 429 — see IsQueueFull.
+// (or, for a report-cache hit, already completed) job. Backpressure is
+// retried per WithRetry; once the budget is exhausted it surfaces as an
+// *APIError with StatusCode 429 — see IsQueueFull.
 func (c *Client) Submit(ctx context.Context, spec eda.Spec) (*Job, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding spec: %w", err)
 	}
 	var job Job
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", bytes.NewReader(b), &job); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", b, &job); err != nil {
 		return nil, err
 	}
 	return &job, nil
@@ -251,16 +398,58 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	return &st, nil
 }
 
+// errBadFrame marks a malformed SSE event frame — a protocol error, not
+// a transport flake, so Events does not reconnect over it.
+var errBadFrame = errors.New("client: bad event frame")
+
 // Events streams the job's events into sink until the server's terminal
-// "end" frame (returning the job's final status), the stream ends, or ctx
-// is cancelled. A late subscriber replays the job's retained history
-// first, so Events after completion still yields the full stream.
+// "end" frame (returning the job's final status), the stream fails for
+// good, or ctx is cancelled. A late subscriber replays the job's
+// retained history first, so Events after completion still yields the
+// full stream.
+//
+// A stream broken before the end frame — transport reset, truncation, a
+// proxy dropping the connection — is re-dialed up to WithSSEReconnect
+// times, resuming just past the last event seen by sending its sequence
+// number as Last-Event-ID. The server replays from there and any frames
+// it resends anyway (seq at or below the last seen) are dropped here,
+// so the sink observes each event exactly once across reconnects.
+// Non-2xx replies and malformed frames are not reconnected over.
 func (c *Client) Events(ctx context.Context, id string, sink eda.Sink) (*Job, error) {
+	var lastSeq uint64
+	backoff := c.backoff
+	for attempt := 0; ; attempt++ {
+		final, err := c.eventsOnce(ctx, id, sink, &lastSeq)
+		if err == nil {
+			return final, nil
+		}
+		var ae *APIError
+		if errors.As(err, &ae) || errors.Is(err, errBadFrame) ||
+			ctx.Err() != nil || attempt >= c.sseRetries {
+			return nil, err
+		}
+		if serr := sleepCtx(ctx, jitter(backoff)); serr != nil {
+			return nil, err
+		}
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
+// eventsOnce runs one SSE connection. *lastSeq carries resume state
+// across attempts: it is sent as Last-Event-ID when non-zero, advanced
+// as "id:" lines arrive, and any event frame whose sequence number is
+// at or below it is a replay duplicate and skipped.
+func (c *Client) eventsOnce(ctx context.Context, id string, sink eda.Sink, lastSeq *uint64) (*Job, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(*lastSeq, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -271,10 +460,11 @@ func (c *Client) Events(ctx context.Context, id string, sink eda.Sink) (*Job, er
 	}
 
 	var name string
+	var seq uint64
 	var data bytes.Buffer
 	var final *Job
 	dispatch := func() error {
-		defer func() { name = ""; data.Reset() }()
+		defer func() { name = ""; seq = 0; data.Reset() }()
 		if data.Len() == 0 {
 			return nil
 		}
@@ -282,9 +472,15 @@ func (c *Client) Events(ctx context.Context, id string, sink eda.Sink) (*Job, er
 			final = &Job{}
 			return json.Unmarshal(data.Bytes(), final)
 		}
+		if seq > 0 {
+			if seq <= *lastSeq {
+				return nil // replayed duplicate from a resume
+			}
+			*lastSeq = seq
+		}
 		var ev eda.Event
 		if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
-			return fmt.Errorf("client: bad event frame: %w", err)
+			return fmt.Errorf("%w: %v", errBadFrame, err)
 		}
 		if sink != nil {
 			sink.Emit(ev)
@@ -303,6 +499,8 @@ func (c *Client) Events(ctx context.Context, id string, sink eda.Sink) (*Job, er
 			if final != nil {
 				return final, nil
 			}
+		case strings.HasPrefix(line, "id:"):
+			seq, _ = strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, "id:")), 10, 64)
 		case strings.HasPrefix(line, "event:"):
 			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
 		case strings.HasPrefix(line, "data:"):

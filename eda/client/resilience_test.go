@@ -1,0 +1,221 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"llm4eda/eda"
+	"llm4eda/internal/testutil"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	resp := func(code int, header string) *http.Response {
+		r := &http.Response{StatusCode: code, Header: http.Header{}}
+		if header != "" {
+			r.Header.Set("Retry-After", header)
+		}
+		return r
+	}
+	futureDate := time.Now().Add(30 * time.Second).UTC().Format(http.TimeFormat)
+	pastDate := time.Now().Add(-30 * time.Second).UTC().Format(http.TimeFormat)
+
+	t.Run("delta seconds", func(t *testing.T) {
+		if got := parseRetryAfter(resp(429, "2")); got != 2*time.Second {
+			t.Errorf("delta-seconds 2 = %v", got)
+		}
+	})
+	t.Run("http date", func(t *testing.T) {
+		got := parseRetryAfter(resp(429, futureDate))
+		if got <= 25*time.Second || got > 31*time.Second {
+			t.Errorf("HTTP-date +30s = %v", got)
+		}
+	})
+	t.Run("past date clamps to default hint", func(t *testing.T) {
+		if got := parseRetryAfter(resp(429, pastDate)); got != defaultRetryAfterHint {
+			t.Errorf("past HTTP-date = %v, want default hint", got)
+		}
+	})
+	t.Run("missing header on 429 defaults", func(t *testing.T) {
+		if got := parseRetryAfter(resp(429, "")); got != defaultRetryAfterHint {
+			t.Errorf("missing header = %v, want %v", got, defaultRetryAfterHint)
+		}
+	})
+	t.Run("garbage on 503 defaults", func(t *testing.T) {
+		if got := parseRetryAfter(resp(503, "soon-ish")); got != defaultRetryAfterHint {
+			t.Errorf("garbage header = %v, want %v", got, defaultRetryAfterHint)
+		}
+	})
+	t.Run("zero delta means default hint, not hammering", func(t *testing.T) {
+		if got := parseRetryAfter(resp(429, "0")); got != defaultRetryAfterHint {
+			t.Errorf("zero delta = %v, want default hint", got)
+		}
+	})
+	t.Run("other status codes stay zero", func(t *testing.T) {
+		if got := parseRetryAfter(resp(400, "")); got != 0 {
+			t.Errorf("400 = %v, want 0", got)
+		}
+	})
+}
+
+// TestSubmitRetriesBackpressure: a 429 reply is retried with the full
+// body resent, and the retry succeeds once the queue drains.
+func TestSubmitRetriesBackpressure(t *testing.T) {
+	defer testutil.GoroutineGuard(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if r.ContentLength <= 0 {
+			t.Errorf("attempt %d arrived without a body", n)
+		}
+		if n <= 2 {
+			w.Header().Set("Retry-After", "0") // parses to the default hint
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"job queue full, retry later"}`)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprint(w, `{"id":"j1","state":"queued","created":"2026-01-01T00:00:00.000Z"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(3, time.Millisecond))
+	job, err := c.Submit(context.Background(), eda.Spec{Framework: "vrank", Problem: "mux4"})
+	if err != nil {
+		t.Fatalf("Submit after two 429s: %v", err)
+	}
+	if job.ID != "j1" || calls.Load() != 3 {
+		t.Errorf("job=%+v calls=%d, want j1 after 3 attempts", job, calls.Load())
+	}
+}
+
+// TestSubmitRetryBudgetExhausted: with retries disabled the first 429
+// surfaces unchanged (the contract backpressure tests rely on), and the
+// hint is never zero.
+func TestSubmitRetryBudgetExhausted(t *testing.T) {
+	defer testutil.GoroutineGuard(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"job queue full, retry later"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(0, 0))
+	_, err := c.Submit(context.Background(), eda.Spec{Framework: "vrank", Problem: "mux4"})
+	if !IsQueueFull(err) {
+		t.Fatalf("err = %v, want queue-full APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want exactly 1 with retries disabled", calls.Load())
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		t.Errorf("RetryAfter hint = %v, want > 0", ae.RetryAfter)
+	}
+}
+
+// TestEventsReconnectResumes: the server drops the stream mid-job; the
+// client re-dials with Last-Event-ID, the server replays an overlapping
+// frame, and the sink still sees each event exactly once.
+func TestEventsReconnectResumes(t *testing.T) {
+	defer testutil.GoroutineGuard(t)
+	frame := func(seq int, detail string) string {
+		return fmt.Sprintf("id: %d\nevent: note\ndata: {\"kind\":\"note\",\"detail\":%q}\n\n", seq, detail)
+	}
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch conns.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Error("first connection sent a Last-Event-ID")
+			}
+			// Two events, then the connection dies without an end frame.
+			fmt.Fprint(w, frame(1, "one")+frame(2, "two"))
+		default:
+			if got := r.Header.Get("Last-Event-ID"); got != "2" {
+				t.Errorf("resume sent Last-Event-ID %q, want \"2\"", got)
+			}
+			// Replay overlaps by one frame — the client must dedup seq 2.
+			fmt.Fprint(w, frame(2, "two")+frame(3, "three"))
+			fmt.Fprint(w, "event: end\ndata: {\"id\":\"j9\",\"state\":\"done\",\"events_dropped\":1}\n\n")
+		}
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var got []string
+	final, err := New(ts.URL, WithRetry(0, time.Millisecond), WithSSEReconnect(2)).
+		Events(context.Background(), "j9",
+			eda.SinkFunc(func(ev eda.Event) {
+				mu.Lock()
+				got = append(got, ev.Detail)
+				mu.Unlock()
+			}))
+	if err != nil {
+		t.Fatalf("Events across a dropped stream: %v", err)
+	}
+	if final.State != "done" || final.EventsDropped != 1 {
+		t.Errorf("final = %+v, want done with events_dropped 1", final)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 || got[0] != "one" || got[1] != "two" || got[2] != "three" {
+		t.Errorf("events = %q, want exactly one/two/three", got)
+	}
+	if conns.Load() != 2 {
+		t.Errorf("connections = %d, want 2", conns.Load())
+	}
+}
+
+// TestEventsNoReconnectOnAPIError: a 404 is a caller mistake, not a
+// broken stream — one attempt only.
+func TestEventsNoReconnectOnAPIError(t *testing.T) {
+	defer testutil.GoroutineGuard(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"unknown job"}`)
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithSSEReconnect(3)).Events(context.Background(), "nope", nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 (no reconnect on API errors)", calls.Load())
+	}
+}
+
+// TestEventsReconnectBudgetExhausted: a stream that always truncates
+// eventually surfaces the truncation error.
+func TestEventsReconnectBudgetExhausted(t *testing.T) {
+	defer testutil.GoroutineGuard(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "id: 1\nevent: note\ndata: {\"kind\":\"note\"}\n\n")
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL, WithRetry(0, time.Millisecond), WithSSEReconnect(2)).
+		Events(context.Background(), "j1", nil)
+	if err == nil {
+		t.Fatal("expected truncation error after exhausting reconnects")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 1 + 2 reconnects", calls.Load())
+	}
+}

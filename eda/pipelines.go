@@ -241,9 +241,14 @@ func runAutochip(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	problems := problemSweep(spec, suiteIDs())
 	var results []*autochip.Result
-	solved, candidates, tokensOut := 0, 0, 0
+	solved, candidates, tokensOut, retries := 0, 0, 0, 0
 	for _, p := range problems {
-		res, err := autochip.Run(ctx, p, opts)
+		var res *autochip.Result
+		err := runProblem(ctx, "autochip", p.ID, &retries, func() error {
+			var rerr error
+			res, rerr = autochip.Run(ctx, p, opts)
+			return rerr
+		})
 		if res != nil {
 			results = append(results, res)
 			candidates += res.TotalCandidates
@@ -253,10 +258,14 @@ func runAutochip(ctx context.Context, spec Spec) (*Report, error) {
 			}
 		}
 		if err != nil {
-			return autochipReport(results, solved, candidates, tokensOut, len(problems)), err
+			rep := autochipReport(results, solved, candidates, tokensOut, len(problems))
+			setRetryMetric(rep, retries)
+			return rep, err
 		}
 	}
-	return autochipReport(results, solved, candidates, tokensOut, len(problems)), nil
+	rep := autochipReport(results, solved, candidates, tokensOut, len(problems))
+	setRetryMetric(rep, retries)
+	return rep, nil
 }
 
 func autochipReport(results []*autochip.Result, solved, candidates, tokensOut, total int) *Report {
@@ -282,9 +291,14 @@ func runVRank(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	problems := problemSweep(spec, []string{"alu8", "mux4", "enc8to3", "barrel8", "satadd8", "popcount8"})
 	var results []*vrank.Result
-	chosen, first, oracle := 0, 0, 0
+	chosen, first, oracle, retries := 0, 0, 0, 0
 	for _, p := range problems {
-		res, err := vrank.Rank(ctx, p, opts)
+		var res *vrank.Result
+		err := runProblem(ctx, "vrank", p.ID, &retries, func() error {
+			var rerr error
+			res, rerr = vrank.Rank(ctx, p, opts)
+			return rerr
+		})
 		if res != nil {
 			results = append(results, res)
 			if res.ChosenPasses {
@@ -298,10 +312,14 @@ func runVRank(ctx context.Context, spec Spec) (*Report, error) {
 			}
 		}
 		if err != nil {
-			return vrankReport(results, chosen, first, oracle, len(problems)), err
+			rep := vrankReport(results, chosen, first, oracle, len(problems))
+			setRetryMetric(rep, retries)
+			return rep, err
 		}
 	}
-	return vrankReport(results, chosen, first, oracle, len(problems)), nil
+	rep := vrankReport(results, chosen, first, oracle, len(problems))
+	setRetryMetric(rep, retries)
+	return rep, nil
 }
 
 func vrankReport(results []*vrank.Result, chosen, first, oracle, total int) *Report {
@@ -333,7 +351,7 @@ func runCrosscheck(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	nVectors := int(spec.Param("vectors", 32))
 	var results []*crosscheck.Result
-	clean := 0
+	clean, retries := 0, 0
 	report := func() *Report {
 		rep := &Report{Detail: results}
 		rep.Metric("clean", float64(clean))
@@ -342,14 +360,20 @@ func runCrosscheck(ctx context.Context, spec Spec) (*Report, error) {
 		rep.OK = clean == len(problems)
 		rep.Summary = fmt.Sprintf("%d/%d reference designs cross-level clean over %d vectors",
 			clean, len(problems), nVectors)
+		setRetryMetric(rep, retries)
 		return rep
 	}
 	for _, p := range problems {
-		cm, err := crosscheck.GenerateModel(model, p)
-		if err != nil {
-			return report(), fmt.Errorf("%s: %w", p.ID, err)
-		}
-		res, err := crosscheck.Validate(ctx, p.Reference, p, cm, nVectors)
+		var res *crosscheck.Result
+		err := runProblem(ctx, "crosscheck", p.ID, &retries, func() error {
+			cm, gerr := crosscheck.GenerateModel(model, p)
+			if gerr != nil {
+				return gerr
+			}
+			var rerr error
+			res, rerr = crosscheck.Validate(ctx, p.Reference, p, cm, nVectors)
+			return rerr
+		})
 		if err != nil {
 			// Partial report travels with the error (cancellation contract).
 			return report(), fmt.Errorf("%s: %w", p.ID, err)
@@ -411,7 +435,7 @@ func runXDebug(ctx context.Context, spec Spec) (*Report, error) {
 	}
 	mutant := int(spec.Param("mutant", 1))
 	var results []*xdebug.Result
-	converged, localized, injectedHit, rounds := 0, 0, 0, 0
+	converged, localized, injectedHit, rounds, retries := 0, 0, 0, 0, 0
 	report := func() *Report {
 		rep := &Report{Detail: results}
 		rep.Metric("converged", float64(converged))
@@ -422,11 +446,17 @@ func runXDebug(ctx context.Context, spec Spec) (*Report, error) {
 		rep.OK = converged == len(problems)
 		rep.Summary = fmt.Sprintf("repaired %d/%d designs to trace-identical RTL in %d rounds (localized %d, injected-fault hits %d)",
 			converged, len(problems), rounds, localized, injectedHit)
+		setRetryMetric(rep, retries)
 		return rep
 	}
 	for _, p := range problems {
 		cand, inj := xdebugCandidate(p, model, spec.Run.Seed, mutant)
-		res, err := xdebug.Debug(ctx, p, cand, opts)
+		var res *xdebug.Result
+		err := runProblem(ctx, "xdebug", p.ID, &retries, func() error {
+			var rerr error
+			res, rerr = xdebug.Debug(ctx, p, cand, opts)
+			return rerr
+		})
 		if res != nil {
 			results = append(results, res)
 			rounds += len(res.Rounds)
@@ -495,7 +525,7 @@ func runLint(ctx context.Context, spec Spec) (*Report, error) {
 	mutant := int(spec.Param("mutant", 1))
 	problems := problemSweep(spec, suiteIDs())
 	var results []*lintrepair.Result
-	detected, converged, injected, rejects, rounds := 0, 0, 0, 0, 0
+	detected, converged, injected, rejects, rounds, retries := 0, 0, 0, 0, 0, 0
 	report := func() *Report {
 		rep := &Report{Detail: results}
 		rep.Metric("detected", float64(detected))
@@ -507,11 +537,17 @@ func runLint(ctx context.Context, spec Spec) (*Report, error) {
 		rep.OK = converged == len(problems) && detected == injected
 		rep.Summary = fmt.Sprintf("screen caught %d/%d injected lint faults pre-simulation; repaired %d/%d designs in %d rounds (%d rejects)",
 			detected, injected, converged, len(problems), rounds, rejects)
+		setRetryMetric(rep, retries)
 		return rep
 	}
 	for _, p := range problems {
 		cand, class := lintCandidate(p, model, spec.Run.Seed, mutant)
-		res, err := lintrepair.Run(ctx, p, cand, opts)
+		var res *lintrepair.Result
+		err := runProblem(ctx, "lint", p.ID, &retries, func() error {
+			var rerr error
+			res, rerr = lintrepair.Run(ctx, p, cand, opts)
+			return rerr
+		})
 		if res != nil {
 			results = append(results, res)
 			rounds += len(res.Rounds)
@@ -567,7 +603,7 @@ func runRepair(ctx context.Context, spec Spec) (*Report, error) {
 		}
 	}
 	var results []*repair.Outcome
-	repaired, iters := 0, 0
+	repaired, iters, retries := 0, 0, 0
 	report := func() *Report {
 		rep := &Report{Detail: results}
 		rep.Metric("repaired", float64(repaired))
@@ -575,10 +611,16 @@ func runRepair(ctx context.Context, spec Spec) (*Report, error) {
 		rep.Metric("iterations", float64(iters))
 		rep.OK = repaired == len(jobs)
 		rep.Summary = fmt.Sprintf("repaired %d/%d kernels (rag=%v)", repaired, len(jobs), cfg.Library != nil)
+		setRetryMetric(rep, retries)
 		return rep
 	}
 	for _, j := range jobs {
-		out, err := fw.Repair(ctx, j.source, j.kernel, j.vectors)
+		var out *repair.Outcome
+		err := runProblem(ctx, "repair", j.id, &retries, func() error {
+			var rerr error
+			out, rerr = fw.Repair(ctx, j.source, j.kernel, j.vectors)
+			return rerr
+		})
 		if out != nil {
 			results = append(results, out)
 			iters += out.Iterations

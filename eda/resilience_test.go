@@ -1,0 +1,95 @@
+package eda_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"llm4eda/eda"
+	"llm4eda/internal/core"
+	"llm4eda/internal/faultinject"
+)
+
+func retrySpec(seed uint64) eda.Spec {
+	return eda.Spec{
+		Framework: "vrank",
+		Problem:   "mux4",
+		Run:       core.RunSpec{Seed: seed},
+		Params:    map[string]float64{"k": 2},
+	}
+}
+
+// TestTransientRetryAbsorbsFlake: one injected transient failure in the
+// candidate loop costs one retry (counted in the report metric and
+// narrated as a note event), not a failed report.
+func TestTransientRetryAbsorbsFlake(t *testing.T) {
+	in := faultinject.New(faultinject.Plan{Faults: []faultinject.Fault{
+		{Point: faultinject.PointEDAProblem, Kind: faultinject.KindError, Every: 1, Max: 1},
+	}})
+	ctx := faultinject.With(context.Background(), in)
+
+	var mu sync.Mutex
+	var notes []string
+	sink := core.SinkFunc(func(ev core.Event) {
+		if ev.Kind == core.EventNote {
+			mu.Lock()
+			notes = append(notes, ev.Detail)
+			mu.Unlock()
+		}
+	})
+	rep, err := eda.Run(ctx, retrySpec(3), eda.WithSink(sink))
+	if err != nil {
+		t.Fatalf("Run after one transient flake: %v", err)
+	}
+	if got := rep.Metrics[eda.MetricTransientRetries]; got != 1 {
+		t.Fatalf("transient_retries metric = %v, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "transient failure, retry") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no retry note event emitted; notes: %q", notes)
+	}
+}
+
+// TestTransientRetryBudgetExhausted: a fault that keeps firing exhausts
+// the per-problem budget and surfaces the transient error with a
+// partial report carrying the retry count.
+func TestTransientRetryBudgetExhausted(t *testing.T) {
+	in := faultinject.New(faultinject.Plan{Faults: []faultinject.Fault{
+		{Point: faultinject.PointEDAProblem, Kind: faultinject.KindError, Every: 1},
+	}})
+	ctx := faultinject.With(context.Background(), in)
+
+	rep, err := eda.Run(ctx, retrySpec(4))
+	if err == nil {
+		t.Fatal("Run succeeded under a permanently-firing fault")
+	}
+	if !core.IsTransient(err) {
+		t.Fatalf("surfaced error %v is not the transient classification", err)
+	}
+	if rep == nil {
+		t.Fatal("no partial report with the surfaced error")
+	}
+	if got := rep.Metrics[eda.MetricTransientRetries]; got != 2 {
+		t.Fatalf("transient_retries metric = %v, want the full budget of 2", got)
+	}
+}
+
+// TestNoRetryMetricWhenClean: a clean run must not grow a zero-valued
+// retry metric (golden renderings depend on the metric set).
+func TestNoRetryMetricWhenClean(t *testing.T) {
+	rep, err := eda.Run(context.Background(), retrySpec(5))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, ok := rep.Metrics[eda.MetricTransientRetries]; ok {
+		t.Fatal("clean run grew a transient_retries metric")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PanicError is a recovered panic converted into an ordinary error:
+// the serving layers (edaserver's job runner, simfarm's workers)
+// recover so one bad candidate cannot take down the process, and wrap
+// what they caught in a PanicError so the panic value and stack still
+// reach the terminal report instead of vanishing.
+type PanicError struct {
+	// Val is the value the panic carried.
+	Val any
+	// Stack is the recovering goroutine's stack (runtime/debug.Stack),
+	// possibly truncated by the layer that caught it.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Val)
+}
+
+// IsTransient reports whether err classifies itself as transient — a
+// failure worth one cheap retry (an injected flake, a momentarily
+// overloaded substrate) rather than a property of the candidate or the
+// spec. The classification contract is structural: any error in the
+// chain exposing `Transient() bool` decides. Panics, validation
+// failures and cancellations never classify as transient.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

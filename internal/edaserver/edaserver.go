@@ -34,11 +34,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"llm4eda/eda"
+	"llm4eda/internal/core"
+	"llm4eda/internal/faultinject"
 	"llm4eda/internal/simfarm"
 )
 
@@ -65,6 +68,17 @@ type Options struct {
 	// Farm is the shared simulation-cache farm surfaced by /v1/stats
 	// (default simfarm.Default(), the same farm eda.Run executes on).
 	Farm *simfarm.Farm
+	// Watchdog, when positive, arms a per-job staleness watchdog: a
+	// running job that emits no event for longer than this window is
+	// declared wedged and cancelled, finishing failed with a *WedgeError
+	// detail. 0 disables (the default — pipelines may legitimately go
+	// quiet for long stretches at full experiment scale).
+	Watchdog time.Duration
+	// Faults is the chaos-test injector, fired at the server.job,
+	// server.sse and server.store hook points and carried into each
+	// job's context for the layers below. Nil in production: every hook
+	// is a nil check and nothing else.
+	Faults *faultinject.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +142,16 @@ type Server struct {
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
 	rejected  atomic.Uint64
+
+	// Resilience counters (all surfaced by /v1/stats): pipeline panics
+	// recovered into failed jobs, watchdog kills of wedged jobs,
+	// transient-failure retries harvested from completed reports, and
+	// report-store writes that failed (injected — the in-memory store
+	// itself cannot fail, but the hook models a remote store tier).
+	panics        atomic.Uint64
+	watchdogKills atomic.Uint64
+	retries       atomic.Uint64
+	storeFails    atomic.Uint64
 }
 
 // New builds a server and starts its worker pool.
@@ -281,11 +305,21 @@ func (s *Server) runJob(jb *job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	ctx = faultinject.With(ctx, s.opts.Faults)
 	jb.cancel = cancel
 	jb.state = stateRunning
 	jb.mu.Unlock()
 
-	report, err := eda.Run(ctx, jb.spec, eda.WithRegistry(s.opts.Registry), eda.WithSink(jb.events))
+	var wdStop chan struct{}
+	if s.opts.Watchdog > 0 {
+		jb.events.touch() // the staleness clock starts at job start
+		wdStop = make(chan struct{})
+		go s.watchdog(jb, cancel, wdStop)
+	}
+	report, err := s.runPipeline(ctx, jb)
+	if wdStop != nil {
+		close(wdStop)
+	}
 	cancel()
 
 	var reportJSON []byte
@@ -297,14 +331,34 @@ func (s *Server) runJob(jb *job) {
 		} else if err == nil {
 			err = fmt.Errorf("edaserver: report encoding failed: %w", jerr)
 		}
+		// Transient failures the candidate loops absorbed surface as a
+		// report metric; fold them into the server-wide counter.
+		if n, ok := report.Metrics[eda.MetricTransientRetries]; ok && n > 0 {
+			s.retries.Add(uint64(n))
+		}
 	}
 	jb.mu.Lock()
+	wedged, wedgeIdle, userCancel := jb.wedged, jb.wedgeIdle, jb.userCancel
 	switch {
 	case err == nil && reportJSON != nil:
 		jb.finishLocked(stateDone, reportJSON, false, "")
 		jb.mu.Unlock()
-		s.store.add(jb.key, &reportEntry{json: reportJSON, ok: reportOK, summary: report.Summary})
+		s.storeReport(jb.key, &reportEntry{json: reportJSON, ok: reportOK, summary: report.Summary})
 		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) && userCancel:
+		// The client's DELETE wins even when the watchdog raced it.
+		jb.finishLocked(stateCancelled, reportJSON, false, err.Error())
+		jb.mu.Unlock()
+		s.cancelled.Add(1)
+	case wedged && err != nil:
+		// The watchdog cancelled a stalled run: terminally failed, with
+		// the structured staleness detail, not "cancelled" — nobody asked
+		// for this job to stop, it stopped responding.
+		werr := &WedgeError{Idle: wedgeIdle, Window: s.opts.Watchdog}
+		jb.finishLocked(stateFailed, reportJSON, false, werr.Error())
+		jb.mu.Unlock()
+		s.failed.Add(1)
+		s.watchdogKills.Add(1)
 	case errors.Is(err, context.Canceled):
 		// Client DELETE or forced shutdown; a partial report still
 		// travels with the terminal status when the pipeline made one.
@@ -321,6 +375,97 @@ func (s *Server) runJob(jb *job) {
 		s.failed.Add(1)
 	}
 	jb.events.close()
+}
+
+// runPipeline executes the job's spec with panic isolation: a panic
+// anywhere in the pipeline stack — a kernel bug on a pathological
+// candidate, or the injected fault standing in for one — is recovered
+// into a *core.PanicError carrying the (truncated) stack, so one bad
+// job costs one failed report, never the process.
+func (s *Server) runPipeline(ctx context.Context, jb *job) (report *eda.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			stack := debug.Stack()
+			if len(stack) > maxPanicStack {
+				stack = stack[:maxPanicStack]
+			}
+			report, err = nil, &core.PanicError{Val: r, Stack: stack}
+		}
+	}()
+	if s.opts.Faults != nil {
+		if ferr := s.opts.Faults.Fire(ctx, faultinject.PointServerJob); ferr != nil {
+			return nil, ferr
+		}
+	}
+	return eda.Run(ctx, jb.spec, eda.WithRegistry(s.opts.Registry), eda.WithSink(jb.events))
+}
+
+// maxPanicStack bounds the stack carried into a terminal report.
+const maxPanicStack = 8 << 10
+
+// storeReport adds a finished report to the cross-request store, unless
+// the injected store fault drops the write (modelling a failed write to
+// a remote report tier). A dropped write only costs recomputation on
+// the next identical submission — never correctness.
+func (s *Server) storeReport(key string, e *reportEntry) {
+	if s.opts.Faults != nil {
+		if ferr := s.opts.Faults.Fire(nil, faultinject.PointServerStore); ferr != nil {
+			s.storeFails.Add(1)
+			return
+		}
+	}
+	s.store.add(key, e)
+}
+
+// WedgeError is the structured terminal detail of a watchdog kill: the
+// job emitted no event for longer than the staleness window.
+type WedgeError struct {
+	// Idle is how long the job had been silent when the watchdog fired.
+	Idle time.Duration
+	// Window is the configured staleness window (Options.Watchdog).
+	Window time.Duration
+}
+
+func (e *WedgeError) Error() string {
+	return fmt.Sprintf("watchdog: job wedged — no event emitted for %v (staleness window %v)",
+		e.Idle.Round(time.Millisecond), e.Window)
+}
+
+// watchdog polls the job's staleness clock (the broadcaster's lastEmit,
+// an atomic — no locks on the poll) and, when the job has been silent
+// past the window, marks it wedged and cancels its context. The worker
+// observes the wedged mark when eda.Run returns and finishes the job
+// failed with a *WedgeError detail. stop ends the watchdog when the job
+// finishes on its own.
+func (s *Server) watchdog(jb *job, cancel context.CancelFunc, stop <-chan struct{}) {
+	window := s.opts.Watchdog
+	probe := window / 8
+	if probe < 5*time.Millisecond {
+		probe = 5 * time.Millisecond
+	}
+	t := time.NewTicker(probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			idle := jb.events.idle()
+			if idle < window {
+				continue
+			}
+			jb.mu.Lock()
+			if jb.state != stateRunning {
+				jb.mu.Unlock()
+				return
+			}
+			jb.wedged, jb.wedgeIdle = true, idle
+			jb.mu.Unlock()
+			cancel()
+			return
+		}
+	}
 }
 
 // completeFromCache finishes a job with a stored report: the same bytes

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"llm4eda/eda"
+	"llm4eda/internal/faultinject"
 	"llm4eda/internal/simfarm"
 )
 
@@ -25,6 +26,10 @@ type JobStatus struct {
 	Cached  bool   `json:"cached,omitempty"`
 	Error   string `json:"error,omitempty"`
 	Created string `json:"created"` // RFC 3339 UTC
+	// EventsDropped counts events evicted from the job's replay ring —
+	// history an SSE subscriber arriving (or resuming) late can no
+	// longer replay. Slow-subscriber loss made visible instead of silent.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 
 	Report json.RawMessage `json:"report,omitempty"`
 }
@@ -41,6 +46,18 @@ type StatsReply struct {
 	Failed    uint64         `json:"failed"`
 	Cancelled uint64         `json:"cancelled"`
 	Rejected  uint64         `json:"rejected"`
+	// Panics counts pipeline panics recovered into failed jobs (the
+	// farm's own recovered worker panics are under Farm.Panics).
+	Panics uint64 `json:"panics,omitempty"`
+	// WatchdogKills counts jobs cancelled for event staleness.
+	WatchdogKills uint64 `json:"watchdog_kills,omitempty"`
+	// Retries counts transient-failure retries absorbed inside completed
+	// runs' candidate loops.
+	Retries uint64 `json:"retries,omitempty"`
+	// StoreFails counts report-store writes that failed (fault-injected).
+	StoreFails uint64 `json:"store_fails,omitempty"`
+	// EventsDropped sums replay-ring evictions over retained jobs.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 	// ReportCache is the cross-request report store's traffic.
 	ReportCache ReportCacheStats `json:"report_cache"`
 	// Farm is the shared simulation farm's per-layer traffic; its Results
@@ -73,17 +90,19 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorReply{Error: fmt.Sprintf(format, args...)})
 }
 
-// status snapshots the job's wire form.
+// status snapshots the job's wire form. Lock order: jb.mu, then the
+// broadcaster's own lock inside droppedCount — never the reverse.
 func (jb *job) status() JobStatus {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
 	return JobStatus{
-		ID:      jb.id,
-		State:   jb.state,
-		Cached:  jb.cached,
-		Error:   jb.errDetail,
-		Created: jb.created.Format("2006-01-02T15:04:05.000Z07:00"),
-		Report:  jb.reportJSON,
+		ID:            jb.id,
+		State:         jb.state,
+		Cached:        jb.cached,
+		Error:         jb.errDetail,
+		Created:       jb.created.Format("2006-01-02T15:04:05.000Z07:00"),
+		EventsDropped: jb.events.droppedCount(),
+		Report:        jb.reportJSON,
 	}
 }
 
@@ -156,6 +175,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			Detail: "job cancelled before start"})
 		jb.events.close()
 	case stateRunning:
+		jb.userCancel = true // so a racing watchdog cannot re-label this
 		cancel := jb.cancel
 		jb.mu.Unlock()
 		if cancel != nil {
@@ -169,23 +189,30 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	states := map[string]int{}
+	var eventsDropped uint64
 	s.mu.Lock()
 	for _, jb := range s.jobs {
 		jb.mu.Lock()
 		states[jb.state]++
 		jb.mu.Unlock()
+		eventsDropped += jb.events.droppedCount()
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsReply{
-		Workers:    len(s.shards),
-		QueueDepth: s.queueDepth(),
-		Draining:   s.isDraining(),
-		JobStates:  states,
-		Submitted:  s.submitted.Load(),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
-		Cancelled:  s.cancelled.Load(),
-		Rejected:   s.rejected.Load(),
+		Workers:       len(s.shards),
+		QueueDepth:    s.queueDepth(),
+		Draining:      s.isDraining(),
+		JobStates:     states,
+		Submitted:     s.submitted.Load(),
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Cancelled:     s.cancelled.Load(),
+		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+		WatchdogKills: s.watchdogKills.Load(),
+		Retries:       s.retries.Load(),
+		StoreFails:    s.storeFails.Load(),
+		EventsDropped: eventsDropped,
 		ReportCache: ReportCacheStats{
 			Hits:   s.store.hits.Load(),
 			Misses: s.store.miss.Load(),
@@ -196,10 +223,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's event history and live tail as
-// Server-Sent Events: one "event: <kind>" + "data: <event JSON>" frame
-// per core event, closed by a terminal "event: end" frame whose data is
-// the job's final JobStatus. Clients arriving after completion get the
-// full replay and the end frame immediately.
+// Server-Sent Events: one "id: <seq>" + "event: <kind>" + "data:
+// <event JSON>" frame per core event, closed by a terminal "event: end"
+// frame whose data is the job's final JobStatus (which now carries the
+// dropped-event count). Clients arriving after completion get the full
+// replay and the end frame immediately.
+//
+// Resume: a client reconnecting after a broken stream sends the last
+// sequence number it saw — the standard Last-Event-ID header, or an
+// `after` query parameter for hand-driven curl — and the replay starts
+// just past it. History already evicted from the ring is announced in
+// a comment frame rather than silently skipped.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	jb := s.lookup(r.PathValue("id"))
 	if jb == nil {
@@ -211,18 +245,27 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
+	var after uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		fmt.Sscanf(v, "%d", &after)
+	}
+	if v := r.URL.Query().Get("after"); v != "" {
+		fmt.Sscanf(v, "%d", &after)
+	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
-	replay, dropped, ch, cancelSub := jb.events.subscribe(256)
+	replay, missed, ch, cancelSub := jb.events.subscribe(after, 256)
 	defer cancelSub()
-	if dropped > 0 {
-		fmt.Fprintf(w, ": %d earlier events evicted from the replay buffer\n\n", dropped)
+	if missed > 0 {
+		fmt.Fprintf(w, ": %d earlier events evicted from the replay buffer\n\n", missed)
 	}
-	for _, ev := range replay {
-		writeSSE(w, ev)
+	for _, ne := range replay {
+		if !s.writeFrame(w, r, ne) {
+			return
+		}
 	}
 	fl.Flush()
 	if ch == nil {
@@ -233,13 +276,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	for {
 		select {
-		case ev, open := <-ch:
+		case ne, open := <-ch:
 			if !open {
 				writeSSEEnd(w, jb)
 				fl.Flush()
 				return
 			}
-			writeSSE(w, ev)
+			if !s.writeFrame(w, r, ne) {
+				return
+			}
 			fl.Flush()
 		case <-ctx.Done():
 			return
@@ -247,12 +292,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func writeSSE(w io.Writer, ev eda.Event) {
-	b, err := json.Marshal(ev)
+// writeFrame writes one SSE event frame, or aborts the stream (false)
+// when the injected SSE fault drops the connection — the chaos stand-in
+// for a proxy reset, exercising the client's reconnect-with-resume.
+func (s *Server) writeFrame(w io.Writer, r *http.Request, ne numbered) bool {
+	if s.opts.Faults != nil {
+		if ferr := s.opts.Faults.Fire(r.Context(), faultinject.PointServerSSE); ferr != nil {
+			return false
+		}
+	}
+	writeSSE(w, ne)
+	return true
+}
+
+func writeSSE(w io.Writer, ne numbered) {
+	b, err := json.Marshal(ne.ev)
 	if err != nil {
 		return // core events always marshal; belt and braces
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, b)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ne.seq, ne.ev.Kind, b)
 }
 
 func writeSSEEnd(w io.Writer, jb *job) {

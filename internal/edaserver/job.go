@@ -3,6 +3,7 @@ package edaserver
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"llm4eda/eda"
@@ -38,6 +39,14 @@ type job struct {
 	// job waiting in a shard channel stops counting against the bound
 	// immediately instead of until a worker drains past it.
 	queuedSlot bool
+	// wedged marks that the watchdog cancelled this job for event
+	// staleness; set before the cancel so the worker can tell a watchdog
+	// kill (terminal failed) from a client cancel (terminal cancelled).
+	wedged    bool
+	wedgeIdle time.Duration
+	// userCancel marks a DELETE on a running job, so a cancellation that
+	// races the watchdog still finishes as the client-requested cancel.
+	userCancel bool
 }
 
 // finishLocked moves the job to a terminal state. Callers hold jb.mu.
@@ -69,6 +78,15 @@ func shardOf(key string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
+// numbered pairs one event with its position in the job's stream.
+// Sequence numbers are 1-based, assigned at Emit, and stable across
+// ring eviction — they are what lets an SSE client resume a broken
+// stream with Last-Event-ID instead of re-reading (or losing) history.
+type numbered struct {
+	seq uint64
+	ev  eda.Event
+}
+
 // broadcaster is one job's event channel: a bounded replay ring feeding
 // any number of SSE subscribers. It implements eda.Sink, so eda.Run
 // streams straight into it from worker and pipeline goroutines; Emit
@@ -78,13 +96,18 @@ func shardOf(key string, shards int) int {
 // cache hit emits two events) never pins a full-size buffer and finished
 // jobs retain only their real history.
 type broadcaster struct {
+	// lastEmit is the wall-clock of the most recent Emit (unix nanos) —
+	// the staleness clock the per-job watchdog polls without taking the
+	// broadcaster lock.
+	lastEmit atomic.Int64
+
 	mu      sync.Mutex
-	ring    []eda.Event
+	ring    []numbered
 	capMax  int
-	start   int // index of the oldest retained event
-	n       int // retained events
-	dropped uint64
-	subs    map[int]chan eda.Event
+	start   int    // index of the oldest retained event
+	n       int    // retained events
+	total   uint64 // events ever emitted; the newest event's seq
+	subs    map[int]chan numbered
 	nextSub int
 	closed  bool
 }
@@ -92,14 +115,26 @@ type broadcaster struct {
 func newBroadcaster(history int) *broadcaster {
 	return &broadcaster{
 		capMax: history,
-		subs:   make(map[int]chan eda.Event),
+		subs:   make(map[int]chan numbered),
 	}
+}
+
+// touch resets the staleness clock; Emit does it implicitly, the worker
+// does it explicitly when the job starts running.
+func (b *broadcaster) touch() {
+	b.lastEmit.Store(time.Now().UnixNano())
+}
+
+// idle returns how long ago the last event was emitted (or touch called).
+func (b *broadcaster) idle() time.Duration {
+	return time.Duration(time.Now().UnixNano() - b.lastEmit.Load())
 }
 
 // Emit records the event in the replay ring (growing it up to capMax,
 // then evicting the oldest) and forwards it to every live subscriber
 // without blocking.
 func (b *broadcaster) Emit(ev eda.Event) {
+	b.touch()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -116,17 +151,18 @@ func (b *broadcaster) Emit(ev eda.Event) {
 		b.ring = b.copyOut(grown)
 		b.start = 0
 	}
+	b.total++
+	ne := numbered{seq: b.total, ev: ev}
 	if b.n < len(b.ring) {
-		b.ring[(b.start+b.n)%len(b.ring)] = ev
+		b.ring[(b.start+b.n)%len(b.ring)] = ne
 		b.n++
 	} else {
-		b.ring[b.start] = ev
+		b.ring[b.start] = ne
 		b.start = (b.start + 1) % len(b.ring)
-		b.dropped++
 	}
 	for _, ch := range b.subs {
 		select {
-		case ch <- ev:
+		case ch <- ne:
 		default: // slow subscriber: drop rather than stall the run
 		}
 	}
@@ -134,34 +170,54 @@ func (b *broadcaster) Emit(ev eda.Event) {
 
 // copyOut returns the retained events in order in a slice of len size
 // (size >= b.n). Callers hold b.mu.
-func (b *broadcaster) copyOut(size int) []eda.Event {
-	out := make([]eda.Event, size)
+func (b *broadcaster) copyOut(size int) []numbered {
+	out := make([]numbered, size)
 	for i := 0; i < b.n; i++ {
 		out[i] = b.ring[(b.start+i)%len(b.ring)]
 	}
 	return out
 }
 
-// subscribe returns the retained history, how many earlier events the
-// ring already evicted, and a live channel that closes when the job
+// droppedCount reports how many events the ring has evicted: every
+// emitted event is either retained or was evicted, so the count is
+// total minus retained. Slow-subscriber channel drops are a per-
+// subscriber affair and not counted here — the replay ring is the
+// ground truth a resuming subscriber reads from.
+func (b *broadcaster) droppedCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - uint64(b.n)
+}
+
+// subscribe returns the retained history after sequence number `after`
+// (0 = from the beginning), how many of the requested events the ring
+// already evicted, and a live channel that closes when the job
 // finishes. The replay snapshot and the registration happen under one
 // lock, so no event falls between them. On an already-finished job the
 // channel is nil. cancel detaches the subscriber (idempotent).
-func (b *broadcaster) subscribe(buf int) (replay []eda.Event, dropped uint64, ch chan eda.Event, cancel func()) {
+func (b *broadcaster) subscribe(after uint64, buf int) (replay []numbered, missed uint64, ch chan numbered, cancel func()) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	replay = make([]eda.Event, 0, b.n)
-	for i := 0; i < b.n; i++ {
-		replay = append(replay, b.ring[(b.start+i)%len(b.ring)])
+	oldest := b.total - uint64(b.n) + 1 // seq of the oldest retained event
+	from := after + 1
+	if from < oldest {
+		missed = oldest - from
+		from = oldest
+	}
+	if b.total >= from {
+		replay = make([]numbered, 0, b.total-from+1)
+		for i := int(from - oldest); i < b.n; i++ {
+			replay = append(replay, b.ring[(b.start+i)%len(b.ring)])
+		}
 	}
 	if b.closed {
-		return replay, b.dropped, nil, func() {}
+		return replay, missed, nil, func() {}
 	}
 	id := b.nextSub
 	b.nextSub++
-	ch = make(chan eda.Event, buf)
+	ch = make(chan numbered, buf)
 	b.subs[id] = ch
-	return replay, b.dropped, ch, func() {
+	return replay, missed, ch, func() {
 		b.mu.Lock()
 		defer b.mu.Unlock()
 		if _, ok := b.subs[id]; ok {

@@ -17,6 +17,7 @@ import (
 	"llm4eda/eda/client"
 	"llm4eda/internal/core"
 	"llm4eda/internal/edaserver"
+	"llm4eda/internal/testutil"
 )
 
 // quickSpec is the fast real workload the end-to-end tests submit: a
@@ -45,9 +46,12 @@ func newHarness(t *testing.T, opts edaserver.Options) *testHarness {
 	srv := edaserver.New(opts)
 	ts := httptest.NewServer(srv)
 	tr := &http.Transport{}
+	// Retries off: these tests assert on the raw 429/503 contract, so the
+	// client must surface the first backpressure reply, not absorb it.
 	c := client.New(ts.URL,
 		client.WithHTTPClient(&http.Client{Transport: tr}),
-		client.WithPollInterval(5*time.Millisecond))
+		client.WithPollInterval(5*time.Millisecond),
+		client.WithRetry(0, 0))
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -65,7 +69,8 @@ func (h *testHarness) newClient(t *testing.T) *client.Client {
 	t.Cleanup(tr.CloseIdleConnections)
 	return client.New(h.ts.URL,
 		client.WithHTTPClient(&http.Client{Transport: tr}),
-		client.WithPollInterval(5*time.Millisecond))
+		client.WithPollInterval(5*time.Millisecond),
+		client.WithRetry(0, 0))
 }
 
 // blockingRegistry registers a "block" pipeline that emits one note event
@@ -109,27 +114,6 @@ func waitState(t *testing.T, c *client.Client, id, state string) *client.Job {
 			t.Fatalf("job %s stuck in %q waiting for %q", id, job.State, state)
 		}
 		time.Sleep(2 * time.Millisecond)
-	}
-}
-
-// checkNoGoroutineLeak polls until the goroutine count settles back to
-// the baseline (scheduling and netpoll teardown need a beat).
-func checkNoGoroutineLeak(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		now := runtime.NumGoroutine()
-		if now <= baseline {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Errorf("goroutine leak: %d at baseline, %d after shutdown\n%s", baseline, now, buf[:n])
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -232,7 +216,7 @@ func TestEndToEndConcurrentClients(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	h.ts.Close()
-	checkNoGoroutineLeak(t, baseline)
+	testutil.CheckNoGoroutineLeak(t, baseline)
 }
 
 // TestCachedResubmission pins the submit-time dedup path: a spec

@@ -1,0 +1,402 @@
+// Package faultinject is the deterministic fault plan behind `make
+// chaos-test`: a seed-driven schedule of worker panics, transient
+// errors, wedged stages, slow paths and dropped operations, fired
+// through small named hook points in the serving stack (edaserver,
+// simfarm, eda).
+//
+// The contract with production code is strict: a hook point is a single
+// nil-guarded call —
+//
+//	if in := faultinject.From(ctx); in != nil {
+//		if err := in.Fire(ctx, faultinject.PointEDAProblem); err != nil { ... }
+//	}
+//
+// — so a server without an injector pays one pointer compare and
+// nothing else. cmd/repolint's fault-guard rule enforces the nil guard
+// at every call site.
+//
+// Firing is deterministic: fault f at point p fires on every Every-th
+// call of Fire(p), offset by a phase derived from (Plan.Seed, p,
+// f.Kind). Two runs with the same plan and the same call sequence
+// inject exactly the same faults, which is what makes a chaos run a
+// reproducible test instead of a flake generator.
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind names one failure behavior a fault injects at its point.
+type Kind string
+
+const (
+	// KindPanic panics with a *Panic value, exercising the recover paths.
+	KindPanic Kind = "panic"
+	// KindError returns a transient *Error, exercising retry
+	// classification.
+	KindError Kind = "error"
+	// KindWedge blocks until the context is cancelled (or Delay elapses,
+	// when set), exercising the watchdog.
+	KindWedge Kind = "wedge"
+	// KindDelay sleeps Delay before letting the operation proceed,
+	// modelling a slow stage or a slow subscriber.
+	KindDelay Kind = "delay"
+	// KindDrop returns ErrDropped, telling the hook's caller to suppress
+	// the guarded operation (drop an SSE frame, skip a store write).
+	KindDrop Kind = "drop"
+)
+
+// Injection points. Each names the one production call site that fires
+// it; a plan targeting an unknown point simply never fires.
+const (
+	// PointServerJob fires once per job execution in edaserver, before
+	// the pipeline runs.
+	PointServerJob = "server.job"
+	// PointServerSSE fires once per SSE frame about to be written.
+	PointServerSSE = "server.sse"
+	// PointServerStore fires once per report-store write.
+	PointServerStore = "server.store"
+	// PointFarmJob fires once per simfarm job (before cache lookup, so
+	// every call counts).
+	PointFarmJob = "farm.job"
+	// PointEDAProblem fires once per candidate-loop problem attempt in
+	// eda/pipelines.go.
+	PointEDAProblem = "eda.problem"
+)
+
+// Fault schedules one kind of failure at one point.
+type Fault struct {
+	// Point is the injection point name (Point* constants).
+	Point string `json:"point"`
+	// Kind is the failure behavior.
+	Kind Kind `json:"kind"`
+	// Every fires the fault on every Every-th call of the point (1 =
+	// every call), phase-shifted by the plan seed. Must be >= 1.
+	Every int `json:"every"`
+	// Max bounds the total number of firings; 0 means unlimited.
+	Max int `json:"max,omitempty"`
+	// Delay is the sleep for KindDelay, and an optional upper bound on
+	// how long KindWedge blocks when the context never cancels.
+	Delay time.Duration `json:"delay,omitempty"`
+}
+
+// Plan is a reproducible fault schedule: a seed plus the fault list.
+type Plan struct {
+	Seed   uint64  `json:"seed,omitempty"`
+	Faults []Fault `json:"faults"`
+}
+
+// Validate rejects malformed faults before they silently never fire.
+func (p Plan) Validate() error {
+	for i, f := range p.Faults {
+		if f.Point == "" {
+			return fmt.Errorf("faultinject: fault %d has no point", i)
+		}
+		switch f.Kind {
+		case KindPanic, KindError, KindWedge, KindDelay, KindDrop:
+		default:
+			return fmt.Errorf("faultinject: fault %d has unknown kind %q", i, f.Kind)
+		}
+		if f.Every < 1 {
+			return fmt.Errorf("faultinject: fault %d (%s/%s) needs every >= 1", i, f.Point, f.Kind)
+		}
+		if f.Kind == KindDelay && f.Delay <= 0 {
+			return fmt.Errorf("faultinject: fault %d (%s/delay) needs a positive delay", i, f.Point)
+		}
+	}
+	return nil
+}
+
+// ParsePlan decodes and validates a JSON plan (the `llm4eda serve
+// -faults` payload). Fault delays are written as integer milliseconds
+// under "delay_ms" — see Fault.UnmarshalJSON.
+func ParsePlan(b []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faultinject: bad plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// faultJSON is the hand-writable wire form: delay in milliseconds.
+type faultJSON struct {
+	Point   string `json:"point"`
+	Kind    Kind   `json:"kind"`
+	Every   int    `json:"every"`
+	Max     int    `json:"max,omitempty"`
+	DelayMS int64  `json:"delay_ms,omitempty"`
+}
+
+// MarshalJSON encodes Delay as integer milliseconds ("delay_ms") so
+// plans round-trip in a form a human can write on a command line.
+func (f Fault) MarshalJSON() ([]byte, error) {
+	return json.Marshal(faultJSON{f.Point, f.Kind, f.Every, f.Max, f.Delay.Milliseconds()})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (f *Fault) UnmarshalJSON(b []byte) error {
+	var w faultJSON
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	*f = Fault{w.Point, w.Kind, w.Every, w.Max, time.Duration(w.DelayMS) * time.Millisecond}
+	return nil
+}
+
+// Error is an injected transient failure. It implements the
+// Transient() classification contract core.IsTransient checks, so the
+// candidate-loop retry path treats it exactly like a real transient
+// substrate error.
+type Error struct {
+	Point string
+}
+
+func (e *Error) Error() string {
+	return "faultinject: injected transient error at " + e.Point
+}
+
+// Transient marks the injected error as retryable.
+func (e *Error) Transient() bool { return true }
+
+// Panic is the value injected panics carry, so recover paths (and their
+// tests) can tell an injected panic from a real one.
+type Panic struct {
+	Point string
+}
+
+func (p *Panic) String() string {
+	return "faultinject: injected panic at " + p.Point
+}
+
+// ErrDropped is returned by KindDrop: the hook's caller must suppress
+// the guarded operation (skip the frame, skip the write) and carry on.
+var ErrDropped = errors.New("faultinject: operation dropped")
+
+// armed is one fault with its firing state.
+type armed struct {
+	Fault
+	phase uint64 // seed-derived offset into the Every cycle
+	fired int    // firings so far (bounded by Max)
+}
+
+// Injector executes a Plan. Safe for concurrent use; the zero value is
+// not usable — construct with New. A nil *Injector never fires (all
+// hook points are nil-guarded).
+type Injector struct {
+	mu    sync.Mutex
+	byPt  map[string][]*armed
+	calls map[string]uint64
+	fired map[string]uint64 // "point/kind" -> firings, for Stats
+}
+
+// New arms a plan. The plan is assumed validated (New validates again
+// defensively and drops malformed faults).
+func New(p Plan) *Injector {
+	in := &Injector{
+		byPt:  make(map[string][]*armed),
+		calls: make(map[string]uint64),
+		fired: make(map[string]uint64),
+	}
+	for _, f := range p.Faults {
+		if f.Every < 1 {
+			continue
+		}
+		a := &armed{Fault: f, phase: phaseOf(p.Seed, f.Point, f.Kind) % uint64(f.Every)}
+		in.byPt[f.Point] = append(in.byPt[f.Point], a)
+	}
+	return in
+}
+
+// phaseOf derives a deterministic per-fault phase from the plan seed
+// via splitmix64 over a cheap string hash, so distinct faults at one
+// point fire on interleaved — not identical — call numbers.
+func phaseOf(seed uint64, point string, kind Kind) uint64 {
+	h := seed
+	for _, s := range []string{point, string(kind)} {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211 // FNV-1a step
+		}
+	}
+	// splitmix64 finalizer
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// Fire counts one call of point and triggers whichever armed fault is
+// due, if any. Return values:
+//
+//   - nil: no fault (or a KindDelay that has finished sleeping) — the
+//     caller proceeds normally.
+//   - *Error: transient failure — the caller propagates it as the
+//     operation's error.
+//   - ErrDropped: the caller suppresses the operation and carries on.
+//   - ctx.Err(): a KindWedge blocked until cancellation.
+//
+// KindPanic does not return: it panics with *Panic. At most one fault
+// fires per call; when several are due the earliest in plan order wins
+// and the others wait for their next cycle.
+func (in *Injector) Fire(ctx context.Context, point string) error {
+	in.mu.Lock()
+	in.calls[point]++
+	n := in.calls[point]
+	var due *armed
+	for _, a := range in.byPt[point] {
+		if a.Max > 0 && a.fired >= a.Max {
+			continue
+		}
+		if (n+a.phase)%uint64(a.Every) == 0 {
+			due = a
+			break
+		}
+	}
+	if due != nil {
+		due.fired++
+		in.fired[point+"/"+string(due.Kind)]++
+	}
+	in.mu.Unlock()
+	if due == nil {
+		return nil
+	}
+
+	switch due.Kind {
+	case KindPanic:
+		panic(&Panic{Point: point})
+	case KindError:
+		return &Error{Point: point}
+	case KindDrop:
+		return ErrDropped
+	case KindDelay:
+		return sleep(ctx, due.Delay)
+	case KindWedge:
+		return wedge(ctx, due.Delay)
+	}
+	return nil
+}
+
+// sleep waits d, cut short by ctx cancellation.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// wedge blocks until the context cancels; bound, when set, caps the
+// block for call sites whose context can never cancel (then the wedge
+// degrades to a long delay and returns a transient error so the
+// operation still fails visibly).
+func wedge(ctx context.Context, bound time.Duration) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var timeout <-chan time.Time
+	if bound > 0 {
+		t := time.NewTimer(bound)
+		defer t.Stop()
+		timeout = t.C
+	}
+	if done == nil && timeout == nil {
+		// Unbounded wedge with no cancellable context would deadlock the
+		// caller forever; fail fast instead.
+		return &Error{Point: "wedge-without-context"}
+	}
+	select {
+	case <-done:
+		return ctx.Err()
+	case <-timeout:
+		return &Error{Point: "wedge-timeout"}
+	}
+}
+
+// Stats returns the firing counts keyed "point/kind", for /stats
+// surfacing and chaos assertions.
+func (in *Injector) Stats() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.fired))
+	for k, v := range in.fired {
+		out[k] = v
+	}
+	return out
+}
+
+// Total returns the total number of firings across all faults.
+func (in *Injector) Total() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var t uint64
+	for _, v := range in.fired {
+		t += v
+	}
+	return t
+}
+
+// String renders the firing counts in stable order, for logs.
+func (in *Injector) String() string {
+	st := in.Stats()
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = fmt.Appendf(b, "%s=%d", k, st[k])
+	}
+	if len(b) == 0 {
+		return "no faults fired"
+	}
+	return string(b)
+}
+
+// ctxKey carries the injector through a request context so layers
+// beneath edaserver (eda, and transitively the farm-bound work of a
+// request) fire the same plan without new plumbing.
+type ctxKey struct{}
+
+// With returns a context carrying the injector. With(ctx, nil) returns
+// ctx unchanged.
+func With(ctx context.Context, in *Injector) context.Context {
+	if in == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, in)
+}
+
+// From returns the context's injector, or nil — the zero-overhead path
+// production traffic takes.
+func From(ctx context.Context) *Injector {
+	if ctx == nil {
+		return nil
+	}
+	in, _ := ctx.Value(ctxKey{}).(*Injector)
+	return in
+}

@@ -1,0 +1,223 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fireSeq records, for count calls of point, which calls returned a
+// non-nil outcome (panic outcomes recorded as "panic").
+func fireSeq(t *testing.T, in *Injector, point string, count int) []string {
+	t.Helper()
+	out := make([]string, count)
+	for i := 0; i < count; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					p, ok := r.(*Panic)
+					if !ok {
+						t.Fatalf("panic value %T, want *Panic", r)
+					}
+					if p.Point != point {
+						t.Fatalf("panic point %q, want %q", p.Point, point)
+					}
+					out[i] = "panic"
+				}
+			}()
+			err := in.Fire(context.Background(), point)
+			switch {
+			case err == nil:
+				out[i] = ""
+			case errors.Is(err, ErrDropped):
+				out[i] = "drop"
+			default:
+				out[i] = "error"
+			}
+		}()
+	}
+	return out
+}
+
+func TestDeterministicFiring(t *testing.T) {
+	plan := Plan{Seed: 42, Faults: []Fault{
+		{Point: "p", Kind: KindError, Every: 3},
+	}}
+	a := fireSeq(t, New(plan), "p", 30)
+	b := fireSeq(t, New(plan), "p", 30)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d diverged across identical plans: %q vs %q", i, a[i], b[i])
+		}
+		if a[i] == "error" {
+			fires++
+		}
+	}
+	if fires != 10 {
+		t.Fatalf("every=3 over 30 calls fired %d times, want 10", fires)
+	}
+	// A different seed shifts the phase for at least some plans.
+	c := fireSeq(t, New(Plan{Seed: 43, Faults: plan.Faults}), "p", 30)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	// Phases are mod Every=3, so two seeds can coincide; this only
+	// documents that the phase actually depends on the seed in general.
+	_ = same
+}
+
+func TestMaxBoundsFirings(t *testing.T) {
+	in := New(Plan{Faults: []Fault{{Point: "p", Kind: KindError, Every: 2, Max: 2}}})
+	seq := fireSeq(t, in, "p", 20)
+	fires := 0
+	for _, s := range seq {
+		if s == "error" {
+			fires++
+		}
+	}
+	if fires != 2 {
+		t.Fatalf("max=2 fired %d times", fires)
+	}
+	if got := in.Stats()["p/error"]; got != 2 {
+		t.Fatalf("Stats()[p/error] = %d, want 2", got)
+	}
+	if in.Total() != 2 {
+		t.Fatalf("Total() = %d, want 2", in.Total())
+	}
+}
+
+func TestKindPanicAndDrop(t *testing.T) {
+	in := New(Plan{Faults: []Fault{
+		{Point: "a", Kind: KindPanic, Every: 1, Max: 1},
+		{Point: "b", Kind: KindDrop, Every: 1, Max: 1},
+	}})
+	if got := fireSeq(t, in, "a", 2); got[0] != "panic" || got[1] != "" {
+		t.Fatalf("panic sequence = %v", got)
+	}
+	if got := fireSeq(t, in, "b", 2); got[0] != "drop" || got[1] != "" {
+		t.Fatalf("drop sequence = %v", got)
+	}
+}
+
+func TestWedgeUnblocksOnCancel(t *testing.T) {
+	in := New(Plan{Faults: []Fault{{Point: "p", Kind: KindWedge, Every: 1, Max: 1}}})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- in.Fire(ctx, "p") }()
+	select {
+	case err := <-done:
+		t.Fatalf("wedge returned before cancel: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("wedge returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wedge did not unblock on cancel")
+	}
+}
+
+func TestWedgeBoundWithoutCancellableContext(t *testing.T) {
+	in := New(Plan{Faults: []Fault{{Point: "p", Kind: KindWedge, Every: 1, Max: 1, Delay: 10 * time.Millisecond}}})
+	start := time.Now()
+	err := in.Fire(context.Background(), "p")
+	if err == nil {
+		t.Fatal("bounded wedge returned nil, want transient error")
+	}
+	var te interface{ Transient() bool }
+	if !errors.As(err, &te) || !te.Transient() {
+		t.Fatalf("bounded wedge error %v is not transient", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("bounded wedge returned before its bound elapsed")
+	}
+	// Unbounded wedge on a context that can never cancel fails fast
+	// instead of deadlocking the caller.
+	in2 := New(Plan{Faults: []Fault{{Point: "p", Kind: KindWedge, Every: 1}}})
+	if err := in2.Fire(nil, "p"); err == nil {
+		t.Fatal("unbounded wedge with nil context returned nil")
+	}
+}
+
+func TestDelaySleeps(t *testing.T) {
+	in := New(Plan{Faults: []Fault{{Point: "p", Kind: KindDelay, Every: 1, Max: 1, Delay: 15 * time.Millisecond}}})
+	start := time.Now()
+	if err := in.Fire(context.Background(), "p"); err != nil {
+		t.Fatalf("delay returned %v, want nil", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("delay did not sleep")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan([]byte(`{"seed": 7, "faults": [
+		{"point": "server.job", "kind": "panic", "every": 9},
+		{"point": "eda.problem", "kind": "wedge", "every": 11, "max": 2, "delay_ms": 500}
+	]}`))
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Seed != 7 || len(p.Faults) != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Faults[1].Delay != 500*time.Millisecond {
+		t.Fatalf("delay_ms not decoded: %v", p.Faults[1].Delay)
+	}
+	for _, bad := range []string{
+		`{"faults": [{"point": "", "kind": "panic", "every": 1}]}`,
+		`{"faults": [{"point": "p", "kind": "nope", "every": 1}]}`,
+		`{"faults": [{"point": "p", "kind": "panic", "every": 0}]}`,
+		`{"faults": [{"point": "p", "kind": "delay", "every": 1}]}`,
+		`{"faults": [{"point": "p", "kind": "panic", "every": 1, "bogus": true}]}`,
+	} {
+		if _, err := ParsePlan([]byte(bad)); err == nil {
+			t.Fatalf("ParsePlan accepted %s", bad)
+		}
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("From(empty ctx) != nil")
+	}
+	if From(nil) != nil {
+		t.Fatal("From(nil) != nil")
+	}
+	in := New(Plan{})
+	ctx := With(context.Background(), in)
+	if From(ctx) != in {
+		t.Fatal("From(With(ctx, in)) != in")
+	}
+	base := context.Background()
+	if With(base, nil) != base {
+		t.Fatal("With(ctx, nil) allocated a new context")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	err := error(&Error{Point: "p"})
+	var te interface{ Transient() bool }
+	if !errors.As(err, &te) || !te.Transient() {
+		t.Fatal("*Error must classify as transient")
+	}
+}
+
+func TestInjectorString(t *testing.T) {
+	in := New(Plan{Faults: []Fault{{Point: "p", Kind: KindError, Every: 1, Max: 1}}})
+	if in.String() != "no faults fired" {
+		t.Fatalf("String before firing = %q", in.String())
+	}
+	fireSeq(t, in, "p", 1)
+	if in.String() != "p/error=1" {
+		t.Fatalf("String after firing = %q", in.String())
+	}
+}

@@ -3,30 +3,19 @@ package simfarm
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"llm4eda/internal/testutil"
 	"llm4eda/internal/verilog"
 )
 
-// goroutineGuard fails the test if the goroutine count has not returned
-// to its starting level shortly after the test body finishes — the
-// leak check for every cancellation path.
+// goroutineGuard is the shared leak check: every cancellation path must
+// return the goroutine count to its starting level.
 func goroutineGuard(t *testing.T) {
 	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(2 * time.Second)
-		for time.Now().Before(deadline) {
-			if runtime.NumGoroutine() <= before {
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-		t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
-	})
+	testutil.GoroutineGuard(t)
 }
 
 func TestMapCtxMatchesMapWhenUncancelled(t *testing.T) {

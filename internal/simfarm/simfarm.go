@@ -24,11 +24,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"llm4eda/internal/core"
+	"llm4eda/internal/faultinject"
 	"llm4eda/internal/verilog"
 	"llm4eda/internal/vlint"
 )
@@ -81,6 +83,20 @@ type Farm struct {
 	// short critical section at simulation end, never on a cache probe.
 	vmMu sync.Mutex
 	vm   verilog.VMStats
+
+	// panics counts worker panics recovered in runJobCtx — each one a
+	// simulation that would have killed the process before PR 9.
+	panics atomic.Int64
+	// faults is the chaos-test injector; nil (one atomic load) in
+	// production.
+	faults atomic.Pointer[faultinject.Injector]
+}
+
+// SetFaults installs (or, with nil, removes) a fault injector on the
+// farm. Test-only in spirit: the injector fires at the farm.job hook
+// point once per job, before any cache is consulted.
+func (f *Farm) SetFaults(in *faultinject.Injector) {
+	f.faults.Store(in)
 }
 
 // New builds a farm with the given capacities.
@@ -122,7 +138,10 @@ type FarmStats struct {
 	// simulation the farm did not spend).
 	Lints       Stats
 	LintRejects int64
-	VM          verilog.VMStats
+	// Panics counts worker panics recovered into Result.Err instead of
+	// crashing the process.
+	Panics int64
+	VM     verilog.VMStats
 }
 
 // Stats snapshots the farm's counters. The snapshot is lock-free (each
@@ -142,6 +161,7 @@ func (f *Farm) Stats() FarmStats {
 		Results:     f.results.snapshot(),
 		Lints:       f.lints.snapshot(),
 		LintRejects: f.lintRejects.Load(),
+		Panics:      f.panics.Load(),
 		VM:          vm,
 	}
 }
@@ -164,6 +184,7 @@ func (s FarmStats) Delta(earlier FarmStats) FarmStats {
 		Results:     s.Results.delta(earlier.Results),
 		Lints:       s.Lints.delta(earlier.Lints),
 		LintRejects: s.LintRejects - earlier.LintRejects,
+		Panics:      s.Panics - earlier.Panics,
 		VM:          s.VM.Sub(earlier.VM),
 	}
 }
@@ -448,7 +469,7 @@ func (f *Farm) RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Resul
 	started := make([]bool, len(jobs))
 	err := MapCtx(ctx, len(jobs), workers, func(i int) {
 		started[i] = true
-		results[i] = f.runJob(jobs[i])
+		results[i] = f.runJobCtx(ctx, jobs[i])
 	})
 	if err != nil {
 		for i := range results {
@@ -460,9 +481,25 @@ func (f *Farm) RunManyCtx(ctx context.Context, jobs []Job, workers int) ([]Resul
 	return results, err
 }
 
-// runJob executes one job: lint screen first (when opted in), then the
-// cached compile+run path.
-func (f *Farm) runJob(job Job) Result {
+// runJobCtx executes one job: fault hook first (before any cache, so
+// every call counts under a plan), then lint screen (when opted in),
+// then the cached compile+run path. A panic anywhere below — the
+// kernel, the VM, an injected fault — is recovered into a
+// *core.PanicError result so one bad candidate costs one job, not the
+// process. Nothing a panicking compute produced is cached: the
+// singleflight layers unwind panics without storing an entry.
+func (f *Farm) runJobCtx(ctx context.Context, job Job) (out Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.panics.Add(1)
+			out = Result{Err: &core.PanicError{Val: r, Stack: debug.Stack()}}
+		}
+	}()
+	if in := f.faults.Load(); in != nil {
+		if err := in.Fire(ctx, faultinject.PointFarmJob); err != nil {
+			return Result{Err: err}
+		}
+	}
 	if job.Lint && job.DUTTop != "" {
 		if rej := f.LintScreen(job.DUT, job.DUTTop); rej != nil {
 			f.lintRejects.Add(1)
@@ -498,6 +535,12 @@ func Map(n, workers int, fn func(i int)) {
 // worker goroutine exits, and MapCtx returns ctx.Err(). With an
 // uncancelled context the call visits every index and returns nil —
 // bit-identical to Map.
+//
+// A panicking fn does not kill the pool: the panic is recovered per
+// call, remaining indices still run, and MapCtx returns the first
+// panic (as a *core.PanicError) when the context was never cancelled.
+// This is the backstop for generic scoring fns (SLT, GP); the farm's
+// own jobs recover one level deeper in runJobCtx, per slot.
 func MapCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if err := ctx.Err(); err != nil {
 		return err // dead on arrival: no worker starts, no fn runs
@@ -511,12 +554,24 @@ func MapCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
+	var panicErr atomic.Pointer[core.PanicError]
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicErr.CompareAndSwap(nil, &core.PanicError{Val: r, Stack: debug.Stack()})
+			}
+		}()
+		fn(i)
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			call(i)
+		}
+		if pe := panicErr.Load(); pe != nil {
+			return pe
 		}
 		return nil
 	}
@@ -527,7 +582,7 @@ func MapCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				call(i)
 			}
 		}()
 	}
@@ -548,5 +603,10 @@ dispatch:
 	}
 	close(idx)
 	wg.Wait()
+	if err == nil {
+		if pe := panicErr.Load(); pe != nil {
+			err = pe
+		}
+	}
 	return err
 }

@@ -1,0 +1,45 @@
+// Package testutil holds test helpers shared across the service-layer
+// suites (edaserver, simfarm, eda/client): the goroutine-leak checks
+// every resilience test ends with.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckNoGoroutineLeak polls until the goroutine count settles back to
+// the baseline (scheduling and netpoll teardown need a beat), dumping
+// all stacks when it never does. Capture the baseline with
+// runtime.NumGoroutine() before starting the servers or pools under
+// test and call this after shutting them down.
+func CheckNoGoroutineLeak(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d at baseline, %d after shutdown\n%s", baseline, now, buf[:n])
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// GoroutineGuard captures the current goroutine count and registers a
+// cleanup asserting the count has returned to it by the end of the
+// test. Register it before any other cleanup that tears down the
+// system under test — cleanups run last-registered-first, so the guard
+// then checks after teardown completes.
+func GoroutineGuard(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { CheckNoGoroutineLeak(t, before) })
+}
