@@ -14,6 +14,7 @@ import (
 	"llm4eda/internal/boom"
 	"llm4eda/internal/experiments"
 	"llm4eda/internal/llm"
+	"llm4eda/internal/obs"
 	"llm4eda/internal/simfarm"
 	"llm4eda/internal/slt"
 	"llm4eda/internal/verilog"
@@ -481,4 +482,24 @@ func chooseBySignature(sigs []string) int {
 		}
 	}
 	return best
+}
+
+// BenchmarkObsOverhead prices the zero-overhead-when-off contract of
+// internal/obs: the exact shape a hot path pays when telemetry is
+// disabled — a SpansOf lookup on a bare context followed by the nil
+// check that guards every recording call, plus a Record on a nil
+// histogram (the nil-receiver fast path). Both must stay at a few ns
+// with zero allocations; a regression here means instrumentation has
+// started taxing runs that never asked for it.
+func BenchmarkObsOverhead(b *testing.B) {
+	ctx := context.Background()
+	var h *obs.Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sp := obs.SpansOf(ctx); sp != nil {
+			sp.Record(obs.PhaseSim, 0)
+		}
+		h.Record(0)
+	}
 }

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,12 +33,19 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 30*time.Second, "shutdown drain budget before in-flight jobs are cancelled")
 	watchdog := fs.Duration("watchdog", 0, "per-job event-staleness window; a running job silent this long is cancelled as wedged (0 = off)")
 	faults := fs.String("faults", "", "chaos fault plan, inline JSON or @file (testing only; see internal/faultinject)")
+	logLevel := fs.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
+	debugAddr := fs.String("debug-addr", "", "optional second listener serving net/http/pprof (kept off the public API address)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("serve: -log-level: %w", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	var injector *faultinject.Injector
 	if *faults != "" {
 		raw := []byte(*faults)
@@ -68,14 +77,34 @@ func cmdServe(args []string) error {
 		ReportCap:  *reports,
 		Watchdog:   *watchdog,
 		Faults:     injector,
+		Log:        logger,
 	})
 	if injector != nil {
 		// eda.Run executes on the process-default farm, so the farm-layer
 		// fault point arms there too.
 		simfarm.Default().SetFaults(injector)
 	}
+	// The pprof listener is a separate mux on a separate port on
+	// purpose: profiling endpoints never ride the public API address.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: -debug-addr: %w", err)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", httppprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		dsrv := &http.Server{Handler: dmux}
+		defer dsrv.Close()
+		go func() { _ = dsrv.Serve(dln) }()
+		fmt.Printf("llm4eda serve: pprof on http://%s/debug/pprof/\n", dln.Addr())
+	}
 	httpSrv := &http.Server{Handler: srv}
-	fmt.Printf("llm4eda serve: listening on http://%s (POST /v1/jobs, GET /v1/stats)\n", ln.Addr())
+	fmt.Printf("llm4eda serve: listening on http://%s (POST /v1/jobs, GET /v1/stats, GET /v1/metrics)\n", ln.Addr())
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

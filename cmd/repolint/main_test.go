@@ -119,6 +119,40 @@ func TestFaultGuardRule(t *testing.T) {
 	}
 }
 
+// TestObsGuardRule pins the kernel telemetry contract: obs recording
+// calls (Record/Observe) in kernel files must sit under a dominating
+// `!= nil` guard — the nil-safe receiver is not enough on the per-event
+// path. Outside kernel files the rule is silent: service-layer spans
+// are always allocated and guards there would be noise.
+func TestObsGuardRule(t *testing.T) {
+	cases := []struct {
+		name, base, src string
+		want            int
+	}{
+		{"guarded record is clean", "vm.go",
+			"package v\nfunc step() {\n\tif sp != nil {\n\t\tsp.Record(phase, d)\n\t}\n}\n", 0},
+		{"bare record in kernel file is flagged", "eval.go",
+			"package v\nfunc eval() {\n\tsp.Record(phase, d)\n}\n", 1},
+		{"bare observe in kernel file is flagged", "sim.go",
+			"package v\nfunc tick() {\n\th.Observe(v)\n}\n", 1},
+		{"bare record outside kernel files is clean", "handlers.go",
+			"package p\nfunc finish() {\n\tjb.spans.Record(phase, d)\n}\n", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			findings := lintSrc(t, c.base, c.src)
+			if len(findings) != c.want {
+				t.Fatalf("findings = %+v, want %d", findings, c.want)
+			}
+			for _, f := range findings {
+				if !strings.Contains(f.msg, "obs recording call") {
+					t.Errorf("unexpected finding: %s", f.msg)
+				}
+			}
+		})
+	}
+}
+
 // TestServiceDirsAreClean runs the same multi-directory gate `make ci`
 // runs over the fault-hook call sites.
 func TestServiceDirsAreClean(t *testing.T) {

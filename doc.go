@@ -62,6 +62,17 @@
 // byte-consistent and no goroutine leaks. See DESIGN.md "Resilience and
 // fault injection".
 //
+// The stack is observable end to end: internal/obs provides the
+// allocation-free telemetry core (atomic counters, log-bucketed latency
+// histograms, per-job phase spans carried on the context), every job
+// reports its queue_wait → lint_screen → compile → sim → store_write
+// breakdown in its status and SSE end frame, and GET /v1/metrics exports
+// the whole stack — job and phase latency quantiles, queue depth, farm
+// cache layers, tiered-VM dispatch counters, resilience counters — in
+// Prometheus text format. `llm4eda loadgen` / `make load-test` drive a
+// live server with shaped traffic and record the latency history as
+// committed LOAD_<date>.json files. See DESIGN.md "Observability".
+//
 // See DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
 // bench_test.go regenerates every figure and in-text result; the same

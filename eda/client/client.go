@@ -41,9 +41,34 @@ type Job struct {
 	// EventsDropped counts events evicted from the job's server-side
 	// replay ring before any subscriber (or resume) could see them.
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// QueueWaitMS is how long the job sat queued before a worker popped
+	// it (zero for jobs answered from the report cache at submission).
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// Phases is the server's span breakdown of the job: every canonical
+	// phase in flow order; N == 0 marks a phase that never ran (a cached
+	// hit reports sim at 0 ms with N 0).
+	Phases []Phase `json:"phases,omitempty"`
 	// Report is the raw shared-wire-format report ((*eda.Report).JSON)
 	// once the job produced one; DecodeReport types it.
 	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// Phase is one row of a job's span breakdown.
+type Phase struct {
+	Phase string  `json:"phase"`
+	MS    float64 `json:"ms"`
+	N     int     `json:"n"`
+}
+
+// PhaseMS returns the accumulated milliseconds of one named phase
+// (zero when the breakdown lacks it).
+func (j *Job) PhaseMS(name string) float64 {
+	for _, p := range j.Phases {
+		if p.Phase == name {
+			return p.MS
+		}
+	}
+	return 0
 }
 
 // Terminal reports whether the job reached a final state.
@@ -97,7 +122,10 @@ type Stats struct {
 	Retries       uint64 `json:"retries,omitempty"`
 	StoreFails    uint64 `json:"store_fails,omitempty"`
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
-	ReportCache   struct {
+	// Queue-wait distribution over finished jobs (enqueue→worker-pop).
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+	ReportCache    struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 		Len    int    `json:"len"`
@@ -396,6 +424,30 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 		return nil, err
 	}
 	return &st, nil
+}
+
+// Metrics fetches GET /v1/metrics verbatim: the server's full telemetry
+// surface in Prometheus text exposition format. Left as text on purpose
+// — the caller is a scraper (or the load harness checking the endpoint
+// answers), not a JSON consumer.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", decodeError(resp)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 // errBadFrame marks a malformed SSE event frame — a protocol error, not

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"llm4eda/internal/core"
+	"llm4eda/internal/obs"
 	"llm4eda/internal/simfarm"
 )
 
@@ -246,6 +247,12 @@ func Run(ctx context.Context, spec Spec, opts ...Option) (*Report, error) {
 	start := time.Now()
 	report, err := pipeline.Run(ctx, spec)
 	elapsed := time.Since(start)
+	// When a span recorder rides the context (the job service hangs one
+	// off every job), the whole pipeline is one phase; the farm records
+	// the finer lint/compile/sim splits inside it.
+	if sp := obs.SpansOf(ctx); sp != nil {
+		sp.Record(obs.PhasePipeline, elapsed)
+	}
 	cache := simfarm.Default().Stats().Delta(before)
 	simfarm.EmitStats(sink, cache)
 

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -42,6 +43,7 @@ import (
 	"llm4eda/eda"
 	"llm4eda/internal/core"
 	"llm4eda/internal/faultinject"
+	"llm4eda/internal/obs"
 	"llm4eda/internal/simfarm"
 )
 
@@ -79,6 +81,15 @@ type Options struct {
 	// job's context for the layers below. Nil in production: every hook
 	// is a nil check and nothing else.
 	Faults *faultinject.Injector
+	// Metrics is the telemetry registry behind GET /v1/metrics — the
+	// job-latency and per-phase histograms record into it, and the
+	// scrape handler harvests everything else (server counters, farm
+	// and VM stats, fault counters) live. Default: a fresh registry per
+	// server; pass one to aggregate several servers into one scrape.
+	Metrics *obs.Registry
+	// Log receives structured job-lifecycle logs, every record carrying
+	// the job id for correlation. Default: discard.
+	Log *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +113,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Farm == nil {
 		o.Farm = simfarm.Default()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Log == nil {
+		o.Log = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -152,16 +169,24 @@ type Server struct {
 	watchdogKills atomic.Uint64
 	retries       atomic.Uint64
 	storeFails    atomic.Uint64
+
+	// metrics holds the latency histograms (job duration, per-phase
+	// breakdown) that fold in at each job's terminal transition; log is
+	// the structured job-lifecycle logger. Both always non-nil.
+	metrics *serverMetrics
+	log     *slog.Logger
 }
 
 // New builds a server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		mux:   http.NewServeMux(),
-		jobs:  make(map[string]*job),
-		store: newReportStore(opts.ReportCap),
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		jobs:    make(map[string]*job),
+		store:   newReportStore(opts.ReportCap),
+		metrics: newServerMetrics(opts.Metrics),
+		log:     opts.Log,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// Every shard can buffer the full global bound: the bound itself is
@@ -178,6 +203,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s
 }
 
@@ -247,9 +273,11 @@ func (s *Server) enqueue(jb *job) error {
 	}
 	// Mark the reservation before the send: once the job is in the
 	// channel a worker may pop it at any moment and must find the slot
-	// marked so it releases exactly once.
+	// marked so it releases exactly once. The same stamp starts the
+	// queue-wait clock the pop (or a queued-state cancel) stops.
 	jb.mu.Lock()
 	jb.queuedSlot = true
+	jb.enqueued = time.Now()
 	jb.mu.Unlock()
 	select {
 	case s.shards[shardOf(jb.key, len(s.shards))] <- jb:
@@ -288,10 +316,15 @@ func (s *Server) runJob(jb *job) {
 		jb.mu.Unlock()
 		return
 	}
+	// The pop ends the queue wait (lock order: jb.mu, then the spans
+	// lock inside Record — same direction as status()).
+	jb.queueWait = time.Since(jb.enqueued)
+	jb.spans.Record(obs.PhaseQueueWait, jb.queueWait)
 	if s.isDraining() {
 		jb.finishLocked(stateCancelled, nil, false, "server shut down before the job started")
 		jb.mu.Unlock()
 		s.cancelled.Add(1)
+		s.jobFinished(jb, stateCancelled, false)
 		jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
 			Detail: "job cancelled: server shutting down"})
 		jb.events.close()
@@ -306,9 +339,12 @@ func (s *Server) runJob(jb *job) {
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	ctx = faultinject.With(ctx, s.opts.Faults)
+	ctx = obs.WithSpans(ctx, jb.spans)
 	jb.cancel = cancel
 	jb.state = stateRunning
 	jb.mu.Unlock()
+	s.log.Debug("job started", "job", jb.id, "framework", jb.spec.Framework,
+		"queue_wait", jb.queueWait)
 
 	var wdStop chan struct{}
 	if s.opts.Watchdog > 0 {
@@ -343,13 +379,17 @@ func (s *Server) runJob(jb *job) {
 	case err == nil && reportJSON != nil:
 		jb.finishLocked(stateDone, reportJSON, false, "")
 		jb.mu.Unlock()
-		s.storeReport(jb.key, &reportEntry{json: reportJSON, ok: reportOK, summary: report.Summary})
+		// The store write is part of the job's span breakdown, so it
+		// happens before the terminal fold into the aggregate histograms.
+		s.storeReport(jb, &reportEntry{json: reportJSON, ok: reportOK, summary: report.Summary})
 		s.completed.Add(1)
+		s.jobFinished(jb, stateDone, false)
 	case errors.Is(err, context.Canceled) && userCancel:
 		// The client's DELETE wins even when the watchdog raced it.
 		jb.finishLocked(stateCancelled, reportJSON, false, err.Error())
 		jb.mu.Unlock()
 		s.cancelled.Add(1)
+		s.jobFinished(jb, stateCancelled, false)
 	case wedged && err != nil:
 		// The watchdog cancelled a stalled run: terminally failed, with
 		// the structured staleness detail, not "cancelled" — nobody asked
@@ -359,12 +399,15 @@ func (s *Server) runJob(jb *job) {
 		jb.mu.Unlock()
 		s.failed.Add(1)
 		s.watchdogKills.Add(1)
+		s.log.Warn("watchdog killed wedged job", "job", jb.id, "idle", wedgeIdle)
+		s.jobFinished(jb, stateFailed, false)
 	case errors.Is(err, context.Canceled):
 		// Client DELETE or forced shutdown; a partial report still
 		// travels with the terminal status when the pipeline made one.
 		jb.finishLocked(stateCancelled, reportJSON, false, err.Error())
 		jb.mu.Unlock()
 		s.cancelled.Add(1)
+		s.jobFinished(jb, stateCancelled, false)
 	default:
 		detail := "pipeline returned no report"
 		if err != nil {
@@ -373,6 +416,7 @@ func (s *Server) runJob(jb *job) {
 		jb.finishLocked(stateFailed, reportJSON, false, detail)
 		jb.mu.Unlock()
 		s.failed.Add(1)
+		s.jobFinished(jb, stateFailed, false)
 	}
 	jb.events.close()
 }
@@ -386,6 +430,7 @@ func (s *Server) runPipeline(ctx context.Context, jb *job) (report *eda.Report, 
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
+			s.log.Error("pipeline panic recovered", "job", jb.id, "panic", fmt.Sprint(r))
 			stack := debug.Stack()
 			if len(stack) > maxPanicStack {
 				stack = stack[:maxPanicStack]
@@ -404,18 +449,42 @@ func (s *Server) runPipeline(ctx context.Context, jb *job) (report *eda.Report, 
 // maxPanicStack bounds the stack carried into a terminal report.
 const maxPanicStack = 8 << 10
 
+// jobFinished folds one terminal job into the aggregate telemetry:
+// submit-to-terminal latency into the job-duration histogram, each
+// phase that actually ran into its per-phase histogram (pre-seeded
+// zero rows stay per-job detail — folding them would pull every
+// aggregate's percentiles toward zero), and one structured log line.
+// Called exactly once per job, after its terminal transition.
+func (s *Server) jobFinished(jb *job, state string, cached bool) {
+	elapsed := time.Since(jb.created)
+	s.metrics.jobDur.Record(elapsed)
+	for _, sp := range jb.spans.Snapshot() {
+		if sp.N > 0 {
+			s.metrics.phase(sp.Phase).Record(sp.Dur)
+		}
+	}
+	s.log.Info("job finished", "job", jb.id, "state", state, "cached", cached,
+		"elapsed", elapsed, "queue_wait", jb.spans.Get(obs.PhaseQueueWait).Dur,
+		"sim", jb.spans.Get(obs.PhaseSim).Dur)
+}
+
 // storeReport adds a finished report to the cross-request store, unless
 // the injected store fault drops the write (modelling a failed write to
 // a remote report tier). A dropped write only costs recomputation on
-// the next identical submission — never correctness.
-func (s *Server) storeReport(key string, e *reportEntry) {
+// the next identical submission — never correctness. The write (fault
+// hook included — an injected delay is store latency) is the job's
+// store_write phase.
+func (s *Server) storeReport(jb *job, e *reportEntry) {
+	start := time.Now()
+	defer jb.spans.Since(obs.PhaseStoreWrite, start)
 	if s.opts.Faults != nil {
 		if ferr := s.opts.Faults.Fire(nil, faultinject.PointServerStore); ferr != nil {
 			s.storeFails.Add(1)
+			s.log.Warn("report-store write failed", "job", jb.id, "err", ferr)
 			return
 		}
 	}
-	s.store.add(key, e)
+	s.store.add(jb.key, e)
 }
 
 // WedgeError is the structured terminal detail of a watchdog kill: the
@@ -482,6 +551,7 @@ func (s *Server) completeFromCache(jb *job, e *reportEntry) {
 	jb.finishLocked(stateDone, e.json, true, "")
 	jb.mu.Unlock()
 	s.completed.Add(1)
+	s.jobFinished(jb, stateDone, true)
 	jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
 		Detail: "report served from the cross-request report cache"})
 	jb.events.Emit(eda.Event{Kind: eda.EventRunEnd, Framework: jb.spec.Framework,
@@ -502,6 +572,7 @@ func (s *Server) newJob(spec eda.Spec, key string) *job {
 		created: time.Now().UTC(),
 		state:   stateQueued,
 		events:  newBroadcaster(s.opts.EventHistory),
+		spans:   obs.NewSpans(obs.JobPhases()...),
 	}
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb.id)

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"llm4eda/eda"
 	"llm4eda/internal/faultinject"
+	"llm4eda/internal/obs"
 	"llm4eda/internal/simfarm"
 )
 
@@ -30,8 +32,26 @@ type JobStatus struct {
 	// history an SSE subscriber arriving (or resuming) late can no
 	// longer replay. Slow-subscriber loss made visible instead of silent.
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// QueueWaitMS is the enqueue→worker-pop wait. Zero until the job is
+	// popped (and forever for a job answered from the report cache at
+	// submission, which never queues).
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// Phases is the job's span breakdown: every canonical phase
+	// (queue_wait, lint_screen, compile, sim, store_write) plus any the
+	// pipeline added, in flow order. N counts recordings folded into a
+	// phase — 0 means the phase never ran (a cached hit reports sim with
+	// N == 0 and 0 ms, not a missing row); sim accumulates N recordings
+	// across candidate rounds.
+	Phases []PhaseStatus `json:"phases,omitempty"`
 
 	Report json.RawMessage `json:"report,omitempty"`
+}
+
+// PhaseStatus is one row of a job's span breakdown.
+type PhaseStatus struct {
+	Phase string  `json:"phase"`
+	MS    float64 `json:"ms"`
+	N     int     `json:"n"`
 }
 
 // StatsReply is the wire form of /v1/stats.
@@ -58,6 +78,12 @@ type StatsReply struct {
 	StoreFails uint64 `json:"store_fails,omitempty"`
 	// EventsDropped sums replay-ring evictions over retained jobs.
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
+	// QueueWaitP50MS/P99MS summarize the enqueue→worker-pop wait
+	// distribution over finished jobs (from the queue_wait phase
+	// histogram — the early-warning signal before the queue fills and
+	// submissions start bouncing with 429).
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
 	// ReportCache is the cross-request report store's traffic.
 	ReportCache ReportCacheStats `json:"report_cache"`
 	// Farm is the shared simulation farm's per-layer traffic; its Results
@@ -95,6 +121,11 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 func (jb *job) status() JobStatus {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
+	spans := jb.spans.Snapshot()
+	phases := make([]PhaseStatus, len(spans))
+	for i, sp := range spans {
+		phases[i] = PhaseStatus{Phase: sp.Phase, MS: float64(sp.Dur) / 1e6, N: sp.N}
+	}
 	return JobStatus{
 		ID:            jb.id,
 		State:         jb.state,
@@ -102,6 +133,8 @@ func (jb *job) status() JobStatus {
 		Error:         jb.errDetail,
 		Created:       jb.created.Format("2006-01-02T15:04:05.000Z07:00"),
 		EventsDropped: jb.events.droppedCount(),
+		QueueWaitMS:   float64(jb.queueWait) / 1e6,
+		Phases:        phases,
 		Report:        jb.reportJSON,
 	}
 }
@@ -128,6 +161,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Submission-time dedup: an identical completed run answers
 	// immediately, without consuming queue capacity.
 	if e, ok := s.store.get(key); ok {
+		s.log.Debug("job answered from report cache", "job", jb.id, "key", key)
 		s.completeFromCache(jb, e)
 		writeJSON(w, http.StatusOK, jb.status())
 		return
@@ -135,6 +169,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.enqueue(jb); err != nil {
 		s.unregister(jb)
 		s.rejected.Add(1)
+		s.log.Warn("job rejected", "job", jb.id, "framework", spec.Framework, "err", err)
 		if errors.Is(err, errDraining) {
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 			return
@@ -143,6 +178,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "job queue full, retry later")
 		return
 	}
+	s.log.Debug("job queued", "job", jb.id, "framework", spec.Framework, "key", key)
 	writeJSON(w, http.StatusAccepted, jb.status())
 }
 
@@ -166,11 +202,17 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case stateQueued:
 		// The worker that eventually pops this job sees a non-queued
 		// state and skips it; its QueueDepth reservation is returned now,
-		// not when the worker drains past the corpse.
+		// not when the worker drains past the corpse. The cancel ends the
+		// job's queue wait — the time it sat queued is real wait.
 		s.releaseSlotLocked(jb)
+		if !jb.enqueued.IsZero() {
+			jb.queueWait = time.Since(jb.enqueued)
+			jb.spans.Record(obs.PhaseQueueWait, jb.queueWait)
+		}
 		jb.finishLocked(stateCancelled, nil, false, "cancelled by client before start")
 		jb.mu.Unlock()
 		s.cancelled.Add(1)
+		s.jobFinished(jb, stateCancelled, false)
 		jb.events.Emit(eda.Event{Kind: eda.EventNote, Framework: jb.spec.Framework,
 			Detail: "job cancelled before start"})
 		jb.events.close()
@@ -199,20 +241,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, StatsReply{
-		Workers:       len(s.shards),
-		QueueDepth:    s.queueDepth(),
-		Draining:      s.isDraining(),
-		JobStates:     states,
-		Submitted:     s.submitted.Load(),
-		Completed:     s.completed.Load(),
-		Failed:        s.failed.Load(),
-		Cancelled:     s.cancelled.Load(),
-		Rejected:      s.rejected.Load(),
-		Panics:        s.panics.Load(),
-		WatchdogKills: s.watchdogKills.Load(),
-		Retries:       s.retries.Load(),
-		StoreFails:    s.storeFails.Load(),
-		EventsDropped: eventsDropped,
+		Workers:        len(s.shards),
+		QueueDepth:     s.queueDepth(),
+		Draining:       s.isDraining(),
+		JobStates:      states,
+		Submitted:      s.submitted.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Rejected:       s.rejected.Load(),
+		Panics:         s.panics.Load(),
+		WatchdogKills:  s.watchdogKills.Load(),
+		Retries:        s.retries.Load(),
+		StoreFails:     s.storeFails.Load(),
+		EventsDropped:  eventsDropped,
+		QueueWaitP50MS: s.metrics.queueWaitQuantileMS(0.5),
+		QueueWaitP99MS: s.metrics.queueWaitQuantileMS(0.99),
 		ReportCache: ReportCacheStats{
 			Hits:   s.store.hits.Load(),
 			Misses: s.store.miss.Load(),

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"llm4eda/eda"
+	"llm4eda/internal/obs"
 )
 
 // Job states. queued and running are live; done, failed and cancelled are
@@ -26,6 +27,11 @@ type job struct {
 	spec    eda.Spec
 	created time.Time
 	events  *broadcaster
+	// spans is the job's phase-duration recorder, pre-seeded with the
+	// canonical phases (obs.JobPhases) so a terminal breakdown always
+	// lists all of them — a cached hit reports sim == 0, not a missing
+	// row. It rides the job context into eda.Run and the farm.
+	spans *obs.Spans
 
 	mu         sync.Mutex
 	state      string
@@ -33,6 +39,12 @@ type job struct {
 	errDetail  string // terminal failure/cancellation detail
 	reportJSON []byte // shared wire-format report bytes (possibly partial)
 	cancel     func() // cancels the running job's context
+	// enqueued is when the job landed on its shard; queueWait is the
+	// enqueue→worker-pop wait, fixed by whichever of the worker's pop
+	// and a queued-state cancel ends the wait. A job answered from the
+	// report cache at submission never queued: both stay zero.
+	enqueued  time.Time
+	queueWait time.Duration
 	// queuedSlot marks that this job holds one unit of the server's
 	// global QueueDepth reservation. Exactly one of the worker's pop and
 	// a queued-state cancel releases it (guarded by mu), so a cancelled

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers [1µs, 2^39µs ≈ 6.4 days) in factor-of-two steps;
+// bucket 0 is the sub-microsecond underflow bucket, the last bucket is
+// the overflow catch-all. 41 word-sized atomics per histogram.
+const histBuckets = 41
+
+// Histogram is a fixed-shape log-bucketed latency histogram: bucket i
+// (i ≥ 1) counts durations in [2^(i-1)µs, 2^i µs). Recording is three
+// atomic adds — no locks, no allocation — which is what lets per-phase
+// histograms sit on the job hot path. Quantiles are extracted by rank
+// walk with linear interpolation inside the landing bucket, so an
+// estimate is always within the bucket of the exact order statistic
+// (a factor-2 relative error bound; see the property test).
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // total nanoseconds
+	buckets [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	// A value in [2^(k-1), 2^k) has bit length k → bucket k.
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation. Safe on a nil receiver (zero overhead
+// when telemetry is off).
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count returns the number of observations. Safe on a nil receiver.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration. Safe on a nil receiver.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as a duration, linearly
+// interpolated inside the bucket holding the nearest-rank order
+// statistic. Returns 0 with no observations. Safe on a nil receiver.
+//
+// The counters are read individually, not as one snapshot; under
+// concurrent recording the result is a monitoring-grade estimate,
+// which is all a scrape needs.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	// Nearest rank: the ceil(q·n)-th smallest observation, at least 1.
+	rank := uint64(q * float64(total))
+	if float64(rank) < q*float64(total) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(i)
+			// Position of the rank inside this bucket, interpolated.
+			frac := float64(rank-cum) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	// Counters moved under our feet; report the overflow bound.
+	lo, _ := bucketBounds(histBuckets - 1)
+	return lo
+}
+
+// bucketBounds returns the [lo, hi) duration range of bucket i.
+func bucketBounds(i int) (lo, hi time.Duration) {
+	if i == 0 {
+		return 0, time.Microsecond
+	}
+	lo = time.Duration(uint64(1)<<(i-1)) * time.Microsecond
+	return lo, lo * 2
+}
+
+// expose writes the histogram as one Prometheus summary instance:
+// p50/p95/p99 quantile samples plus _sum and _count, values in
+// seconds. labels is the rendered `{...}` block ("" when unlabelled).
+func (h *Histogram) expose(w io.Writer, name, labels string) {
+	for _, q := range [...]float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "%s%s %g\n", name, mergeLabels(labels, fmt.Sprintf(`quantile="%g"`, q)), h.Quantile(q).Seconds())
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, h.Sum().Seconds())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// mergeLabels appends extra to a rendered label block.
+func mergeLabels(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Canonical job phases, in pipeline-flow order. Every terminal job
+// reports all five (pre-seeded at zero by NewSpans), so a cached hit
+// shows up as sim == 0 rather than a missing row.
+const (
+	PhaseQueueWait  = "queue_wait"  // enqueue → worker pop
+	PhaseLintScreen = "lint_screen" // static screen before simulation
+	PhaseCompile    = "compile"     // parse + compile to the sim engine
+	PhaseSim        = "sim"         // testbench execution (per candidate round)
+	PhaseStoreWrite = "store_write" // report serialization into the store
+	PhasePipeline   = "pipeline"    // whole eda.Run pipeline (spans the three middle phases)
+)
+
+// JobPhases returns the canonical job phases in flow order.
+func JobPhases() []string {
+	return []string{PhaseQueueWait, PhaseLintScreen, PhaseCompile, PhaseSim, PhaseStoreWrite}
+}
+
+// Span is one accumulated phase of a job: total duration and the
+// number of recordings folded into it (N == 0 means the phase never
+// ran — a pre-seeded zero row).
+type Span struct {
+	Phase string
+	Dur   time.Duration
+	N     int
+}
+
+// Spans accumulates per-phase durations for one job. It rides the job
+// context (WithSpans/SpansOf) so eda.Run, the candidate loops and
+// simfarm record into it without threading a parameter through every
+// signature. A phase recorded more than once accumulates — per-
+// candidate-round sim calls sum into one "sim" row. All methods are
+// safe for concurrent use and on a nil receiver.
+type Spans struct {
+	mu    sync.Mutex
+	order []string
+	agg   map[string]*Span
+}
+
+// NewSpans returns a recorder pre-seeded with the given phases at
+// zero, so a terminal breakdown always lists them even when a phase
+// never ran (cached hits report sim == 0, not a missing row).
+func NewSpans(phases ...string) *Spans {
+	s := &Spans{agg: make(map[string]*Span, len(phases)+2)}
+	for _, p := range phases {
+		s.order = append(s.order, p)
+		s.agg[p] = &Span{Phase: p}
+	}
+	return s
+}
+
+// Record folds one phase duration into the recorder. Unknown phases
+// are appended after the seeded ones in first-recorded order. Safe on
+// a nil receiver.
+func (s *Spans) Record(phase string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	sp, ok := s.agg[phase]
+	if !ok {
+		sp = &Span{Phase: phase}
+		s.agg[phase] = sp
+		s.order = append(s.order, phase)
+	}
+	sp.Dur += d
+	sp.N++
+	s.mu.Unlock()
+}
+
+// Since is shorthand for Record(phase, time.Since(start)).
+func (s *Spans) Since(phase string, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.Record(phase, time.Since(start))
+}
+
+// Snapshot returns the current breakdown, seeded phases first in seed
+// order, then extras in first-recorded order. Safe on a nil receiver
+// (returns nil).
+func (s *Spans) Snapshot() []Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Span, 0, len(s.order))
+	for _, p := range s.order {
+		out = append(out, *s.agg[p])
+	}
+	return out
+}
+
+// Get returns the accumulated span for one phase (zero Span when never
+// recorded). Safe on a nil receiver.
+func (s *Spans) Get(phase string) Span {
+	if s == nil {
+		return Span{Phase: phase}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp, ok := s.agg[phase]; ok {
+		return *sp
+	}
+	return Span{Phase: phase}
+}
+
+type spansKey struct{}
+
+// WithSpans hangs a span recorder off the context. Layers below
+// retrieve it with SpansOf and record phase durations; a context
+// without one makes SpansOf return nil, and every recording method is
+// nil-safe, so untraced runs pay a context lookup and nothing else.
+func WithSpans(ctx context.Context, s *Spans) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spansKey{}, s)
+}
+
+// SpansOf returns the span recorder carried by ctx, or nil.
+func SpansOf(ctx context.Context) *Spans {
+	s, _ := ctx.Value(spansKey{}).(*Spans)
+	return s
+}

@@ -28,9 +28,11 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"llm4eda/internal/core"
 	"llm4eda/internal/faultinject"
+	"llm4eda/internal/obs"
 	"llm4eda/internal/verilog"
 	"llm4eda/internal/vlint"
 )
@@ -500,13 +502,35 @@ func (f *Farm) runJobCtx(ctx context.Context, job Job) (out Result) {
 			return Result{Err: err}
 		}
 	}
+	// The span recorder rides the job context (nil when the caller does
+	// not trace); each stage below records into the canonical phase even
+	// when the cache answers it — a 2µs cached compile is still compile
+	// time, and the breakdown is how cache wins become visible per job.
+	sp := obs.SpansOf(ctx)
 	if job.Lint && job.DUTTop != "" {
-		if rej := f.LintScreen(job.DUT, job.DUTTop); rej != nil {
+		start := time.Now()
+		rej := f.LintScreen(job.DUT, job.DUTTop)
+		if sp != nil {
+			sp.Since(obs.PhaseLintScreen, start)
+		}
+		if rej != nil {
 			f.lintRejects.Add(1)
 			return Result{Err: rej}
 		}
 	}
-	res, err := f.RunTestbench(job.DUT, job.TB, job.Top, job.Opts)
+	start := time.Now()
+	cd, err := f.CompileTestbench(job.DUT, job.TB, job.Top)
+	if sp != nil {
+		sp.Since(obs.PhaseCompile, start)
+	}
+	if err != nil {
+		return Result{Err: err}
+	}
+	start = time.Now()
+	res, err := f.Run(cd, job.Opts)
+	if sp != nil {
+		sp.Since(obs.PhaseSim, start)
+	}
 	return Result{Res: res, Err: err}
 }
 
